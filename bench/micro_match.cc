@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the matching layer: VF2 vs
+// guided search, sketch construction, and multi-pattern sharing. Not a
+// paper figure — engineering-level visibility into the EIP cost model.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graph/sketch.h"
+#include "match/guided.h"
+#include "match/matcher.h"
+#include "match/multi_pattern.h"
+
+namespace {
+
+using namespace gpar;
+using namespace gpar::bench;
+
+struct Fixture {
+  Graph graph = MakePokecLike(1);
+  Predicate q = PickPredicate(graph, "like_music");
+  std::vector<Gpar> sigma = MakeSigma(graph, q, 8, 5, 8, 2);
+};
+
+Fixture& GetFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_VF2ExistsAt(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  VF2Matcher m(f.graph);
+  auto centers = f.graph.nodes_with_label(f.q.x_label);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Gpar& r = f.sigma[i % f.sigma.size()];
+    NodeId v = centers[(i * 7919) % centers.size()];
+    benchmark::DoNotOptimize(m.ExistsAt(r.pr(), v));
+    ++i;
+  }
+}
+BENCHMARK(BM_VF2ExistsAt);
+
+void BM_GuidedExistsAt(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  GuidedMatcher m(f.graph, 2);
+  auto centers = f.graph.nodes_with_label(f.q.x_label);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Gpar& r = f.sigma[i % f.sigma.size()];
+    NodeId v = centers[(i * 7919) % centers.size()];
+    benchmark::DoNotOptimize(m.ExistsAt(r.pr(), v));
+    ++i;
+  }
+}
+BENCHMARK(BM_GuidedExistsAt);
+
+void BM_VF2EnumerateAll(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  VF2Matcher m(f.graph);
+  auto centers = f.graph.nodes_with_label(f.q.x_label);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Gpar& r = f.sigma[i % f.sigma.size()];
+    NodeId v = centers[(i * 7919) % centers.size()];
+    Anchor a{r.pr().x(), v};
+    benchmark::DoNotOptimize(m.Enumerate(
+        r.pr(), {&a, 1}, [](std::span<const NodeId>) { return true; },
+        10000));
+    ++i;
+  }
+}
+BENCHMARK(BM_VF2EnumerateAll);
+
+void BM_SketchIndexBuild(benchmark::State& state) {
+  Graph g = MakeSynthetic(2000, 6000, 50, 3);
+  for (auto _ : state) {
+    SketchIndex idx = SketchIndex::Build(g, 2);
+    benchmark::DoNotOptimize(idx.size());
+  }
+}
+BENCHMARK(BM_SketchIndexBuild);
+
+void BM_MultiPatternSharedEval(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  VF2Matcher m(f.graph);
+  std::vector<const Pattern*> pats;
+  for (const Gpar& r : f.sigma) pats.push_back(&r.pr());
+  MultiPatternEvaluator eval(pats);
+  auto centers = f.graph.nodes_with_label(f.q.x_label);
+  std::vector<char> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    eval.EvaluateAt(m, centers[(i * 7919) % centers.size()], &out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_MultiPatternSharedEval);
+
+void BM_MultiPatternNaiveEval(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  VF2Matcher m(f.graph);
+  auto centers = f.graph.nodes_with_label(f.q.x_label);
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeId v = centers[(i * 7919) % centers.size()];
+    for (const Gpar& r : f.sigma) {
+      benchmark::DoNotOptimize(m.ExistsAt(r.pr(), v));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_MultiPatternNaiveEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// The paper's fraud-detection example (Example 1(4), Fig. 1(d) / Fig. 2
+// G2): rule R4 flags accounts that behave like confirmed fakes — same
+// liked blogs, posts sharing tell-tale keywords ("claim a prize").
+//
+//   ./build/examples/fake_account_detection
+//
+// Shows the LCWA three-way classification and then scales the scenario up:
+// a synthetic account graph with a planted fake ring, identified by EIP.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+#include "graph/paper_graphs.h"
+#include "identify/eip.h"
+#include "match/matcher.h"
+#include "rule/metrics.h"
+
+namespace {
+
+using namespace gpar;
+
+/// A larger synthetic version of G2: `rings` fake rings, each posting
+/// blogs that share a scam keyword, plus honest accounts with ordinary
+/// behaviour. One member per ring is already confirmed (is_a -> fake).
+Graph MakeAccountGraph(uint32_t rings, uint32_t ring_size,
+                       uint32_t honest_accounts, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b;
+  LabelId acct = b.InternLabel("acct");
+  LabelId blog = b.InternLabel("blog");
+  LabelId keyword = b.InternLabel("keyword");
+  LabelId fake = b.InternLabel("fake");
+  LabelId like = b.InternLabel("like");
+  LabelId post = b.InternLabel("post");
+  LabelId contains = b.InternLabel("contains");
+  LabelId is_a = b.InternLabel("is_a");
+
+  LabelId genuine = b.InternLabel("genuine");
+  NodeId fake_node = b.AddNode(fake);
+  NodeId genuine_node = b.AddNode(genuine);
+  // A pool of popular blogs everyone likes a couple of.
+  std::vector<NodeId> popular;
+  for (int i = 0; i < 12; ++i) popular.push_back(b.AddNode(blog));
+
+  for (uint32_t r = 0; r < rings; ++r) {
+    NodeId scam_kw = b.AddNode(keyword);
+    NodeId liked_a = popular[rng.Uniform(popular.size())];
+    NodeId liked_b = popular[rng.Uniform(popular.size())];
+    for (uint32_t m = 0; m < ring_size; ++m) {
+      NodeId a = b.AddNode(acct);
+      b.AddEdgeUnchecked(a, like, liked_a);
+      b.AddEdgeUnchecked(a, like, liked_b);
+      NodeId p = b.AddNode(blog);
+      b.AddEdgeUnchecked(a, post, p);
+      b.AddEdgeUnchecked(p, contains, scam_kw);
+      // Two confirmed fakes per ring, so the rule has positive support
+      // (each confirmed fake has a confirmed partner matching x').
+      if (m < 2) b.AddEdgeUnchecked(a, is_a, fake_node);
+    }
+    // One "recovered" account per other ring: it behaved like the ring
+    // (same likes, scam keyword) but was verified genuine. These are the
+    // LCWA counterexamples that keep conf(R4) finite and honest.
+    if (r % 2 == 1) {
+      NodeId a = b.AddNode(acct);
+      b.AddEdgeUnchecked(a, like, liked_a);
+      b.AddEdgeUnchecked(a, like, liked_b);
+      NodeId p = b.AddNode(blog);
+      b.AddEdgeUnchecked(a, post, p);
+      b.AddEdgeUnchecked(p, contains, scam_kw);
+      b.AddEdgeUnchecked(a, is_a, genuine_node);
+    }
+  }
+  for (uint32_t i = 0; i < honest_accounts; ++i) {
+    NodeId a = b.AddNode(acct);
+    b.AddEdgeUnchecked(a, like, popular[rng.Uniform(popular.size())]);
+    NodeId p = b.AddNode(blog);
+    b.AddEdgeUnchecked(a, post, p);
+    NodeId kw = b.AddNode(keyword);  // unique, harmless keyword
+    b.AddEdgeUnchecked(p, contains, kw);
+    // A tenth of honest accounts are manually verified: is_a -> genuine.
+    // Under LCWA these are the "negative" cases for q = is_a(x, fake);
+    // unverified accounts stay "unknown" and never hurt the confidence.
+    if (rng.Bernoulli(0.1)) b.AddEdgeUnchecked(a, is_a, genuine_node);
+  }
+  return std::move(b).Build();
+}
+
+/// Q4 with k common liked blogs, built against `labels`.
+Gpar MakeR4(const Interner& labels, uint32_t k) {
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("acct"));
+  PNodeId xp = p.AddNode(labels.Lookup("acct"));
+  PNodeId y = p.AddNode(labels.Lookup("fake"));
+  PNodeId pk = p.AddNode(labels.Lookup("blog"), k);
+  PNodeId y1 = p.AddNode(labels.Lookup("blog"));
+  PNodeId y2 = p.AddNode(labels.Lookup("blog"));
+  PNodeId w = p.AddNode(labels.Lookup("keyword"));
+  p.set_x(x);
+  p.set_y(y);
+  LabelId is_a = labels.Lookup("is_a");
+  LabelId like = labels.Lookup("like");
+  LabelId post = labels.Lookup("post");
+  LabelId contains = labels.Lookup("contains");
+  p.AddEdge(xp, is_a, y);
+  p.AddEdge(x, like, pk);
+  p.AddEdge(xp, like, pk);
+  p.AddEdge(x, post, y1);
+  p.AddEdge(xp, post, y2);
+  p.AddEdge(y1, contains, w);
+  p.AddEdge(y2, contains, w);
+  return Gpar::Create(std::move(p), is_a).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gpar;
+
+  // --- Part 1: the paper's G2 fixture. -------------------------------------
+  PaperG2 g2 = MakePaperG2();
+  VF2Matcher m(g2.graph);
+  QStats stats = ComputeQStats(m, g2.q);
+  GparEval eval = EvaluateGpar(m, g2.r4, stats);
+  std::printf("G2 (Fig. 2): supp(R4) = %llu — accounts matching the "
+              "fake-ring pattern (paper: 3)\n",
+              static_cast<unsigned long long>(eval.supp_r));
+  for (NodeId v : {g2.acct1, g2.acct2, g2.acct3, g2.acct4}) {
+    const char* cls = "unknown";
+    switch (ClassifyLcwa(g2.graph, g2.q, v, stats)) {
+      case LcwaCase::kPositive: cls = "confirmed fake"; break;
+      case LcwaCase::kNegative: cls = "confirmed genuine"; break;
+      case LcwaCase::kUnknown: cls = "unlabeled"; break;
+    }
+    std::printf("  acct%u: %s\n", v + 1, cls);
+  }
+
+  // --- Part 2: a bigger planted scenario. ----------------------------------
+  Graph big = MakeAccountGraph(/*rings=*/6, /*ring_size=*/5,
+                               /*honest_accounts=*/300, /*seed=*/17);
+  std::printf("\nsynthetic account graph: %u nodes, %zu edges, 6 planted "
+              "rings of 5 (two confirmed fakes each)\n",
+              big.num_nodes(), big.num_edges());
+
+  Gpar r4 = MakeR4(big.labels(), /*k=*/2);
+  std::vector<Gpar> sigma{r4};
+  EipOptions opt;
+  opt.algorithm = EipAlgorithm::kMatch;
+  opt.num_workers = 4;
+  opt.eta = 1.0;
+  auto result = IdentifyEntities(big, sigma, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "EIP failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("rule confidence on the big graph: %.3f\n",
+              result->rule_evals[0].conf);
+  std::printf("suspect accounts flagged: %zu "
+              "(ring members sharing scam keywords with a confirmed fake)\n",
+              result->entities.size());
+  std::printf("expected: the ~30 ring members plus the few recovered "
+              "accounts; plain honest\naccounts never match the pattern. "
+              "High conf = the pattern is far likelier\namong confirmed "
+              "fakes than among verified-genuine accounts.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The paper's running example (Example 1 / Figures 1-3): the restaurant
+// recommendation network G1, rule R1 ("same-city friends who share three
+// French restaurants; if your friend visits a new one, so may you"), and
+// the diversified rules R5-R8 of Fig. 3.
+//
+//   ./build/examples/restaurant_recommendation
+//
+// Reproduces on the fixture graph every number the paper derives in
+// Examples 3, 5, 8, 9 and 10, then runs entity identification (EIP).
+
+#include <cstdio>
+
+#include "graph/paper_graphs.h"
+#include "identify/eip.h"
+#include "match/matcher.h"
+#include "rule/diversity.h"
+#include "rule/metrics.h"
+
+int main() {
+  using namespace gpar;
+  PaperG1 g1 = MakePaperG1();
+  const Interner& labels = g1.graph.labels();
+
+  std::printf("G1: %u nodes, %zu edges — Fig. 2's restaurant network\n",
+              g1.graph.num_nodes(), g1.graph.num_edges());
+
+  VF2Matcher matcher(g1.graph);
+  QStats stats = ComputeQStats(matcher, g1.q);
+  std::printf("q(x,y) = visit(cust, French_restaurant): supp(q)=%llu, "
+              "supp(~q)=%llu\n\n",
+              static_cast<unsigned long long>(stats.supp_q),
+              static_cast<unsigned long long>(stats.supp_qbar));
+
+  struct Named {
+    const char* name;
+    const Gpar* rule;
+  };
+  for (const Named& n : {Named{"R1 (Q1 of Fig. 1a)", &g1.r1},
+                         Named{"R5", &g1.r5},
+                         Named{"R6", &g1.r6},
+                         Named{"R7", &g1.r7},
+                         Named{"R8", &g1.r8}}) {
+    GparEval eval = EvaluateGpar(matcher, *n.rule, stats);
+    std::printf("--- %s ---\n", n.name);
+    std::printf("%s", n.rule->ToString(labels).c_str());
+    std::printf("supp(R)=%llu  supp(Q)=%llu  conf=%.2f  matches:",
+                static_cast<unsigned long long>(eval.supp_r),
+                static_cast<unsigned long long>(eval.supp_q_ant), eval.conf);
+    for (NodeId v : eval.pr_matches) std::printf(" cust%u", v + 1);
+    std::printf("\n\n");
+  }
+
+  // Diversity (Example 8): R7 and R8 cover disjoint customer groups.
+  GparEval e7 = EvaluateGpar(matcher, g1.r7, stats);
+  GparEval e8 = EvaluateGpar(matcher, g1.r8, stats);
+  double n_norm = static_cast<double>(stats.supp_q * stats.supp_qbar);
+  std::printf("diff(R7, R8) = %.2f;  F({R7, R8}) = %.2f  (paper: 1.08)\n\n",
+              JaccardDistance(e7.pr_matches, e8.pr_matches),
+              ObjectiveF({e7.conf, e8.conf}, {&e7.pr_matches, &e8.pr_matches},
+                         0.5, n_norm, 2));
+
+  // Entity identification with the whole rule set at η = 0.5.
+  std::vector<Gpar> sigma{g1.r1, g1.r5, g1.r6, g1.r7, g1.r8};
+  EipOptions opt;
+  opt.algorithm = EipAlgorithm::kMatch;
+  opt.num_workers = 2;
+  opt.eta = 0.5;
+  auto result = IdentifyEntities(g1.graph, sigma, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "EIP failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Σ(x, G, η=0.5) — potential customers to target:");
+  for (NodeId v : result->entities) std::printf(" cust%u", v + 1);
+  std::printf("\n(cust5 appears: she matches the antecedents but has not "
+              "visited a French\nrestaurant yet — exactly whom you want to "
+              "send the coupon to.)\n");
+  return 0;
+}

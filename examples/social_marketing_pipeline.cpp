@@ -1,0 +1,100 @@
+// End-to-end social-media-marketing pipeline, the paper's headline use
+// case: (1) mine diversified GPARs for an event q(x, y) with DMine, then
+// (2) apply them with Match to identify potential customers (EIP).
+//
+//   ./build/examples/social_marketing_pipeline
+//
+// Runs on a generated Pokec-like social network (users, follows, music /
+// book / hobby preferences with planted community structure).
+
+#include <cstdio>
+
+#include "graph/generator.h"
+#include "graph/stats.h"
+#include "identify/eip.h"
+#include "mine/dmine.h"
+
+int main() {
+  using namespace gpar;
+
+  // --- Data: a Pokec-like social network. ----------------------------------
+  Graph g = MakePokecLike(/*scale=*/1, /*seed=*/2024);
+  std::printf("social graph: %u nodes, %zu edges\n", g.num_nodes(),
+              g.num_edges());
+
+  // The event to market: the most popular like_music kind.
+  LabelId user = g.labels().Lookup("user");
+  LabelId like_music = g.labels().Lookup("like_music");
+  Predicate q{user, like_music, kNoLabel};
+  for (const EdgePatternStat& s : FrequentEdgePatterns(g)) {
+    if (s.edge_label == like_music) {
+      q.y_label = s.dst_label;
+      break;
+    }
+  }
+  std::printf("target event q(x, y) = like_music(user, %s)\n\n",
+              g.labels().Name(q.y_label).c_str());
+
+  // --- Stage 1: discover diversified GPARs (DMP). --------------------------
+  DmineOptions mine_opt;
+  mine_opt.num_workers = 4;
+  mine_opt.k = 4;
+  mine_opt.d = 2;
+  mine_opt.sigma = 8;
+  mine_opt.lambda = 0.5;
+  mine_opt.max_pattern_edges = 3;
+  mine_opt.seed_edge_limit = 12;
+  auto mined = Dmine(g, q, mine_opt);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "DMine failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("DMine: %zu rules accepted, top-%u diversified set "
+              "(F = %.4f), %.2fs simulated parallel time\n",
+              mined->stats.accepted, mine_opt.k, mined->objective,
+              mined->times.SimulatedParallelSeconds());
+  std::vector<Gpar> sigma;
+  for (const auto& r : mined->topk) {
+    std::printf("--- conf %.3f, supp %llu ---\n%s", r->conf,
+                static_cast<unsigned long long>(r->supp),
+                r->rule.ToString(g.labels()).c_str());
+    sigma.push_back(r->rule);
+  }
+  if (sigma.empty()) {
+    std::printf("no rules found — raise scale or lower sigma\n");
+    return 0;
+  }
+
+  // --- Stage 2: identify potential customers (EIP). ------------------------
+  EipOptions eip_opt;
+  eip_opt.algorithm = EipAlgorithm::kMatch;
+  eip_opt.num_workers = 4;
+  eip_opt.eta = 1.0;  // demand rules at least as predictive as independence
+  auto found = IdentifyEntities(g, sigma, eip_opt);
+  if (!found.ok()) {
+    std::fprintf(stderr, "EIP failed: %s\n",
+                 found.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nMatch: %zu potential customers at eta=%.1f "
+              "(%.2fs simulated parallel time)\n",
+              found->entities.size(), eip_opt.eta,
+              found->times.SimulatedParallelSeconds());
+
+  // How many are *new* prospects (no like_music edge to the target yet)?
+  size_t fresh = 0;
+  for (NodeId v : found->entities) {
+    bool has = false;
+    for (const AdjEntry& e : g.out_edges_labeled(v, q.edge_label)) {
+      if (g.node_label(e.other) == q.y_label) {
+        has = true;
+        break;
+      }
+    }
+    if (!has) ++fresh;
+  }
+  std::printf("of which %zu have not liked the target genre yet — the "
+              "campaign audience.\n", fresh);
+  return 0;
+}

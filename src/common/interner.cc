@@ -1,0 +1,32 @@
+#include "common/interner.h"
+
+namespace gpar {
+
+namespace {
+const std::string kNoLabelName = "<none>";
+const std::string kWildcardName = "*";
+const std::string kUnknownName = "<unknown>";
+}  // namespace
+
+LabelId Interner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId Interner::Lookup(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? kNoLabel : it->second;
+}
+
+const std::string& Interner::Name(LabelId id) const {
+  if (id == kNoLabel) return kNoLabelName;
+  if (id == kWildcardLabel) return kWildcardName;
+  if (id >= names_.size()) return kUnknownName;
+  return names_[id];
+}
+
+}  // namespace gpar

@@ -1,0 +1,47 @@
+#ifndef GPAR_COMMON_INTERNER_H_
+#define GPAR_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gpar {
+
+/// Integer id for an interned label string. `kNoLabel` marks "no label";
+/// `kWildcardLabel` matches any label under the extension semantics used by
+/// the simulation matcher (never produced by `Intern`).
+using LabelId = uint32_t;
+inline constexpr LabelId kNoLabel = static_cast<LabelId>(-1);
+inline constexpr LabelId kWildcardLabel = static_cast<LabelId>(-2);
+
+/// Bidirectional string<->id dictionary for node and edge labels.
+///
+/// Graphs and patterns store `LabelId`s only; the interner is shared between
+/// a graph and the patterns queried against it so that label equality is an
+/// integer compare. Not thread-safe for interning; concurrent read-only
+/// lookups are safe once loading is done.
+class Interner {
+ public:
+  Interner() = default;
+
+  /// Returns the id for `s`, inserting it if unseen.
+  LabelId Intern(std::string_view s);
+
+  /// Returns the id for `s` or `kNoLabel` if never interned.
+  LabelId Lookup(std::string_view s) const;
+
+  /// Returns the string for `id`; "<none>" for kNoLabel, "*" for wildcard.
+  const std::string& Name(LabelId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_COMMON_INTERNER_H_

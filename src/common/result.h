@@ -1,0 +1,70 @@
+#ifndef GPAR_COMMON_RESULT_H_
+#define GPAR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace gpar {
+
+/// A value-or-error holder: either a `T` or a non-OK `Status`.
+///
+/// Modeled on `arrow::Result`. Construction from a value yields `ok()`;
+/// construction from a non-OK status yields an error result. Accessing the
+/// value of an error result is a programming bug (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...;` works.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error status to the caller.
+#define GPAR_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto GPAR_CONCAT_(result_, __LINE__) = (expr); \
+  if (!GPAR_CONCAT_(result_, __LINE__).ok())     \
+    return GPAR_CONCAT_(result_, __LINE__).status(); \
+  lhs = std::move(GPAR_CONCAT_(result_, __LINE__)).value()
+
+#define GPAR_CONCAT_(a, b) GPAR_CONCAT_IMPL_(a, b)
+#define GPAR_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gpar
+
+#endif  // GPAR_COMMON_RESULT_H_

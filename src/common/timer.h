@@ -1,0 +1,60 @@
+#ifndef GPAR_COMMON_TIMER_H_
+#define GPAR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gpar {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and by the
+/// BSP runtime's per-worker busy-time accounting.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart, in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  int64_t Micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates busy time across start/stop episodes; one per simulated
+/// worker in the BSP runtime. The max across workers of the accumulated
+/// time is the "parallel makespan" reported by the benchmark harness.
+class BusyClock {
+ public:
+  void Start() { timer_.Restart(); running_ = true; }
+  void Stop() {
+    if (running_) {
+      total_seconds_ += timer_.Seconds();
+      running_ = false;
+    }
+  }
+  void Reset() { total_seconds_ = 0; running_ = false; }
+  double TotalSeconds() const { return total_seconds_; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_COMMON_TIMER_H_

@@ -1,0 +1,206 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace gpar {
+
+namespace {
+
+/// Samples a person id with preference for the same community; falls back to
+/// uniform when the community is a singleton.
+NodeId SampleNeighbor(Rng& rng, const std::vector<std::vector<NodeId>>& members,
+                      uint32_t community, NodeId num_persons, NodeId self,
+                      double intra_prob) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    NodeId pick;
+    if (rng.Bernoulli(intra_prob) && members[community].size() > 1) {
+      const auto& m = members[community];
+      pick = m[rng.Uniform(m.size())];
+    } else {
+      pick = static_cast<NodeId>(rng.Uniform(num_persons));
+    }
+    if (pick != self) return pick;
+  }
+  return (self + 1) % num_persons;
+}
+
+}  // namespace
+
+Graph MakeSocialGraph(const SocialGraphSpec& spec) {
+  Rng rng(spec.seed);
+  GraphBuilder b;
+
+  // Persons first: ids [0, num_persons).
+  const LabelId person_label = b.InternLabel(spec.person_label);
+  b.AddNodes(person_label, spec.num_persons);
+
+  // Community assignment.
+  const uint32_t nc = std::max<uint32_t>(1, spec.num_communities);
+  std::vector<uint32_t> community(spec.num_persons);
+  std::vector<std::vector<NodeId>> members(nc);
+  for (NodeId p = 0; p < spec.num_persons; ++p) {
+    community[p] = static_cast<uint32_t>(rng.Uniform(nc));
+    members[community[p]].push_back(p);
+  }
+
+  // Social edges: heavy-tailed out-degree targets, Zipf edge-label mix,
+  // mostly intra-community endpoints.
+  std::vector<LabelId> social_labels;
+  for (const std::string& l : spec.social_edge_labels) {
+    social_labels.push_back(b.InternLabel(l));
+  }
+  if (spec.num_persons > 1 && !social_labels.empty()) {
+    for (NodeId p = 0; p < spec.num_persons; ++p) {
+      // Degree target: base average scaled by a Zipf rank factor in [1, 4].
+      uint64_t rank = rng.Zipf(16, spec.degree_zipf_s);
+      double factor = 0.25 + 3.75 / static_cast<double>(rank + 1);
+      uint32_t deg = static_cast<uint32_t>(
+          std::max(1.0, spec.social_avg_degree * factor * 0.5));
+      for (uint32_t i = 0; i < deg; ++i) {
+        NodeId q = SampleNeighbor(rng, members, community[p],
+                                  spec.num_persons, p,
+                                  spec.intra_community_prob);
+        LabelId el =
+            social_labels[rng.Zipf(social_labels.size(), spec.social_zipf_s)];
+        b.AddEdgeUnchecked(p, el, q);
+        // "friend"-style labels are symmetric in social graphs; mirror a
+        // fraction of edges to create the bidirectional motifs the paper's
+        // case-study rules use (R9: x follows u1, u1 follows u2, u2 follows x).
+        if (rng.Bernoulli(0.35)) b.AddEdgeUnchecked(q, el, p);
+      }
+    }
+  }
+
+  // Item domains.
+  for (const SocialGraphSpec::ItemDomain& dom : spec.domains) {
+    // Materialize items: kind label -> item node ids.
+    std::vector<std::vector<NodeId>> items_of_kind(dom.num_kinds);
+    for (uint32_t k = 0; k < dom.num_kinds; ++k) {
+      std::string label = dom.single_kind_label
+                              ? dom.kind_prefix
+                              : dom.kind_prefix + std::to_string(k);
+      LabelId lid = b.InternLabel(label);
+      for (uint32_t j = 0; j < dom.items_per_kind; ++j) {
+        items_of_kind[k].push_back(b.AddNode(lid));
+      }
+    }
+    LabelId edge_label = b.InternLabel(dom.edge_label);
+
+    // Community preferences: each community prefers a few kinds.
+    std::vector<std::vector<uint32_t>> pref(nc);
+    for (uint32_t c = 0; c < nc; ++c) {
+      for (uint32_t j = 0;
+           j < std::min(dom.kinds_per_community, dom.num_kinds); ++j) {
+        pref[c].push_back(static_cast<uint32_t>(rng.Zipf(dom.num_kinds, 0.8)));
+      }
+    }
+
+    for (NodeId p = 0; p < spec.num_persons; ++p) {
+      for (uint32_t kind : pref[community[p]]) {
+        if (rng.Bernoulli(dom.adoption_prob)) {
+          const auto& items = items_of_kind[kind];
+          b.AddEdgeUnchecked(p, edge_label,
+                             items[rng.Uniform(items.size())]);
+        }
+      }
+      if (rng.Bernoulli(dom.noise_prob)) {
+        uint32_t kind = static_cast<uint32_t>(rng.Uniform(dom.num_kinds));
+        const auto& items = items_of_kind[kind];
+        b.AddEdgeUnchecked(p, edge_label, items[rng.Uniform(items.size())]);
+      }
+    }
+  }
+
+  return std::move(b).Build();
+}
+
+Graph MakePokecLike(uint32_t scale, uint64_t seed) {
+  SocialGraphSpec spec;
+  spec.num_persons = 2000 * std::max<uint32_t>(1, scale);
+  spec.person_label = "user";
+  spec.social_avg_degree = 9.0;
+  spec.social_edge_labels = {"follow", "friend"};
+  spec.num_communities = 24 * std::max<uint32_t>(1, scale);
+  spec.intra_community_prob = 0.8;
+  spec.seed = seed;
+  // 268 item-kind labels + "user" = 269 node labels; 9 item edge labels +
+  // 2 social = 11 edge labels, matching Pokec's schema cardinalities.
+  spec.domains = {
+      {"music_", 40, 3, "like_music", 2, 0.65, 0.05, false},
+      {"book_", 40, 3, "like_book", 2, 0.5, 0.05, false},
+      {"hobby_", 48, 2, "hobby", 3, 0.7, 0.05, false},
+      {"city_", 30, 1, "live_in", 1, 0.95, 0.01, false},
+      {"group_", 40, 2, "member_of", 2, 0.5, 0.04, false},
+      {"sport_", 30, 2, "does_sport", 2, 0.45, 0.04, false},
+      {"movie_", 28, 3, "watches", 2, 0.5, 0.05, false},
+      {"restaurant_", 6, 6, "visits", 1, 0.4, 0.05, false},
+      {"blog_", 6, 8, "posts", 1, 0.3, 0.05, false},
+  };
+  return MakeSocialGraph(spec);
+}
+
+Graph MakeGPlusLike(uint32_t scale, uint64_t seed) {
+  SocialGraphSpec spec;
+  spec.num_persons = 3000 * std::max<uint32_t>(1, scale);
+  spec.person_label = "person";
+  spec.social_avg_degree = 12.0;
+  spec.social_edge_labels = {"follow"};
+  spec.num_communities = 20 * std::max<uint32_t>(1, scale);
+  spec.intra_community_prob = 0.85;
+  spec.seed = seed;
+  // Google+'s *schema* has 5 node types (person, employer, school, major,
+  // city) and 5 edge types — but its GPARs bind entity values ("CMU",
+  // "Microsoft", "CS" in the paper's R11). Search conditions in this
+  // library are labels, so item nodes carry per-entity labels
+  // (employer7, school12, ...); the 5-type schema lives in the prefixes.
+  // Without per-entity bindings, q(x, y) would have no LCWA negatives at
+  // all (any majored_in edge would satisfy y) and every rule would
+  // degenerate to a trivial logic rule.
+  spec.domains = {
+      {"employer", 30, 1, "works_at", 1, 0.8, 0.05, false},
+      {"school", 40, 1, "attended", 1, 0.85, 0.05, false},
+      {"major", 25, 1, "majored_in", 1, 0.75, 0.05, false},
+      {"city", 30, 1, "lives_in", 1, 0.95, 0.02, false},
+  };
+  return MakeSocialGraph(spec);
+}
+
+Graph MakeSynthetic(uint32_t num_nodes, uint64_t num_edges,
+                    uint32_t num_labels, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b;
+  // Node labels: Zipf over the alphabet so some labels are frequent enough
+  // to act as candidate sets for x.
+  std::vector<LabelId> labels;
+  labels.reserve(num_labels);
+  for (uint32_t i = 0; i < num_labels; ++i) {
+    labels.push_back(b.InternLabel("l" + std::to_string(i)));
+  }
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    b.AddNode(labels[rng.Zipf(num_labels, 0.9)]);
+  }
+  // Edge labels: a tenth of the alphabet, Zipf-weighted.
+  const uint32_t num_edge_labels = std::max<uint32_t>(4, num_labels / 10);
+  std::vector<LabelId> elabels;
+  for (uint32_t i = 0; i < num_edge_labels; ++i) {
+    elabels.push_back(b.InternLabel("e" + std::to_string(i)));
+  }
+  // Edges: endpoints mix uniform and "hub" choices for a heavy tail.
+  const uint32_t hub_count = std::max<uint32_t>(1, num_nodes / 50);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    NodeId src = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId dst = rng.Bernoulli(0.25)
+                     ? static_cast<NodeId>(rng.Uniform(hub_count))
+                     : static_cast<NodeId>(rng.Uniform(num_nodes));
+    LabelId el = elabels[rng.Zipf(num_edge_labels, 1.0)];
+    b.AddEdgeUnchecked(src, el, dst);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace gpar

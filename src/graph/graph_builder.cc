@@ -1,0 +1,73 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gpar {
+
+Status GraphBuilder::AddEdge(NodeId src, LabelId label, NodeId dst) {
+  if (src >= node_labels_.size() || dst >= node_labels_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  edges_.push_back({src, label, dst});
+  return Status::OK();
+}
+
+Graph GraphBuilder::Build() && {
+  Graph g;
+  g.labels_ = std::move(labels_);
+  g.node_labels_ = std::move(node_labels_);
+  const NodeId n = static_cast<NodeId>(g.node_labels_.size());
+
+  // Deduplicate (src, label, dst) triples.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const PendingEdge& a, const PendingEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.label != b.label) return a.label < b.label;
+              return a.dst < b.dst;
+            });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const PendingEdge& a, const PendingEdge& b) {
+                             return a.src == b.src && a.label == b.label &&
+                                    a.dst == b.dst;
+                           }),
+               edges_.end());
+
+  // Out-CSR: edges_ is already sorted by (src, label, dst).
+  g.out_offsets_.assign(n + 1, 0);
+  for (const PendingEdge& e : edges_) g.out_offsets_[e.src + 1]++;
+  for (NodeId v = 0; v < n; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
+  g.out_adj_.resize(edges_.size());
+  {
+    std::vector<size_t> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+    for (const PendingEdge& e : edges_) {
+      g.out_adj_[cursor[e.src]++] = {e.label, e.dst};
+    }
+  }
+
+  // In-CSR: counting sort by dst, then per-node sort by (label, src).
+  g.in_offsets_.assign(n + 1, 0);
+  for (const PendingEdge& e : edges_) g.in_offsets_[e.dst + 1]++;
+  for (NodeId v = 0; v < n; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
+  g.in_adj_.resize(edges_.size());
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const PendingEdge& e : edges_) {
+      g.in_adj_[cursor[e.dst]++] = {e.label, e.src};
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      std::sort(g.in_adj_.begin() + g.in_offsets_[v],
+                g.in_adj_.begin() + g.in_offsets_[v + 1]);
+    }
+  }
+
+  // Label inverted index (node ids ascend naturally).
+  for (NodeId v = 0; v < n; ++v) {
+    g.label_index_[g.node_labels_[v]].push_back(v);
+  }
+
+  edges_.clear();
+  return g;
+}
+
+}  // namespace gpar

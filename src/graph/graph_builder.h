@@ -1,0 +1,82 @@
+#ifndef GPAR_GRAPH_GRAPH_BUILDER_H_
+#define GPAR_GRAPH_GRAPH_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gpar {
+
+/// Mutable accumulator that produces an immutable `Graph`.
+///
+/// Typical use:
+/// ```
+/// GraphBuilder b;
+/// NodeId alice = b.AddNode("cust");
+/// NodeId shop  = b.AddNode("store");
+/// b.AddEdge(alice, "visit", shop);
+/// Graph g = std::move(b).Build();
+/// ```
+/// Duplicate (src, label, dst) edges are collapsed at Build time; self-loops
+/// are allowed. Builders may share a label dictionary with an existing graph
+/// by constructing from its `labels_ptr()`.
+class GraphBuilder {
+ public:
+  GraphBuilder() : labels_(std::make_shared<Interner>()) {}
+  explicit GraphBuilder(std::shared_ptr<Interner> labels)
+      : labels_(std::move(labels)) {}
+
+  /// Adds a node labeled `label`, returning its dense id.
+  NodeId AddNode(std::string_view label) {
+    return AddNode(labels_->Intern(label));
+  }
+  NodeId AddNode(LabelId label) {
+    node_labels_.push_back(label);
+    return static_cast<NodeId>(node_labels_.size() - 1);
+  }
+
+  /// Adds `count` nodes with the same label; returns the first id.
+  NodeId AddNodes(LabelId label, NodeId count) {
+    NodeId first = static_cast<NodeId>(node_labels_.size());
+    node_labels_.insert(node_labels_.end(), count, label);
+    return first;
+  }
+
+  /// Adds a directed edge src --label--> dst. Endpoints must already exist.
+  Status AddEdge(NodeId src, std::string_view label, NodeId dst) {
+    return AddEdge(src, labels_->Intern(label), dst);
+  }
+  Status AddEdge(NodeId src, LabelId label, NodeId dst);
+
+  /// Convenience for trusted internal callers (generators): no id checks.
+  void AddEdgeUnchecked(NodeId src, LabelId label, NodeId dst) {
+    edges_.push_back({src, label, dst});
+  }
+
+  LabelId InternLabel(std::string_view s) { return labels_->Intern(s); }
+  const std::shared_ptr<Interner>& labels_ptr() const { return labels_; }
+
+  NodeId num_nodes() const { return static_cast<NodeId>(node_labels_.size()); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable Graph. The builder is consumed.
+  Graph Build() &&;
+
+ private:
+  struct PendingEdge {
+    NodeId src;
+    LabelId label;
+    NodeId dst;
+  };
+
+  std::shared_ptr<Interner> labels_;
+  std::vector<LabelId> node_labels_;
+  std::vector<PendingEdge> edges_;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_GRAPH_BUILDER_H_

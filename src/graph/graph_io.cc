@@ -1,0 +1,76 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/graph_builder.h"
+
+namespace gpar {
+
+Status WriteGraphText(const Graph& g, std::ostream& os) {
+  os << "# gpar graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+     << " edges\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "v " << v << ' ' << g.labels().Name(g.node_label(v)) << '\n';
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.out_edges(v)) {
+      os << "e " << v << ' ' << e.other << ' ' << g.labels().Name(e.label)
+         << '\n';
+    }
+  }
+  if (!os) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status WriteGraphFile(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open " + path);
+  return WriteGraphText(g, os);
+}
+
+Result<Graph> ReadGraphText(std::istream& is) {
+  GraphBuilder builder;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    if (kind == 'v') {
+      uint64_t id;
+      std::string label;
+      if (!(ls >> id >> label)) {
+        return Status::Corruption("bad node line " + std::to_string(lineno));
+      }
+      if (id != builder.num_nodes()) {
+        return Status::Corruption("non-dense node id at line " +
+                                  std::to_string(lineno));
+      }
+      builder.AddNode(label);
+    } else if (kind == 'e') {
+      uint64_t src, dst;
+      std::string label;
+      if (!(ls >> src >> dst >> label)) {
+        return Status::Corruption("bad edge line " + std::to_string(lineno));
+      }
+      GPAR_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(src), label,
+                                         static_cast<NodeId>(dst)));
+    } else {
+      return Status::Corruption("unknown record '" + std::string(1, kind) +
+                                "' at line " + std::to_string(lineno));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> ReadGraphFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IoError("cannot open " + path);
+  return ReadGraphText(is);
+}
+
+}  // namespace gpar

@@ -1,0 +1,32 @@
+#ifndef GPAR_GRAPH_GRAPH_IO_H_
+#define GPAR_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gpar {
+
+/// Text serialization of labeled graphs.
+///
+/// Line-oriented format, one record per line:
+/// ```
+/// # comment
+/// v <id> <label>
+/// e <src> <dst> <label>
+/// ```
+/// Node ids must be dense and declared before use in edges. Labels are
+/// whitespace-free tokens (escape spaces with '_'; the examples use this for
+/// labels like `French_restaurant`).
+Status WriteGraphText(const Graph& g, std::ostream& os);
+Status WriteGraphFile(const Graph& g, const std::string& path);
+
+Result<Graph> ReadGraphText(std::istream& is);
+Result<Graph> ReadGraphFile(const std::string& path);
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,46 @@
+#ifndef GPAR_GRAPH_NEIGHBORHOOD_H_
+#define GPAR_GRAPH_NEIGHBORHOOD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gpar {
+
+/// Computes N_r(v): all nodes within undirected distance `r` of `v`
+/// (including `v` itself), in BFS order. This is the paper's d-neighbor
+/// basis: `G_d(v_x)` is the subgraph induced by N_d(v_x).
+std::vector<NodeId> NodesWithinRadius(const Graph& g, NodeId v, uint32_t r);
+
+/// As above but also reports each node's distance from `v`.
+std::vector<NodeId> NodesWithinRadius(const Graph& g, NodeId v, uint32_t r,
+                                      std::vector<uint32_t>* distances);
+
+/// A subgraph induced by a node set, carrying the local<->global id maps.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_global;                 // local id -> global id
+  std::unordered_map<NodeId, NodeId> to_local;   // global id -> local id
+};
+
+/// Builds the subgraph of `g` induced by `nodes` (edges with both endpoints
+/// in the set). The label dictionary is shared with `g`.
+InducedSubgraph BuildInducedSubgraph(const Graph& g,
+                                     const std::vector<NodeId>& nodes);
+
+/// Extracts G_d(v): the subgraph induced by N_d(v). `center_local` is the
+/// local id of `v` in the extracted graph.
+struct DNeighborhood {
+  InducedSubgraph sub;
+  NodeId center_local;
+};
+DNeighborhood ExtractDNeighborhood(const Graph& g, NodeId v, uint32_t d);
+
+/// True iff `desc` is a descendant of `v` (directed path v ->* desc).
+bool IsDescendant(const Graph& g, NodeId v, NodeId desc);
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_NEIGHBORHOOD_H_

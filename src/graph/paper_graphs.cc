@@ -1,0 +1,346 @@
+#include "graph/paper_graphs.h"
+
+#include <cassert>
+
+#include "graph/graph_builder.h"
+
+namespace gpar {
+
+namespace {
+
+/// Adds friend edges in both directions (friendship is symmetric in G1).
+void AddFriends(GraphBuilder& b, LabelId friend_label, NodeId a, NodeId c) {
+  b.AddEdgeUnchecked(a, friend_label, c);
+  b.AddEdgeUnchecked(c, friend_label, a);
+}
+
+}  // namespace
+
+PaperG1 MakePaperG1() {
+  PaperG1 g1;
+  GraphBuilder b;
+  const LabelId cust = b.InternLabel("cust");
+  const LabelId city = b.InternLabel("city");
+  const LabelId fr = b.InternLabel("French_restaurant");
+  const LabelId ar = b.InternLabel("Asian_restaurant");
+  const LabelId live_in = b.InternLabel("live_in");
+  const LabelId friend_l = b.InternLabel("friend");
+  const LabelId like = b.InternLabel("like");
+  const LabelId in = b.InternLabel("in");
+  const LabelId visit = b.InternLabel("visit");
+
+  g1.cust1 = b.AddNode(cust);
+  g1.cust2 = b.AddNode(cust);
+  g1.cust3 = b.AddNode(cust);
+  g1.cust4 = b.AddNode(cust);
+  g1.cust5 = b.AddNode(cust);
+  g1.cust6 = b.AddNode(cust);
+  g1.ny = b.AddNode(city);
+  g1.la = b.AddNode(city);
+  g1.f1 = b.AddNode(fr);
+  g1.f2 = b.AddNode(fr);
+  g1.f3 = b.AddNode(fr);
+  g1.f4 = b.AddNode(fr);
+  g1.f5 = b.AddNode(fr);
+  g1.f6 = b.AddNode(fr);
+  g1.le_bernardin = b.AddNode(fr);
+  g1.per_se = b.AddNode(fr);
+  g1.patina = b.AddNode(fr);
+  g1.a1 = b.AddNode(ar);
+  g1.a2 = b.AddNode(ar);
+
+  // Residence: cust1-3 in New York, cust4-6 in LA.
+  for (NodeId c : {g1.cust1, g1.cust2, g1.cust3}) {
+    b.AddEdgeUnchecked(c, live_in, g1.ny);
+  }
+  for (NodeId c : {g1.cust4, g1.cust5, g1.cust6}) {
+    b.AddEdgeUnchecked(c, live_in, g1.la);
+  }
+
+  // Friendships: the NY triangle and the LA triangle minus cust5-cust6...
+  AddFriends(b, friend_l, g1.cust1, g1.cust2);
+  AddFriends(b, friend_l, g1.cust1, g1.cust3);
+  AddFriends(b, friend_l, g1.cust2, g1.cust3);
+  AddFriends(b, friend_l, g1.cust4, g1.cust5);
+  AddFriends(b, friend_l, g1.cust4, g1.cust6);
+  AddFriends(b, friend_l, g1.cust5, g1.cust6);
+
+  // Likes: cust1-cust3 like the NY French triple; cust4/cust5 the LA triple.
+  for (NodeId c : {g1.cust1, g1.cust2, g1.cust3}) {
+    for (NodeId f : {g1.f1, g1.f2, g1.f3}) b.AddEdgeUnchecked(c, like, f);
+  }
+  for (NodeId c : {g1.cust4, g1.cust5}) {
+    for (NodeId f : {g1.f4, g1.f5, g1.f6}) b.AddEdgeUnchecked(c, like, f);
+  }
+  // Asian likes: cust4 likes a1 (no city), cust5/cust6 like a2 (in LA).
+  b.AddEdgeUnchecked(g1.cust4, like, g1.a1);
+  b.AddEdgeUnchecked(g1.cust5, like, g1.a2);
+  b.AddEdgeUnchecked(g1.cust6, like, g1.a2);
+
+  // Restaurant locations.
+  for (NodeId f : {g1.f1, g1.f2, g1.f3, g1.le_bernardin, g1.per_se}) {
+    b.AddEdgeUnchecked(f, in, g1.ny);
+  }
+  for (NodeId f : {g1.f4, g1.f5, g1.f6, g1.patina, g1.a2}) {
+    b.AddEdgeUnchecked(f, in, g1.la);
+  }
+
+  // Visits: q-matches are cust1-cust4 and cust6; cust5 is the LCWA negative
+  // (visits only an Asian restaurant).
+  b.AddEdgeUnchecked(g1.cust1, visit, g1.le_bernardin);
+  b.AddEdgeUnchecked(g1.cust2, visit, g1.le_bernardin);
+  b.AddEdgeUnchecked(g1.cust3, visit, g1.le_bernardin);
+  b.AddEdgeUnchecked(g1.cust3, visit, g1.per_se);
+  b.AddEdgeUnchecked(g1.cust4, visit, g1.patina);
+  b.AddEdgeUnchecked(g1.cust6, visit, g1.patina);
+  b.AddEdgeUnchecked(g1.cust5, visit, g1.a1);
+
+  g1.graph = std::move(b).Build();
+  const Interner& labels = g1.graph.labels();
+  const LabelId custL = labels.Lookup("cust");
+  const LabelId frL = labels.Lookup("French_restaurant");
+  g1.q = {custL, labels.Lookup("visit"), frL};
+
+  // --- R1 (Q1, Fig. 1a): x, x' same-city friends; FR^3 in c liked by both;
+  // x' visits y in c; consequent visit(x, y). ---------------------------
+  {
+    Pattern p;
+    PNodeId x = p.AddNode(custL);
+    PNodeId xp = p.AddNode(custL);
+    PNodeId c = p.AddNode(labels.Lookup("city"));
+    PNodeId f3n = p.AddNode(frL, /*multiplicity=*/3);
+    PNodeId y = p.AddNode(frL);
+    p.set_x(x);
+    p.set_y(y);
+    p.AddEdge(x, friend_l, xp);
+    p.AddEdge(xp, friend_l, x);
+    p.AddEdge(x, live_in, c);
+    p.AddEdge(xp, live_in, c);
+    p.AddEdge(x, like, f3n);
+    p.AddEdge(xp, like, f3n);
+    p.AddEdge(f3n, in, c);
+    p.AddEdge(y, in, c);
+    p.AddEdge(xp, visit, y);
+    g1.r1 = Gpar::Create(std::move(p), visit).value();
+  }
+  // --- R5: friend(x, x') + like(x, FR^2) + visit(x', y); consequent
+  // visit(x, y) (Fig. 3's edge set: like, visit, friend). -----------------
+  {
+    Pattern p;
+    PNodeId x = p.AddNode(custL);
+    PNodeId xp = p.AddNode(custL);
+    PNodeId f2n = p.AddNode(frL, 2);
+    PNodeId y = p.AddNode(frL);
+    p.set_x(x);
+    p.set_y(y);
+    p.AddEdge(x, friend_l, xp);
+    p.AddEdge(x, like, f2n);
+    p.AddEdge(xp, visit, y);
+    g1.r5 = Gpar::Create(std::move(p), visit).value();
+  }
+  // --- R6: friend(x, x') + like(x, Asian) + visit(x', y); consequent
+  // visit(x, y:FR). -------------------------------------------------------
+  {
+    Pattern p;
+    PNodeId x = p.AddNode(custL);
+    PNodeId xp = p.AddNode(custL);
+    PNodeId a = p.AddNode(labels.Lookup("Asian_restaurant"));
+    PNodeId y = p.AddNode(frL);
+    p.set_x(x);
+    p.set_y(y);
+    p.AddEdge(x, friend_l, xp);
+    p.AddEdge(x, like, a);
+    p.AddEdge(xp, visit, y);
+    g1.r6 = Gpar::Create(std::move(p), visit).value();
+  }
+  // --- R7: R5 closed over the city: both live in c, the liked FR^2 and the
+  // visited y are in c, and x' visits y. ---------------------------------
+  {
+    Pattern p;
+    PNodeId x = p.AddNode(custL);
+    PNodeId xp = p.AddNode(custL);
+    PNodeId c = p.AddNode(labels.Lookup("city"));
+    PNodeId f2n = p.AddNode(frL, 2);
+    PNodeId y = p.AddNode(frL);
+    p.set_x(x);
+    p.set_y(y);
+    p.AddEdge(x, friend_l, xp);
+    p.AddEdge(x, live_in, c);
+    p.AddEdge(xp, live_in, c);
+    p.AddEdge(x, like, f2n);
+    p.AddEdge(xp, like, f2n);
+    p.AddEdge(f2n, in, c);
+    p.AddEdge(y, in, c);
+    p.AddEdge(xp, visit, y);
+    g1.r7 = Gpar::Create(std::move(p), visit).value();
+  }
+  // --- R8: R6 closed over the city: x's liked Asian restaurant is in c,
+  // both live in c, x' visits a French restaurant y in c. ----------------
+  {
+    Pattern p;
+    PNodeId x = p.AddNode(custL);
+    PNodeId xp = p.AddNode(custL);
+    PNodeId c = p.AddNode(labels.Lookup("city"));
+    PNodeId a = p.AddNode(labels.Lookup("Asian_restaurant"));
+    PNodeId y = p.AddNode(frL);
+    p.set_x(x);
+    p.set_y(y);
+    p.AddEdge(x, friend_l, xp);
+    p.AddEdge(x, live_in, c);
+    p.AddEdge(xp, live_in, c);
+    p.AddEdge(x, like, a);
+    p.AddEdge(a, in, c);
+    p.AddEdge(y, in, c);
+    p.AddEdge(xp, visit, y);
+    g1.r8 = Gpar::Create(std::move(p), visit).value();
+  }
+  return g1;
+}
+
+PaperG2 MakePaperG2() {
+  PaperG2 g2;
+  GraphBuilder b;
+  const LabelId acct = b.InternLabel("acct");
+  const LabelId blog = b.InternLabel("blog");
+  const LabelId keyword = b.InternLabel("keyword");
+  const LabelId fake = b.InternLabel("fake");
+  const LabelId like = b.InternLabel("like");
+  const LabelId post = b.InternLabel("post");
+  const LabelId contains = b.InternLabel("contains");
+  const LabelId is_a = b.InternLabel("is_a");
+
+  g2.acct1 = b.AddNode(acct);
+  g2.acct2 = b.AddNode(acct);
+  g2.acct3 = b.AddNode(acct);
+  g2.acct4 = b.AddNode(acct);
+  g2.p1 = b.AddNode(blog);
+  g2.p2 = b.AddNode(blog);
+  g2.p3 = b.AddNode(blog);
+  g2.p4 = b.AddNode(blog);
+  g2.p5 = b.AddNode(blog);
+  g2.p6 = b.AddNode(blog);
+  g2.p7 = b.AddNode(blog);
+  g2.k1 = b.AddNode(keyword);  // "claim a prize"
+  g2.k2 = b.AddNode(keyword);  // "lottery rules"
+  g2.fake = b.AddNode(fake);
+
+  // Everyone likes the two common blogs p1, p2.
+  for (NodeId a : {g2.acct1, g2.acct2, g2.acct3, g2.acct4}) {
+    b.AddEdgeUnchecked(a, like, g2.p1);
+    b.AddEdgeUnchecked(a, like, g2.p2);
+  }
+  // Posts.
+  b.AddEdgeUnchecked(g2.acct1, post, g2.p3);
+  b.AddEdgeUnchecked(g2.acct2, post, g2.p4);
+  b.AddEdgeUnchecked(g2.acct3, post, g2.p5);
+  b.AddEdgeUnchecked(g2.acct4, post, g2.p6);
+  b.AddEdgeUnchecked(g2.acct4, post, g2.p7);
+  // Keywords: the fake accounts' blogs share k1; acct4's blogs carry k2.
+  b.AddEdgeUnchecked(g2.p3, contains, g2.k1);
+  b.AddEdgeUnchecked(g2.p4, contains, g2.k1);
+  b.AddEdgeUnchecked(g2.p5, contains, g2.k1);
+  b.AddEdgeUnchecked(g2.p6, contains, g2.k2);
+  b.AddEdgeUnchecked(g2.p7, contains, g2.k2);
+  // Confirmed fakes.
+  b.AddEdgeUnchecked(g2.acct1, is_a, g2.fake);
+  b.AddEdgeUnchecked(g2.acct2, is_a, g2.fake);
+  b.AddEdgeUnchecked(g2.acct3, is_a, g2.fake);
+
+  g2.graph = std::move(b).Build();
+  const Interner& labels = g2.graph.labels();
+  g2.q = {labels.Lookup("acct"), labels.Lookup("is_a"),
+          labels.Lookup("fake")};
+
+  // --- R4 (Q4, Fig. 1d), k = 2: x and a confirmed-fake x' both like two
+  // blogs; x posts y1 and x' posts y2 containing the same keyword;
+  // consequent is_a(x, fake). --------------------------------------------
+  {
+    Pattern p;
+    PNodeId x = p.AddNode(acct);
+    PNodeId xp = p.AddNode(acct);
+    PNodeId y = p.AddNode(fake);
+    PNodeId pk = p.AddNode(blog, /*multiplicity=*/2);  // commonly liked
+    PNodeId y1 = p.AddNode(blog);
+    PNodeId y2 = p.AddNode(blog);
+    PNodeId w = p.AddNode(keyword);
+    p.set_x(x);
+    p.set_y(y);
+    p.AddEdge(xp, is_a, y);
+    p.AddEdge(x, like, pk);
+    p.AddEdge(xp, like, pk);
+    p.AddEdge(x, post, y1);
+    p.AddEdge(xp, post, y2);
+    p.AddEdge(y1, contains, w);
+    p.AddEdge(y2, contains, w);
+    g2.r4 = Gpar::Create(std::move(p), is_a).value();
+  }
+  return g2;
+}
+
+PaperEcuador MakePaperEcuador() {
+  PaperEcuador e;
+  GraphBuilder b;
+  const LabelId user = b.InternLabel("user");
+  const LabelId country = b.InternLabel("Ecuador");
+  const LabelId shakira = b.InternLabel("shakira_album");
+  const LabelId mj = b.InternLabel("mj_album");
+  const LabelId friend_l = b.InternLabel("friend");
+  const LabelId live_in = b.InternLabel("live_in");
+  const LabelId like = b.InternLabel("like");
+
+  e.v1 = b.AddNode(user);
+  e.v2 = b.AddNode(user);
+  e.v3 = b.AddNode(user);
+  e.w1 = b.AddNode(user);
+  e.w2 = b.AddNode(user);
+  e.ecuador = b.AddNode(country);
+  e.shakira_album = b.AddNode(shakira);
+  e.mj_album = b.AddNode(mj);
+
+  for (NodeId u : {e.v1, e.v2, e.v3, e.w1, e.w2}) {
+    b.AddEdgeUnchecked(u, live_in, e.ecuador);
+  }
+  // w1, w2 befriend everyone (and each other): every user closes a triangle.
+  for (NodeId u : {e.v1, e.v2, e.v3, e.w2}) {
+    AddFriends(b, friend_l, e.w1, u);
+  }
+  for (NodeId u : {e.v1, e.v2, e.v3}) {
+    AddFriends(b, friend_l, e.w2, u);
+  }
+  // Likes: v1, w1, w2 like the Shakira album (positives); v2 likes only
+  // MJ's (negative); v3 likes nothing (unknown).
+  b.AddEdgeUnchecked(e.v1, like, e.shakira_album);
+  b.AddEdgeUnchecked(e.w1, like, e.shakira_album);
+  b.AddEdgeUnchecked(e.w2, like, e.shakira_album);
+  b.AddEdgeUnchecked(e.v2, like, e.mj_album);
+
+  e.graph = std::move(b).Build();
+  const Interner& labels = e.graph.labels();
+  e.q = {labels.Lookup("user"), labels.Lookup("like"),
+         labels.Lookup("shakira_album")};
+
+  // --- R2 (Q2, Fig. 1b): x, x1, x2 pairwise friends, all in Ecuador; x1
+  // and x2 both like the album y; consequent like(x, y). -----------------
+  {
+    Pattern p;
+    PNodeId x = p.AddNode(user);
+    PNodeId x1 = p.AddNode(user);
+    PNodeId x2 = p.AddNode(user);
+    PNodeId c = p.AddNode(country);
+    PNodeId y = p.AddNode(shakira);
+    p.set_x(x);
+    p.set_y(y);
+    p.AddEdge(x, friend_l, x1);
+    p.AddEdge(x, friend_l, x2);
+    p.AddEdge(x1, friend_l, x2);
+    p.AddEdge(x, live_in, c);
+    p.AddEdge(x1, live_in, c);
+    p.AddEdge(x2, live_in, c);
+    p.AddEdge(x1, like, y);
+    p.AddEdge(x2, like, y);
+    e.r2 = Gpar::Create(std::move(p), like).value();
+  }
+  return e;
+}
+
+}  // namespace gpar

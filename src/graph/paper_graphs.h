@@ -1,0 +1,76 @@
+#ifndef GPAR_GRAPH_PAPER_GRAPHS_H_
+#define GPAR_GRAPH_PAPER_GRAPHS_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "rule/gpar.h"
+
+namespace gpar {
+
+/// The running-example graphs and rules of the paper (Figures 1-3), used by
+/// unit tests to validate every worked number (Examples 3, 5, 7, 8, 9, 10)
+/// and by the example programs.
+///
+/// Node name constants are indices into the graphs built by the factories.
+struct PaperG1 {
+  Graph graph;
+  // Customers.
+  NodeId cust1, cust2, cust3, cust4, cust5, cust6;
+  // Cities.
+  NodeId ny, la;
+  // French restaurants: the two liked triples and the named ones.
+  NodeId f1, f2, f3;          // liked by cust1-cust3, in NY
+  NodeId f4, f5, f6;          // liked by cust4/cust5, in LA
+  NodeId le_bernardin, per_se, patina;
+  // Asian restaurants.
+  NodeId a1, a2;              // a2 in LA, a1 without a city
+
+  // The predicate q(x, y) = visit(cust, French_restaurant).
+  Predicate q;
+
+  // The paper's rules over G1.
+  Gpar r1;  ///< Q1 (Fig. 1a): same-city friends, 3 shared FRs, x' visits y
+  Gpar r5;  ///< Fig. 3: friend + x likes FR^2            (radius 1)
+  Gpar r6;  ///< Fig. 3: friend + x likes Asian restaurant (radius 1)
+  Gpar r7;  ///< Fig. 3: R5 + live_in/in closure           (radius 2)
+  Gpar r8;  ///< Fig. 3: R6 + live_in/in closure           (radius 2)
+};
+
+/// Builds G1 (Fig. 2 left) with the exact supports of the examples:
+/// supp(Q1) = 4, supp(R1) = 3, supp(q) = 5, supp(~q) = 1, conf(R1) = 0.6,
+/// conf(R5) = 0.8, conf(R6) = 0.4, conf(R7) = 0.6, conf(R8) = 0.2.
+PaperG1 MakePaperG1();
+
+struct PaperG2 {
+  Graph graph;
+  NodeId acct1, acct2, acct3, acct4;
+  NodeId p1, p2, p3, p4, p5, p6, p7;  // blogs
+  NodeId k1, k2;                      // keywords
+  NodeId fake;                        // the value-binding node
+
+  Predicate q;  ///< is_a(acct, fake)
+  Gpar r4;      ///< Q4 (Fig. 1d) with k = 2 common liked blogs
+};
+
+/// Builds G2 (Fig. 2 right): supp(R4) = supp(Q4) = 3 for k = 2.
+PaperG2 MakePaperG2();
+
+struct PaperEcuador {
+  Graph graph;
+  NodeId v1, v2, v3;  // the positive / negative / unknown users (Example 7)
+  NodeId w1, w2;      // friends completing the Q2 triangles
+  NodeId ecuador, shakira_album, mj_album;
+
+  Predicate q;  ///< like(user, shakira_album)
+  Gpar r2;      ///< Q2 (Fig. 1b): triangle of friends in Ecuador, k=2 likers
+};
+
+/// Builds the Example 6/7 scenario: under LCWA, v1 is positive, v2 negative
+/// (likes only another album), v3 unknown (no like edges at all); the
+/// BF-based confidence is 1 while conventional confidence is below 1.
+PaperEcuador MakePaperEcuador();
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_PAPER_GRAPHS_H_

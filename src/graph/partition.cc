@@ -1,0 +1,102 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+namespace gpar {
+
+Result<Partitioning> PartitionGraph(const Graph& g,
+                                    const std::vector<NodeId>& centers,
+                                    const PartitionOptions& options) {
+  if (options.num_fragments == 0) {
+    return Status::InvalidArgument("num_fragments must be positive");
+  }
+  const uint32_t n = options.num_fragments;
+
+  Partitioning out;
+  out.d = options.d;
+  out.owner_of_center.assign(centers.size(), 0);
+
+  // Estimate per-center work as |N_d(v)| via BFS. Also record, per center,
+  // the largest hop at which the neighborhood still has unexplored edges
+  // (the "extendable" signal used by DMine's flag).
+  std::vector<std::vector<NodeId>> neigh(centers.size());
+  std::vector<uint32_t> hops_avail(centers.size(), 0);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    std::vector<uint32_t> dist;
+    neigh[i] = NodesWithinRadius(g, centers[i], options.d, &dist);
+    // A center can be extended past hop r if some node at distance d has
+    // any incident edge leading outside N_d, or simply if the frontier at
+    // max distance is non-empty; we record the max observed distance.
+    uint32_t max_dist = 0;
+    for (uint32_t dd : dist) max_dist = std::max(max_dist, dd);
+    hops_avail[i] = max_dist;
+  }
+
+  // Greedy balanced assignment: heaviest centers first, least-loaded
+  // fragment next (longest-processing-time heuristic).
+  std::vector<size_t> order(centers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return neigh[a].size() > neigh[b].size();
+  });
+
+  struct Load {
+    size_t load;
+    uint32_t frag;
+    bool operator>(const Load& o) const {
+      if (load != o.load) return load > o.load;
+      return frag > o.frag;
+    }
+  };
+  std::priority_queue<Load, std::vector<Load>, std::greater<Load>> heap;
+  for (uint32_t f = 0; f < n; ++f) heap.push({0, f});
+
+  std::vector<std::vector<size_t>> assigned(n);
+  for (size_t idx : order) {
+    Load best = heap.top();
+    heap.pop();
+    assigned[best.frag].push_back(idx);
+    best.load += neigh[idx].size();
+    heap.push(best);
+    out.owner_of_center[idx] = best.frag;
+  }
+
+  // Materialize fragments: union of owned centers' neighborhoods, induced.
+  out.fragments.resize(n);
+  for (uint32_t f = 0; f < n; ++f) {
+    std::unordered_set<NodeId> node_set;
+    for (size_t idx : assigned[f]) {
+      node_set.insert(neigh[idx].begin(), neigh[idx].end());
+    }
+    std::vector<NodeId> nodes(node_set.begin(), node_set.end());
+    std::sort(nodes.begin(), nodes.end());
+    Fragment& frag = out.fragments[f];
+    frag.sub = BuildInducedSubgraph(g, nodes);
+    frag.centers.reserve(assigned[f].size());
+    frag.center_hops_available.reserve(assigned[f].size());
+    for (size_t idx : assigned[f]) {
+      frag.centers.push_back(frag.sub.to_local.at(centers[idx]));
+      frag.center_hops_available.push_back(hops_avail[idx]);
+    }
+  }
+  return out;
+}
+
+double FragmentSkew(const Partitioning& p) {
+  if (p.fragments.empty()) return 0;
+  size_t max_size = 0;
+  size_t min_size = static_cast<size_t>(-1);
+  for (const Fragment& f : p.fragments) {
+    size_t s = f.sub.graph.size();
+    max_size = std::max(max_size, s);
+    min_size = std::min(min_size, s);
+  }
+  if (max_size == 0) return 0;
+  return static_cast<double>(max_size - min_size) /
+         static_cast<double>(max_size);
+}
+
+}  // namespace gpar

@@ -1,0 +1,81 @@
+#ifndef GPAR_GRAPH_SKETCH_H_
+#define GPAR_GRAPH_SKETCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gpar {
+
+/// Label frequency distribution at one hop distance: sorted (label, count)
+/// pairs. Sorted order makes coverage checks a linear merge.
+using HopDistribution = std::vector<std::pair<LabelId, uint32_t>>;
+
+/// k-hop neighborhood sketch K(v) = {(1, D_1), ..., (k, D_k)} where D_i is
+/// the distribution of node labels at (undirected) hop i of v — the guided
+/// search index of Section 5.2.
+struct KHopSketch {
+  std::vector<HopDistribution> hops;  // hops[i] = D_{i+1}
+};
+
+/// Per-node sketches over a whole graph.
+///
+/// `Build` performs one truncated BFS per node; cost O(|V| * avg |N_k|).
+/// Designed for fragment-local graphs (d-neighborhood unions), where N_k is
+/// small (98% of real-life patterns have radius 1, 1.8% radius 2 — §4.2).
+class SketchIndex {
+ public:
+  SketchIndex() = default;
+
+  /// Builds k-hop sketches for every node of `g`.
+  static SketchIndex Build(const Graph& g, uint32_t k);
+
+  uint32_t k() const { return k_; }
+  const KHopSketch& of(NodeId v) const { return sketches_[v]; }
+  size_t size() const { return sketches_.size(); }
+
+ private:
+  uint32_t k_ = 0;
+  std::vector<KHopSketch> sketches_;
+};
+
+/// Computes the sketch of a single node (used for pattern nodes, where the
+/// "graph" is the pattern itself).
+KHopSketch ComputeSketch(const Graph& g, NodeId v, uint32_t k);
+
+/// True iff `graph_side` dominates `pattern_side`: for every hop i <= k and
+/// every label, the graph node has at least as many occurrences as the
+/// pattern node requires. A candidate failing this cannot match (Section
+/// 5.2: "v' does not match u' if for some i, D_i - D'_i < 0").
+///
+/// Note this is a *cumulative* check: pattern nodes at hop i may map to
+/// graph nodes at hop <= i, so we compare prefix-accumulated counts; the
+/// plain per-hop check would wrongly reject valid candidates.
+bool SketchCovers(const KHopSketch& graph_side, const KHopSketch& pattern_side);
+
+/// Guided-search score f(u', v') = sum_i (D_i - D'_i): total slack of the
+/// graph node's label budget over the pattern's requirement. Larger score =
+/// more likely to match (Section 5.2). Returns a negative value if coverage
+/// fails.
+int64_t SketchScore(const KHopSketch& graph_side,
+                    const KHopSketch& pattern_side);
+
+/// Converts a sketch to prefix-accumulated form: hops[i] holds the label
+/// counts within distance i+1 (not exactly i+1). Comparisons on
+/// accumulated sketches are allocation-free linear merges — the fast path
+/// the guided matcher uses on its hot loop.
+KHopSketch AccumulateSketch(const KHopSketch& sketch);
+
+/// `SketchCovers` for sketches already in accumulated form.
+bool SketchCoversAccumulated(const KHopSketch& graph_acc,
+                             const KHopSketch& pattern_acc);
+
+/// `SketchScore` for sketches already in accumulated form.
+int64_t SketchScoreAccumulated(const KHopSketch& graph_acc,
+                               const KHopSketch& pattern_acc);
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_SKETCH_H_

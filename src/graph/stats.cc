@@ -1,0 +1,44 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace gpar {
+
+std::vector<EdgePatternStat> FrequentEdgePatterns(const Graph& g,
+                                                  size_t limit) {
+  std::map<std::tuple<LabelId, LabelId, LabelId>, uint64_t> counts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    LabelId src = g.node_label(v);
+    for (const AdjEntry& e : g.out_edges(v)) {
+      counts[{src, e.label, g.node_label(e.other)}]++;
+    }
+  }
+  std::vector<EdgePatternStat> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                   count});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EdgePatternStat& a, const EdgePatternStat& b) {
+                     return a.count > b.count;
+                   });
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats s;
+  if (g.num_nodes() == 0) return s;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, g.out_degree(v));
+    s.max_in_degree = std::max(s.max_in_degree, g.in_degree(v));
+  }
+  s.avg_degree = 2.0 * static_cast<double>(g.num_edges()) /
+                 static_cast<double>(g.num_nodes());
+  return s;
+}
+
+}  // namespace gpar

@@ -1,0 +1,40 @@
+#ifndef GPAR_GRAPH_STATS_H_
+#define GPAR_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gpar {
+
+/// A single-edge pattern (both node labels plus the edge label) with its
+/// frequency in a graph. These are the paper's "most frequent edge patterns,
+/// i.e., graph patterns consisting of a single edge (with both node and edge
+/// labels)" used as the growth alphabet for DMine (Section 6, Exp-1).
+struct EdgePatternStat {
+  LabelId src_label;
+  LabelId edge_label;
+  LabelId dst_label;
+  uint64_t count;
+
+  friend bool operator==(const EdgePatternStat&,
+                         const EdgePatternStat&) = default;
+};
+
+/// Returns edge-pattern statistics sorted by descending frequency. If
+/// `limit` > 0 only the `limit` most frequent are returned.
+std::vector<EdgePatternStat> FrequentEdgePatterns(const Graph& g,
+                                                  size_t limit = 0);
+
+/// Aggregate degree statistics, used by partitioning heuristics and benches.
+struct DegreeStats {
+  double avg_degree = 0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+};
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_STATS_H_

@@ -1,0 +1,106 @@
+#ifndef GPAR_MATCH_MATCHER_H_
+#define GPAR_MATCH_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace gpar {
+
+/// Pins a pattern node to a specific graph node before the search starts.
+struct Anchor {
+  PNodeId u;
+  NodeId v;
+};
+
+/// Callback receiving one embedding: `mapping[u]` is the graph node matched
+/// to pattern node `u`. Return false to stop the enumeration.
+using EmbeddingCallback = std::function<bool(std::span<const NodeId>)>;
+
+/// Subgraph-isomorphism engine bound to one graph.
+///
+/// Semantics (Section 2.1): a match is an injective mapping of pattern
+/// nodes to graph nodes such that node labels agree and every pattern edge
+/// maps to a graph edge with the same label (non-induced). Multiplicity
+/// annotations are expanded before searching.
+///
+/// The backtracking core is shared; subclasses steer it via candidate
+/// filtering and ordering. `VF2Matcher` applies label checks only;
+/// `GuidedMatcher` adds the paper's k-hop-sketch filter and best-first
+/// candidate ordering (Section 5.2).
+class Matcher {
+ public:
+  explicit Matcher(const Graph& g) : g_(g) {}
+  virtual ~Matcher() = default;
+
+  Matcher(const Matcher&) = delete;
+  Matcher& operator=(const Matcher&) = delete;
+
+  /// True iff a match exists honoring `anchors`. Stops at the first match
+  /// (the paper's "early termination": a potential customer is identified
+  /// once one match is found).
+  bool Exists(const Pattern& p, std::span<const Anchor> anchors = {});
+
+  /// True iff a match exists with the designated node x mapped to `vx`.
+  bool ExistsAt(const Pattern& p, NodeId vx) {
+    Anchor a{p.x(), vx};
+    return Exists(p, {&a, 1});
+  }
+
+  /// Q(u, G): distinct graph nodes that match pattern node `u` over all
+  /// matches. Computed candidate-by-candidate with early termination, so
+  /// the cost is one Exists query per candidate, not full enumeration.
+  std::vector<NodeId> Images(const Pattern& p, PNodeId u);
+
+  /// Enumerates embeddings, invoking `cb` for each; stops early if `cb`
+  /// returns false or after `limit` embeddings (0 = unlimited). Returns the
+  /// number of embeddings visited.
+  uint64_t Enumerate(const Pattern& p, std::span<const Anchor> anchors,
+                     const EmbeddingCallback& cb, uint64_t limit = 0);
+
+  const Graph& graph() const { return g_; }
+
+  /// Number of search-tree nodes visited since construction (for benches).
+  uint64_t nodes_visited() const { return nodes_visited_; }
+
+ protected:
+  /// Policy hook: may a candidate `v` be considered for pattern node `u`?
+  /// Node-label equality is already checked by the engine.
+  virtual bool FilterCandidate(const Pattern& p, PNodeId u, NodeId v) {
+    (void)p; (void)u; (void)v;
+    return true;
+  }
+
+  /// Policy hook: reorder `cands` in place (best candidates first).
+  virtual void OrderCandidates(const Pattern& p, PNodeId u,
+                               std::vector<NodeId>* cands) {
+    (void)p; (void)u; (void)cands;
+  }
+
+  /// Invoked once per search so policies can precompute per-pattern state.
+  virtual void PrepareForPattern(const Pattern& p) { (void)p; }
+
+ private:
+  struct SearchPlan;
+  bool Extend(const Pattern& p, const SearchPlan& plan, size_t level,
+              std::vector<NodeId>& mapping, const EmbeddingCallback& cb,
+              uint64_t limit, uint64_t* count);
+  SearchPlan MakePlan(const Pattern& p, std::span<const Anchor> anchors);
+
+  const Graph& g_;
+  uint64_t nodes_visited_ = 0;
+};
+
+/// Plain VF2-style matcher [10]: label-filtered candidates in index order.
+class VF2Matcher : public Matcher {
+ public:
+  explicit VF2Matcher(const Graph& g) : Matcher(g) {}
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_MATCH_MATCHER_H_

@@ -1,0 +1,75 @@
+#include "match/simulation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gpar {
+
+std::vector<std::vector<NodeId>> DualSimulation(const Pattern& p0,
+                                                const Graph& g) {
+  const Pattern p = p0.ExpandMultiplicities();
+  const PNodeId n = p.num_nodes();
+  std::vector<std::unordered_set<NodeId>> sim(n);
+  for (PNodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.nodes_with_label(p.node(u).label)) sim[u].insert(v);
+  }
+
+  // Fixpoint: drop v from sim(u) when some pattern edge at u has no
+  // supporting edge into the current sim set of the other endpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (PNodeId u = 0; u < n; ++u) {
+      for (auto it = sim[u].begin(); it != sim[u].end();) {
+        NodeId v = *it;
+        bool ok = true;
+        for (const PatternAdj& a : p.adj(u)) {
+          const auto& other_sim = sim[a.other];
+          bool found = false;
+          auto slice = a.out ? g.out_edges_labeled(v, a.elabel)
+                             : g.in_edges_labeled(v, a.elabel);
+          for (const AdjEntry& e : slice) {
+            if (other_sim.count(e.other) > 0) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) {
+          it = sim[u].erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // If any pattern node's sim set is empty the simulation is empty.
+    for (PNodeId u = 0; u < n; ++u) {
+      if (sim[u].empty()) {
+        return std::vector<std::vector<NodeId>>(n);
+      }
+    }
+  }
+
+  std::vector<std::vector<NodeId>> out(n);
+  for (PNodeId u = 0; u < n; ++u) {
+    out[u].assign(sim[u].begin(), sim[u].end());
+    std::sort(out[u].begin(), out[u].end());
+  }
+  return out;
+}
+
+std::vector<NodeId> SimulationImages(const Pattern& p, const Graph& g,
+                                     PNodeId u) {
+  std::vector<PNodeId> first_copy;
+  p.ExpandMultiplicities(&first_copy);
+  auto sim = DualSimulation(p, g);
+  if (sim.empty()) return {};
+  return sim[first_copy.empty() ? u : first_copy[u]];
+}
+
+}  // namespace gpar

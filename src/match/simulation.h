@@ -1,0 +1,33 @@
+#ifndef GPAR_MATCH_SIMULATION_H_
+#define GPAR_MATCH_SIMULATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace gpar {
+
+/// Dual graph simulation (an extension the paper's conclusion proposes as
+/// future work: "allowing other matching semantics such as graph
+/// simulation").
+///
+/// Computes, for every pattern node u, the set sim(u) of graph nodes v such
+/// that (a) labels agree, (b) for every out-edge (u, l, u') some v' in
+/// sim(u') has (v, l, v') in G, and (c) symmetrically for in-edges. The
+/// result is the (unique) maximum dual simulation; sets are sorted.
+///
+/// Simulation is cubic-time (no NP-hardness) but weaker than subgraph
+/// isomorphism: sim(x) is always a superset of the isomorphism images
+/// Q(x, G), which makes it a sound prefilter and a cheap alternative
+/// matching semantics.
+std::vector<std::vector<NodeId>> DualSimulation(const Pattern& p,
+                                                const Graph& g);
+
+/// sim(x): the simulation-semantics counterpart of Q(x, G).
+std::vector<NodeId> SimulationImages(const Pattern& p, const Graph& g,
+                                     PNodeId u);
+
+}  // namespace gpar
+
+#endif  // GPAR_MATCH_SIMULATION_H_

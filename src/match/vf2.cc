@@ -1,0 +1,174 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace gpar {
+
+struct Matcher::SearchPlan {
+  std::vector<PNodeId> order;     // match order over pattern nodes
+  std::vector<NodeId> anchor_of;  // per pattern node, or kInvalidNode
+};
+
+Matcher::SearchPlan Matcher::MakePlan(const Pattern& p,
+                                      std::span<const Anchor> anchors) {
+  SearchPlan plan;
+  plan.anchor_of.assign(p.num_nodes(), kInvalidNode);
+  for (const Anchor& a : anchors) plan.anchor_of[a.u] = a.v;
+
+  std::vector<bool> placed(p.num_nodes(), false);
+  std::deque<PNodeId> frontier;
+  auto place = [&](PNodeId u) {
+    if (placed[u]) return;
+    placed[u] = true;
+    plan.order.push_back(u);
+    frontier.push_back(u);
+  };
+
+  // Anchored nodes first, then BFS across pattern adjacency so every later
+  // node has a mapped neighbor (pivot) when reached.
+  for (const Anchor& a : anchors) place(a.u);
+  auto drain = [&] {
+    while (!frontier.empty()) {
+      PNodeId u = frontier.front();
+      frontier.pop_front();
+      for (const PatternAdj& a : p.adj(u)) place(a.other);
+    }
+  };
+  drain();
+  // Disconnected remainder: root each component at the node whose label is
+  // rarest in the graph (smallest candidate set).
+  for (;;) {
+    PNodeId best = kNoPatternNode;
+    size_t best_count = 0;
+    for (PNodeId u = 0; u < p.num_nodes(); ++u) {
+      if (placed[u]) continue;
+      size_t c = g_.label_count(p.node(u).label);
+      if (best == kNoPatternNode || c < best_count) {
+        best = u;
+        best_count = c;
+      }
+    }
+    if (best == kNoPatternNode) break;
+    place(best);
+    drain();
+  }
+  return plan;
+}
+
+bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
+                     std::vector<NodeId>& mapping, const EmbeddingCallback& cb,
+                     uint64_t limit, uint64_t* count) {
+  if (level == plan.order.size()) {
+    ++*count;
+    bool keep_going = cb(mapping);
+    if (limit != 0 && *count >= limit) keep_going = false;
+    return keep_going;
+  }
+  const PNodeId u = plan.order[level];
+  const LabelId want = p.node(u).label;
+
+  // Candidate source: anchored value, or neighbors of the pivot (the mapped
+  // neighbor whose labeled adjacency list is smallest), or the label index.
+  std::vector<NodeId> cands;
+  if (plan.anchor_of[u] != kInvalidNode) {
+    cands.push_back(plan.anchor_of[u]);
+  } else {
+    std::span<const AdjEntry> best_slice;
+    bool have_pivot = false;
+    for (const PatternAdj& a : p.adj(u)) {
+      if (a.other == u || mapping[a.other] == kInvalidNode) continue;
+      // Pattern edge between u and the mapped node a.other: candidates for
+      // u are the corresponding neighbors of mapping[a.other].
+      std::span<const AdjEntry> slice =
+          a.out ? g_.in_edges_labeled(mapping[a.other], a.elabel)
+                : g_.out_edges_labeled(mapping[a.other], a.elabel);
+      if (!have_pivot || slice.size() < best_slice.size()) {
+        best_slice = slice;
+        have_pivot = true;
+      }
+    }
+    if (have_pivot) {
+      cands.reserve(best_slice.size());
+      for (const AdjEntry& e : best_slice) cands.push_back(e.other);
+    } else {
+      auto all = g_.nodes_with_label(want);
+      cands.assign(all.begin(), all.end());
+    }
+  }
+
+  OrderCandidates(p, u, &cands);
+
+  for (NodeId v : cands) {
+    ++nodes_visited_;
+    if (g_.node_label(v) != want) continue;
+    // Injectivity.
+    bool used = false;
+    for (NodeId w : mapping) {
+      if (w == v) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+    if (!FilterCandidate(p, u, v)) continue;
+    // Every pattern edge between u and an already-mapped node (including
+    // self-loops) must exist in the graph with the right label.
+    bool edges_ok = true;
+    for (const PatternAdj& a : p.adj(u)) {
+      NodeId w;
+      if (a.other == u) {
+        w = v;
+      } else if (mapping[a.other] != kInvalidNode) {
+        w = mapping[a.other];
+      } else {
+        continue;
+      }
+      bool present = a.out ? g_.HasEdge(v, a.elabel, w)
+                           : g_.HasEdge(w, a.elabel, v);
+      if (!present) {
+        edges_ok = false;
+        break;
+      }
+    }
+    if (!edges_ok) continue;
+
+    mapping[u] = v;
+    bool keep_going = Extend(p, plan, level + 1, mapping, cb, limit, count);
+    mapping[u] = kInvalidNode;
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+uint64_t Matcher::Enumerate(const Pattern& p, std::span<const Anchor> anchors,
+                            const EmbeddingCallback& cb, uint64_t limit) {
+  std::vector<PNodeId> first_copy;
+  const Pattern expanded = p.ExpandMultiplicities(&first_copy);
+  std::vector<Anchor> xanchors(anchors.begin(), anchors.end());
+  for (Anchor& a : xanchors) a.u = first_copy[a.u];
+
+  PrepareForPattern(expanded);
+  SearchPlan plan = MakePlan(expanded, xanchors);
+  std::vector<NodeId> mapping(expanded.num_nodes(), kInvalidNode);
+  uint64_t count = 0;
+  Extend(expanded, plan, 0, mapping, cb, limit, &count);
+  return count;
+}
+
+bool Matcher::Exists(const Pattern& p, std::span<const Anchor> anchors) {
+  return Enumerate(
+             p, anchors, [](std::span<const NodeId>) { return false; },
+             /*limit=*/1) > 0;
+}
+
+std::vector<NodeId> Matcher::Images(const Pattern& p, PNodeId u) {
+  std::vector<NodeId> out;
+  for (NodeId v : g_.nodes_with_label(p.node(u).label)) {
+    Anchor a{u, v};
+    if (Exists(p, {&a, 1})) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace gpar

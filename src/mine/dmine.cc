@@ -1,0 +1,397 @@
+#include "mine/dmine.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/partition.h"
+#include "match/matcher.h"
+#include "mine/inc_div.h"
+#include "mine/reduction.h"
+#include "pattern/automorphism.h"
+#include "pattern/bisimulation.h"
+#include "pattern/pattern_ops.h"
+#include "rule/diversity.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+
+DmineOptions DmineNoOptions(DmineOptions base) {
+  base.enable_incremental_div = false;
+  base.enable_reduction_rules = false;
+  base.enable_bisim_prefilter = false;
+  return base;
+}
+
+std::vector<Gpar> GenerateExtensions(const Pattern& antecedent,
+                                     LabelId q_label, uint32_t d,
+                                     uint32_t max_edges,
+                                     const std::vector<EdgePatternStat>& seeds) {
+  std::vector<Gpar> out;
+  if (antecedent.num_edges() >= max_edges) return out;
+
+  // Distances are measured on P_R (antecedent + consequent edge): node ids
+  // of the antecedent are unchanged in P_R.
+  Pattern pr = antecedent;
+  pr.AddEdge(antecedent.x(), q_label, antecedent.y());
+  std::vector<uint32_t> dist = DistancesFrom(pr, pr.x());
+
+  auto emit = [&](const Extension& ext) {
+    Pattern grown = ApplyExtension(antecedent, ext);
+    auto r = Gpar::Create(std::move(grown), q_label);
+    // Enforce the radius bound on P_R *and* on the antecedent's
+    // x-component (the latter keeps fragment-local antecedent matching
+    // exact with d-hop partitions; see Gpar::eval_radius).
+    if (r.ok() && r.value().eval_radius() <= d) {
+      out.push_back(std::move(r).value());
+    }
+  };
+
+  // Forward extensions: attach a new node to any node within hop d-1 of x,
+  // so the new node stays within radius d.
+  for (PNodeId u = 0; u < antecedent.num_nodes(); ++u) {
+    if (dist[u] >= d) continue;
+    const LabelId ul = antecedent.node(u).label;
+    for (const EdgePatternStat& s : seeds) {
+      if (s.src_label == ul) {
+        emit({u, /*out=*/true, s.edge_label, s.dst_label, kNoPatternNode});
+      }
+      if (s.dst_label == ul) {
+        emit({u, /*out=*/false, s.edge_label, s.src_label, kNoPatternNode});
+      }
+    }
+  }
+
+  // Backward extensions: a new edge between existing nodes (never grows
+  // the radius).
+  for (PNodeId u = 0; u < antecedent.num_nodes(); ++u) {
+    for (PNodeId w = 0; w < antecedent.num_nodes(); ++w) {
+      if (u == w) continue;
+      const LabelId ul = antecedent.node(u).label;
+      const LabelId wl = antecedent.node(w).label;
+      for (const EdgePatternStat& s : seeds) {
+        if (s.src_label != ul || s.dst_label != wl) continue;
+        // Skip duplicates of existing edges and of the consequent itself.
+        if (u == antecedent.x() && w == antecedent.y() &&
+            s.edge_label == q_label) {
+          continue;
+        }
+        bool exists = false;
+        for (const PatternEdge& e : antecedent.edges()) {
+          if (e.src == u && e.dst == w && e.label == s.edge_label) {
+            exists = true;
+            break;
+          }
+        }
+        if (!exists) {
+          emit({u, /*out=*/true, s.edge_label, kNoLabel, w});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-worker evaluation context over one fragment.
+struct WorkerState {
+  const Fragment* frag = nullptr;
+  std::unique_ptr<VF2Matcher> matcher;
+  std::vector<char> center_is_q;     // per fragment center
+  std::vector<char> center_is_qbar;  // per fragment center
+  uint64_t supp_q_local = 0;
+  uint64_t supp_qbar_local = 0;
+};
+
+/// Local statistics for one candidate GPAR at one fragment.
+struct LocalStats {
+  uint64_t supp_r = 0;
+  uint64_t supp_qqbar = 0;
+  uint64_t usupp = 0;
+  bool extendable = false;
+  std::vector<NodeId> matches_global;
+};
+
+/// Deduplicates `fresh` against itself and `seen_keys` using bucket keys,
+/// then (optionally bisimulation-prefiltered) designated isomorphism.
+std::vector<Gpar> DedupCandidates(
+    std::vector<Gpar> fresh,
+    std::map<std::string, std::vector<Pattern>>* seen_buckets,
+    bool bisim_prefilter, DmineStats* stats) {
+  std::vector<Gpar> out;
+  for (Gpar& g : fresh) {
+    std::string key = IsomorphismBucketKey(g.pr());
+    auto& bucket = (*seen_buckets)[key];
+    bool duplicate = false;
+    for (const Pattern& p : bucket) {
+      if (bisim_prefilter) {
+        ++stats->bisim_tests;
+        // Lemma 4: not bisimilar => not automorphic; skip the exact test.
+        if (!AreBisimilarDesignated(p, g.pr())) continue;
+      }
+      ++stats->iso_tests;
+      if (AreIsomorphic(p, g.pr(), /*preserve_designated=*/true)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      ++stats->automorphic_merged;
+      continue;
+    }
+    bucket.push_back(g.pr());
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
+                          const DmineOptions& options) {
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (options.k < 2) {
+    return Status::InvalidArgument("k must be at least 2");
+  }
+  if (options.d == 0) {
+    return Status::InvalidArgument("d must be at least 1");
+  }
+
+  DmineResult result;
+  BspRuntime bsp(options.num_workers);
+
+  // --- Setup: candidates, fragments, seed alphabet. -----------------------
+  std::vector<NodeId> centers;
+  {
+    auto span = g.nodes_with_label(q.x_label);
+    centers.assign(span.begin(), span.end());
+  }
+  PartitionOptions popt;
+  popt.num_fragments = options.num_workers;
+  popt.d = options.d;
+  GPAR_ASSIGN_OR_RETURN(Partitioning parts, PartitionGraph(g, centers, popt));
+
+  std::vector<EdgePatternStat> seeds =
+      FrequentEdgePatterns(g, options.seed_edge_limit);
+
+  std::vector<WorkerState> workers(options.num_workers);
+  const Pattern pq = q.ToPattern();
+
+  // Round 0: per-fragment matcher construction and the q / ~q sets, which
+  // "never change and hence are derived once for all".
+  bsp.RunRound([&](uint32_t i) {
+    WorkerState& w = workers[i];
+    w.frag = &parts.fragments[i];
+    const Graph& fg = w.frag->sub.graph;
+    w.matcher = std::make_unique<VF2Matcher>(fg);
+    const size_t nc = w.frag->centers.size();
+    w.center_is_q.assign(nc, 0);
+    w.center_is_qbar.assign(nc, 0);
+    for (size_t c = 0; c < nc; ++c) {
+      NodeId local = w.frag->centers[c];
+      if (w.matcher->ExistsAt(pq, local)) {
+        w.center_is_q[c] = 1;
+        ++w.supp_q_local;
+      } else if (fg.HasOutLabel(local, q.edge_label)) {
+        w.center_is_qbar[c] = 1;
+        ++w.supp_qbar_local;
+      }
+    }
+  });
+
+  uint64_t supp_q = 0, supp_qbar = 0;
+  for (const WorkerState& w : workers) {
+    supp_q += w.supp_q_local;
+    supp_qbar += w.supp_qbar_local;
+  }
+  result.stats.supp_q = supp_q;
+  result.stats.supp_qbar = supp_qbar;
+
+  // Trivial case: q(x, y) names no one in G — no interesting GPARs exist.
+  if (supp_q == 0) {
+    result.times = bsp.FinishTiming();
+    return result;
+  }
+  const double n_norm =
+      static_cast<double>(supp_q) * static_cast<double>(supp_qbar);
+
+  IncDiv incdiv(options.k, options.lambda, n_norm);
+  std::vector<std::shared_ptr<MinedRule>> sigma;  // Σ
+  std::map<std::string, std::vector<Pattern>> seen_buckets;
+
+  // M: antecedents to extend next round. The base "rule" is bare q(x, y):
+  // an antecedent with just the designated nodes and no edges.
+  Pattern base;
+  {
+    PNodeId x = base.AddNode(q.x_label);
+    PNodeId y = base.AddNode(q.y_label);
+    base.set_x(x);
+    base.set_y(y);
+  }
+  std::vector<Pattern> m_antecedents{base};
+
+  // A full-graph matcher for the (rare) antecedent components that do not
+  // contain x: their matches can live anywhere in G, so the coordinator
+  // checks their satisfiability once per candidate rule.
+  VF2Matcher global_matcher(g);
+
+  // Each round grows antecedents by one edge (radius capped at d by the
+  // generator), up to max_pattern_edges edges — the levelwise structure of
+  // DMine with the growth alphabet of seed edge patterns.
+  for (uint32_t round = 1;
+       round <= options.max_pattern_edges && !m_antecedents.empty();
+       ++round) {
+    // --- Coordinator: generate + dedup this round's candidates. ----------
+    std::vector<Gpar> candidates;
+    std::vector<char> other_ok;  // per candidate: non-x components matchable
+    bsp.RunCoordinator([&] {
+      std::vector<Gpar> fresh;
+      for (const Pattern& ant : m_antecedents) {
+        std::vector<Gpar> ext = GenerateExtensions(
+            ant, q.edge_label, options.d, options.max_pattern_edges, seeds);
+        result.stats.candidates_generated += ext.size();
+        for (Gpar& e : ext) fresh.push_back(std::move(e));
+      }
+      candidates = DedupCandidates(std::move(fresh), &seen_buckets,
+                                   options.enable_bisim_prefilter,
+                                   &result.stats);
+      if (candidates.size() > options.max_candidates_per_round) {
+        candidates.resize(options.max_candidates_per_round);
+      }
+      result.stats.candidates_verified += candidates.size();
+      other_ok.assign(candidates.size(), 1);
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        for (const Pattern& comp : candidates[ci].other_components()) {
+          if (!global_matcher.Exists(comp)) {
+            other_ok[ci] = 0;
+            break;
+          }
+        }
+      }
+    });
+    if (candidates.empty()) break;
+
+    // --- Workers: local support counting over owned centers. -------------
+    std::vector<std::vector<LocalStats>> local(options.num_workers);
+    bsp.RunRound([&](uint32_t i) {
+      WorkerState& w = workers[i];
+      local[i].assign(candidates.size(), {});
+      const size_t nc = w.frag->centers.size();
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        const Gpar& r = candidates[ci];
+        LocalStats& ls = local[i][ci];
+        for (size_t c = 0; c < nc; ++c) {
+          NodeId local_id = w.frag->centers[c];
+          if (w.center_is_q[c]) {
+            // P_R matches live inside the q-match pool.
+            if (w.matcher->ExistsAt(r.pr(), local_id)) {
+              ++ls.supp_r;
+              ls.matches_global.push_back(w.frag->sub.to_global[local_id]);
+              // Anti-monotonicity makes supp_r itself the sound Usupp
+              // bound: any extension matches a subset of these centers.
+              ++ls.usupp;
+              ls.extendable = true;
+            }
+          } else if (w.center_is_qbar[c] && other_ok[ci]) {
+            // Antecedent membership: x-component locally (exact within the
+            // d-hop fragment), remaining components pre-checked globally.
+            if (w.matcher->ExistsAt(r.x_component(), local_id)) {
+              ++ls.supp_qqbar;
+            }
+          }
+        }
+      }
+    });
+
+    // --- Coordinator: assemble, filter, diversify, reduce. ---------------
+    std::vector<std::shared_ptr<MinedRule>> delta;
+    bsp.RunCoordinator([&] {
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        auto rule = std::make_shared<MinedRule>();
+        rule->rule = candidates[ci];
+        uint64_t usupp = 0;
+        for (uint32_t i = 0; i < options.num_workers; ++i) {
+          const LocalStats& ls = local[i][ci];
+          rule->supp += ls.supp_r;
+          rule->supp_qqbar += ls.supp_qqbar;
+          usupp += ls.usupp;
+          rule->extendable = rule->extendable || ls.extendable;
+          rule->matches.insert(rule->matches.end(), ls.matches_global.begin(),
+                               ls.matches_global.end());
+        }
+        std::sort(rule->matches.begin(), rule->matches.end());
+        rule->usupp = usupp;
+        rule->uconf_plus = UConfPlus(usupp, supp_qbar, supp_q);
+        if (rule->supp < options.sigma) continue;
+        if (rule->supp_qqbar == 0) {
+          // Trivial "logic rule": holds on all of Q(x, G); discarded per
+          // the paper's trivial-GPAR handling.
+          ++result.stats.trivial_discarded;
+          continue;
+        }
+        rule->conf =
+            BayesFactorConf(rule->supp, supp_qbar, rule->supp_qqbar, supp_q);
+        delta.push_back(std::move(rule));
+      }
+      result.stats.accepted += delta.size();
+      sigma.insert(sigma.end(), delta.begin(), delta.end());
+
+      if (options.enable_incremental_div) {
+        incdiv.AddRound(delta, sigma);
+        if (options.enable_reduction_rules) {
+          ReductionStats rs = ApplyReductionRules(
+              sigma, delta, incdiv.MinPairFPrime(), options.lambda, n_norm,
+              options.k,
+              [&](const MinedRule* r) { return incdiv.InQueue(r); });
+          result.stats.pruned_by_reduction += rs.pruned_sigma + rs.pruned_delta;
+        }
+      } else {
+        // DMineno recomputes the diversified top-k from scratch every round
+        // instead of maintaining it incrementally — the cost the paper's
+        // Exp-1 ablation measures.
+        result.topk =
+            FullDiversify(sigma, options.k, options.lambda, n_norm);
+      }
+
+      // Next round's M: extendable, unpruned survivors of this round.
+      m_antecedents.clear();
+      for (const auto& r : delta) {
+        if (!r->extendable || r->pruned) continue;
+        if (r->rule.antecedent().num_edges() >= options.max_pattern_edges) {
+          continue;
+        }
+        m_antecedents.push_back(r->rule.antecedent());
+      }
+    });
+  }
+
+  bsp.RunCoordinator([&] {
+    if (options.enable_incremental_div) {
+      result.topk = incdiv.TopK();
+      result.objective = incdiv.Objective();
+    } else {
+      // DMineno path: diversify the full pool from scratch.
+      result.topk =
+          FullDiversify(sigma, options.k, options.lambda, n_norm);
+      std::vector<double> confs;
+      std::vector<const std::vector<NodeId>*> sets;
+      for (const auto& r : result.topk) {
+        confs.push_back(r->conf);
+        sets.push_back(&r->matches);
+      }
+      result.objective =
+          ObjectiveF(confs, sets, options.lambda, n_norm, options.k);
+    }
+  });
+
+  result.times = bsp.FinishTiming();
+  return result;
+}
+
+}  // namespace gpar

@@ -1,0 +1,117 @@
+#include "mine/fsm.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "graph/stats.h"
+#include "match/matcher.h"
+#include "pattern/automorphism.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+
+namespace {
+
+/// All single-edge growths of `p` from the seed alphabet (no designated
+/// node or hop constraints — this is plain frequent-pattern growth).
+std::vector<Pattern> GrowOnce(const Pattern& p,
+                              const std::vector<EdgePatternStat>& seeds) {
+  std::vector<Pattern> out;
+  for (PNodeId u = 0; u < p.num_nodes(); ++u) {
+    const LabelId ul = p.node(u).label;
+    for (const EdgePatternStat& s : seeds) {
+      if (s.src_label == ul) {
+        Pattern grown = p;
+        PNodeId w = grown.AddNode(s.dst_label);
+        grown.AddEdge(u, s.edge_label, w);
+        out.push_back(std::move(grown));
+      }
+      if (s.dst_label == ul) {
+        Pattern grown = p;
+        PNodeId w = grown.AddNode(s.src_label);
+        grown.AddEdge(w, s.edge_label, u);
+        out.push_back(std::move(grown));
+      }
+    }
+  }
+  // Backward growth: close an edge between existing nodes.
+  for (PNodeId u = 0; u < p.num_nodes(); ++u) {
+    for (PNodeId w = 0; w < p.num_nodes(); ++w) {
+      if (u == w) continue;
+      for (const EdgePatternStat& s : seeds) {
+        if (s.src_label != p.node(u).label || s.dst_label != p.node(w).label) {
+          continue;
+        }
+        bool exists = false;
+        for (const PatternEdge& e : p.edges()) {
+          if (e.src == u && e.dst == w && e.label == s.edge_label) {
+            exists = true;
+            break;
+          }
+        }
+        if (exists) continue;
+        Pattern grown = p;
+        grown.AddEdge(u, s.edge_label, w);
+        out.push_back(std::move(grown));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FrequentPattern> MineFrequentSubgraphs(const Graph& g,
+                                                   const FsmOptions& options) {
+  VF2Matcher matcher(g);
+  std::vector<EdgePatternStat> seeds =
+      FrequentEdgePatterns(g, options.seed_edge_limit);
+
+  std::vector<FrequentPattern> result;
+  std::vector<Pattern> frontier;
+  std::map<std::string, std::vector<Pattern>> seen;
+
+  auto try_add = [&](Pattern p) {
+    std::string key = IsomorphismBucketKey(p);
+    auto& bucket = seen[key];
+    for (const Pattern& q : bucket) {
+      if (AreIsomorphic(q, p, /*preserve_designated=*/false)) return;
+    }
+    bucket.push_back(p);
+    uint64_t supp = MinImageSupport(matcher, p, options.embedding_cap);
+    if (supp < options.min_support) return;  // MNI is anti-monotonic: stop
+    result.push_back({p, supp});
+    frontier.push_back(std::move(p));
+  };
+
+  // Level 1: the seed edges themselves.
+  for (const EdgePatternStat& s : seeds) {
+    Pattern p;
+    PNodeId a = p.AddNode(s.src_label);
+    PNodeId b = p.AddNode(s.dst_label);
+    p.AddEdge(a, s.edge_label, b);
+    try_add(std::move(p));
+  }
+
+  // Levelwise growth.
+  for (uint32_t level = 2; level <= options.max_edges; ++level) {
+    std::vector<Pattern> current = std::move(frontier);
+    frontier.clear();
+    for (const Pattern& p : current) {
+      for (Pattern& grown : GrowOnce(p, seeds)) {
+        try_add(std::move(grown));
+      }
+    }
+    if (frontier.empty()) break;
+  }
+
+  std::stable_sort(result.begin(), result.end(),
+                   [](const FrequentPattern& a, const FrequentPattern& b) {
+                     return a.support > b.support;
+                   });
+  if (result.size() > options.max_patterns) result.resize(options.max_patterns);
+  return result;
+}
+
+}  // namespace gpar

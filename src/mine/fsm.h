@@ -1,0 +1,39 @@
+#ifndef GPAR_MINE_FSM_H_
+#define GPAR_MINE_FSM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace gpar {
+
+/// Options for the frequent-subgraph miner.
+struct FsmOptions {
+  uint64_t min_support = 10;   ///< MNI support threshold τ
+  uint32_t max_edges = 3;      ///< pattern growth cap
+  size_t seed_edge_limit = 10; ///< growth alphabet size
+  size_t max_patterns = 64;    ///< result cap (highest support kept)
+  uint64_t embedding_cap = 100000;  ///< per-pattern enumeration budget
+};
+
+/// A frequent pattern with its minimum-image (MNI) support.
+struct FrequentPattern {
+  Pattern pattern;
+  uint64_t support = 0;
+};
+
+/// GraMi-style frequent subgraph mining in a single large graph [13]:
+/// levelwise pattern growth with minimum-image-based support [7] (the
+/// anti-monotonic measure for single graphs).
+///
+/// This is the comparator for the paper's Exp-2 case study: frequent
+/// patterns found this way "are mostly cycles of users" and reveal little
+/// about entity associations, unlike confidence-ranked GPARs.
+std::vector<FrequentPattern> MineFrequentSubgraphs(const Graph& g,
+                                                   const FsmOptions& options);
+
+}  // namespace gpar
+
+#endif  // GPAR_MINE_FSM_H_

@@ -1,0 +1,168 @@
+#include "mine/inc_div.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rule/diversity.h"
+
+namespace gpar {
+
+IncDiv::IncDiv(uint32_t k, double lambda, double n_norm)
+    : k_(k), lambda_(lambda), n_norm_(n_norm), max_pairs_((k + 1) / 2) {}
+
+double IncDiv::PairFPrime(const MinedRule& a, const MinedRule& b) const {
+  double diff = JaccardDistance(a.matches, b.matches);
+  return FPrime(a.conf, b.conf, diff, lambda_, n_norm_, k_);
+}
+
+bool IncDiv::UsedInQueue(const MinedRule* r) const {
+  for (const QueuePair& p : queue_) {
+    if (p.a.get() == r || p.b.get() == r) return true;
+  }
+  return false;
+}
+
+bool IncDiv::InQueue(const MinedRule* rule) const { return UsedInQueue(rule); }
+
+void IncDiv::AddRound(const std::vector<std::shared_ptr<MinedRule>>& delta,
+                      const std::vector<std::shared_ptr<MinedRule>>& sigma) {
+  // Phase 1 — fill: while the queue holds < ⌈k/2⌉ pairs, greedily insert
+  // the disjoint pair maximizing F'; at least one member must be new.
+  while (queue_.size() < max_pairs_) {
+    const MinedRule* best_a = nullptr;
+    const MinedRule* best_b = nullptr;
+    std::shared_ptr<MinedRule> best_a_sp, best_b_sp;
+    double best_f = -1;
+    auto consider = [&](const std::shared_ptr<MinedRule>& ra,
+                        const std::shared_ptr<MinedRule>& rb) {
+      if (ra.get() == rb.get()) return;
+      if (ra->pruned || rb->pruned) return;
+      if (UsedInQueue(ra.get()) || UsedInQueue(rb.get())) return;
+      double f = PairFPrime(*ra, *rb);
+      if (f > best_f) {
+        best_f = f;
+        best_a = ra.get();
+        best_b = rb.get();
+        best_a_sp = ra;
+        best_b_sp = rb;
+      }
+    };
+    for (const auto& ra : delta) {
+      for (const auto& rb : sigma) consider(ra, rb);
+    }
+    // Fall back to pool-only pairs so the queue can fill even when ΔE is
+    // exhausted (e.g. a late round discovering nothing new).
+    if (best_a == nullptr) {
+      for (const auto& ra : sigma) {
+        for (const auto& rb : sigma) consider(ra, rb);
+      }
+    }
+    if (best_a == nullptr) break;  // fewer rules than slots
+    queue_.push_back({best_a_sp, best_b_sp, best_f});
+  }
+
+  // Phase 2 — replace: each new rule pairs with its best partner in Σ; the
+  // minimum-F' pair is evicted when the new pair beats it.
+  for (const auto& r : delta) {
+    if (r->pruned || UsedInQueue(r.get())) continue;
+    const std::shared_ptr<MinedRule>* best_partner = nullptr;
+    double best_f = -1;
+    for (const auto& s : sigma) {
+      if (s.get() == r.get() || s->pruned || UsedInQueue(s.get())) continue;
+      double f = PairFPrime(*r, *s);
+      if (f > best_f) {
+        best_f = f;
+        best_partner = &s;
+      }
+    }
+    if (best_partner == nullptr) continue;
+    auto min_it =
+        std::min_element(queue_.begin(), queue_.end(),
+                         [](const QueuePair& a, const QueuePair& b) {
+                           return a.fprime < b.fprime;
+                         });
+    if (min_it != queue_.end() && min_it->fprime < best_f) {
+      *min_it = {r, *best_partner, best_f};
+    }
+  }
+}
+
+std::vector<std::shared_ptr<MinedRule>> IncDiv::TopK() const {
+  std::vector<QueuePair> sorted = queue_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const QueuePair& a, const QueuePair& b) {
+                     return a.fprime > b.fprime;
+                   });
+  std::vector<std::shared_ptr<MinedRule>> out;
+  for (const QueuePair& p : sorted) {
+    if (out.size() < k_) out.push_back(p.a);
+    if (out.size() < k_) out.push_back(p.b);
+  }
+  return out;
+}
+
+double IncDiv::MinPairFPrime() const {
+  if (queue_.size() < max_pairs_) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double m = std::numeric_limits<double>::infinity();
+  for (const QueuePair& p : queue_) m = std::min(m, p.fprime);
+  return m;
+}
+
+double IncDiv::Objective() const {
+  auto topk = TopK();
+  std::vector<double> confs;
+  std::vector<const std::vector<NodeId>*> sets;
+  for (const auto& r : topk) {
+    confs.push_back(r->conf);
+    sets.push_back(&r->matches);
+  }
+  return ObjectiveF(confs, sets, lambda_, n_norm_, k_);
+}
+
+std::vector<std::shared_ptr<MinedRule>> FullDiversify(
+    const std::vector<std::shared_ptr<MinedRule>>& pool, uint32_t k,
+    double lambda, double n_norm) {
+  std::vector<std::shared_ptr<MinedRule>> remaining;
+  for (const auto& r : pool) {
+    if (!r->pruned) remaining.push_back(r);
+  }
+  std::vector<std::shared_ptr<MinedRule>> out;
+  // Greedy max-sum dispersion [19]: repeatedly take the pair with maximum
+  // F' among unused rules.
+  while (out.size() + 1 < k && remaining.size() >= 2) {
+    size_t bi = 0, bj = 1;
+    double best = -1;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      for (size_t j = i + 1; j < remaining.size(); ++j) {
+        double diff =
+            JaccardDistance(remaining[i]->matches, remaining[j]->matches);
+        double f = FPrime(remaining[i]->conf, remaining[j]->conf, diff,
+                          lambda, n_norm, k);
+        if (f > best) {
+          best = f;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    out.push_back(remaining[bi]);
+    out.push_back(remaining[bj]);
+    // Erase higher index first.
+    remaining.erase(remaining.begin() + bj);
+    remaining.erase(remaining.begin() + bi);
+  }
+  if (out.size() < k && !remaining.empty()) {
+    // Odd k: add the rule with the best marginal confidence.
+    auto best = std::max_element(remaining.begin(), remaining.end(),
+                                 [](const auto& a, const auto& b) {
+                                   return a->conf < b->conf;
+                                 });
+    out.push_back(*best);
+  }
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace gpar

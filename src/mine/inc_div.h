@@ -1,0 +1,75 @@
+#ifndef GPAR_MINE_INC_DIV_H_
+#define GPAR_MINE_INC_DIV_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mine/mined_rule.h"
+
+namespace gpar {
+
+/// Incremental diversification (procedure incDiv, Section 4.2).
+///
+/// Maintains a max priority queue of ⌈k/2⌉ pairwise-disjoint GPAR pairs
+/// maximizing the pairwise objective F'. Each round the newly accepted
+/// rules ΔE are offered; a new pair replaces the minimum-F' pair when it
+/// improves on it. This is the greedy strategy of [19] with approximation
+/// ratio 2 for max-sum diversification, made incremental so the top-k list
+/// is never recomputed from scratch.
+///
+/// Rules are owned by the caller (DMine's Σ, stable `shared_ptr`s).
+class IncDiv {
+ public:
+  IncDiv(uint32_t k, double lambda, double n_norm);
+
+  /// Offers one round of newly accepted rules. `sigma` is the full pool Σ
+  /// (including `delta`); pruned rules are skipped as pair partners.
+  void AddRound(const std::vector<std::shared_ptr<MinedRule>>& delta,
+                const std::vector<std::shared_ptr<MinedRule>>& sigma);
+
+  /// Current top-k rules (flattened pairs, best F' first, truncated to k).
+  std::vector<std::shared_ptr<MinedRule>> TopK() const;
+
+  /// F'm: the minimum F' among queue pairs; -infinity while the queue is
+  /// not yet full (no pruning is safe before that, per Lemma 3's premise).
+  double MinPairFPrime() const;
+
+  /// True iff `rule` currently sits in the queue (such rules must never be
+  /// pruned from Σ: they are part of L_k).
+  bool InQueue(const MinedRule* rule) const;
+
+  /// F(L_k) of the current top-k (for reporting).
+  double Objective() const;
+
+  uint32_t k() const { return k_; }
+  double lambda() const { return lambda_; }
+  double n_norm() const { return n_norm_; }
+
+ private:
+  struct QueuePair {
+    std::shared_ptr<MinedRule> a;
+    std::shared_ptr<MinedRule> b;
+    double fprime;
+  };
+
+  double PairFPrime(const MinedRule& a, const MinedRule& b) const;
+  bool UsedInQueue(const MinedRule* r) const;
+
+  uint32_t k_;
+  double lambda_;
+  double n_norm_;
+  uint32_t max_pairs_;
+  std::vector<QueuePair> queue_;
+};
+
+/// Non-incremental greedy diversification over a full pool ("discover and
+/// diversify", also what DMineno recomputes every round): repeatedly picks
+/// the disjoint pair maximizing F'. Same 2-approximation, higher cost.
+std::vector<std::shared_ptr<MinedRule>> FullDiversify(
+    const std::vector<std::shared_ptr<MinedRule>>& pool, uint32_t k,
+    double lambda, double n_norm);
+
+}  // namespace gpar
+
+#endif  // GPAR_MINE_INC_DIV_H_

@@ -1,0 +1,28 @@
+#ifndef GPAR_MINE_MINED_RULE_H_
+#define GPAR_MINE_MINED_RULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rule/gpar.h"
+
+namespace gpar {
+
+/// A discovered GPAR with its global statistics, as assembled by the DMine
+/// coordinator from worker messages.
+struct MinedRule {
+  Gpar rule;
+  uint64_t supp = 0;         ///< supp(R, G)
+  uint64_t supp_qqbar = 0;   ///< supp(Q~q, G)
+  double conf = 0;           ///< BF/LCWA confidence
+  std::vector<NodeId> matches;  ///< P_R(x, G), global ids, sorted (for diff)
+  bool extendable = false;   ///< some match still has unexplored hops
+  uint64_t usupp = 0;        ///< matches with expansion room (Lemma 3)
+  double uconf_plus = 0;     ///< Uconf+(R): confidence bound for extensions
+  bool pruned = false;       ///< removed from Σ/ΔE by the reduction rules
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_MINE_MINED_RULE_H_

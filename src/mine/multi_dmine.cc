@@ -1,0 +1,40 @@
+#include "mine/multi_dmine.h"
+
+#include <set>
+#include <tuple>
+
+#include "graph/stats.h"
+
+namespace gpar {
+
+Result<MultiDmineResult> DmineForPredicates(
+    const Graph& g, const std::vector<Predicate>& predicates,
+    const DmineOptions& options) {
+  MultiDmineResult out;
+  std::set<std::tuple<LabelId, LabelId, LabelId>> seen;
+  for (const Predicate& q : predicates) {
+    if (!seen.insert({q.x_label, q.edge_label, q.y_label}).second) continue;
+    GPAR_ASSIGN_OR_RETURN(DmineResult r, Dmine(g, q, options));
+    out.per_predicate.emplace_back(q, std::move(r));
+  }
+  return out;
+}
+
+Result<MultiDmineResult> DmineAuto(const Graph& g, const DmineOptions& options,
+                                   size_t num_predicates,
+                                   LabelId edge_label_filter) {
+  std::vector<Predicate> predicates;
+  for (const EdgePatternStat& s : FrequentEdgePatterns(g)) {
+    if (edge_label_filter != kNoLabel && s.edge_label != edge_label_filter) {
+      continue;
+    }
+    predicates.push_back({s.src_label, s.edge_label, s.dst_label});
+    if (predicates.size() >= num_predicates) break;
+  }
+  if (predicates.empty()) {
+    return Status::NotFound("no candidate predicates in the graph");
+  }
+  return DmineForPredicates(g, predicates, options);
+}
+
+}  // namespace gpar

@@ -1,0 +1,35 @@
+#ifndef GPAR_MINE_MULTI_DMINE_H_
+#define GPAR_MINE_MULTI_DMINE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mine/dmine.h"
+
+namespace gpar {
+
+/// Results of mining several predicates, one DMP instance each.
+struct MultiDmineResult {
+  std::vector<std::pair<Predicate, DmineResult>> per_predicate;
+};
+
+/// The paper's §4.2 remark (1): "When a set of predicates instead of a
+/// single q(x, y) is given, it groups the predicates and iteratively mines
+/// GPARs for each distinct q(x, y)." Duplicated predicates are mined once.
+Result<MultiDmineResult> DmineForPredicates(
+    const Graph& g, const std::vector<Predicate>& predicates,
+    const DmineOptions& options);
+
+/// The paper's §4.2 remark (2): "When no specific q(x, y) is given, it
+/// first collects a set of predicates of interests (e.g., most frequent
+/// edges, or with user specified label q)". Collects the
+/// `num_predicates` most frequent edge patterns — optionally restricted to
+/// a given edge label — and mines each.
+Result<MultiDmineResult> DmineAuto(const Graph& g, const DmineOptions& options,
+                                   size_t num_predicates = 5,
+                                   LabelId edge_label_filter = kNoLabel);
+
+}  // namespace gpar
+
+#endif  // GPAR_MINE_MULTI_DMINE_H_

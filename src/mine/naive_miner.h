@@ -1,0 +1,34 @@
+#ifndef GPAR_MINE_NAIVE_MINER_H_
+#define GPAR_MINE_NAIVE_MINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "mine/dmine.h"
+#include "mine/mined_rule.h"
+
+namespace gpar {
+
+/// Result of the naive "discover and diversify" miner.
+struct NaiveMineResult {
+  /// Every GPAR with supp >= sigma and radius <= d (the full Σ).
+  std::vector<std::shared_ptr<MinedRule>> all_rules;
+  std::vector<std::shared_ptr<MinedRule>> topk;
+  double objective = 0;
+};
+
+/// Sequential exhaustive miner (the strawman of Section 4.2): first finds
+/// all GPARs pertaining to q by levelwise growth (no reduction rules, no
+/// incremental diversification, single thread, whole graph), then picks the
+/// diversified top-k by greedy max-sum dispersion.
+///
+/// Serves two purposes: the ground-truth oracle DMine's parallel pool must
+/// match exactly (tests), and the "why DMine" cost baseline.
+Result<NaiveMineResult> NaiveMine(const Graph& g, const Predicate& q,
+                                  const DmineOptions& options);
+
+}  // namespace gpar
+
+#endif  // GPAR_MINE_NAIVE_MINER_H_

@@ -1,0 +1,72 @@
+#include "mine/reduction.h"
+
+#include <algorithm>
+
+namespace gpar {
+
+double UConfPlus(uint64_t usupp_total, uint64_t supp_qbar, uint64_t supp_q) {
+  if (supp_q == 0) return 0;
+  return static_cast<double>(usupp_total) * static_cast<double>(supp_qbar) /
+         static_cast<double>(supp_q);
+}
+
+ReductionStats ApplyReductionRules(
+    const std::vector<std::shared_ptr<MinedRule>>& sigma,
+    const std::vector<std::shared_ptr<MinedRule>>& delta, double fprime_min,
+    double lambda, double n_norm, uint32_t k,
+    const std::function<bool(const MinedRule*)>& in_queue) {
+  ReductionStats stats;
+  if (k <= 1 || n_norm <= 0) return stats;
+  const double conf_coeff = (1.0 - lambda) / (n_norm * (k - 1));
+  const double div_max = 2.0 * lambda / (k - 1);  // diff <= 1
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    double max_uconf_delta = 0;
+    for (const auto& r : delta) {
+      if (!r->pruned) max_uconf_delta = std::max(max_uconf_delta, r->uconf_plus);
+    }
+    double max_conf_sigma = 0;
+    for (const auto& r : sigma) {
+      if (!r->pruned) max_conf_sigma = std::max(max_conf_sigma, r->conf);
+    }
+
+    // Rule (1): Σ members whose best possible pairing cannot beat F'm.
+    for (const auto& r : sigma) {
+      if (r->pruned || in_queue(r.get())) continue;
+      double bound = conf_coeff * (r->conf + max_uconf_delta) + div_max;
+      if (bound <= fprime_min) {
+        r->pruned = true;
+        ++stats.pruned_sigma;
+        changed = true;
+      }
+    }
+
+    // Rule (2): ΔE members not worth extending.
+    for (const auto& r : delta) {
+      if (r->pruned) continue;
+      bool prune = !r->extendable;
+      if (!prune) {
+        double bound = conf_coeff * (r->uconf_plus + max_conf_sigma) + div_max;
+        prune = bound <= fprime_min;
+      }
+      if (prune) {
+        // Mark extension-pruned; the rule itself may stay in Σ for pairing
+        // if it is merely unextendable. Only the bound-based prune removes
+        // it from future consideration entirely.
+        if (!r->extendable) {
+          // handled by DMine when building M; nothing to mark here
+        } else if (!in_queue(r.get())) {
+          r->pruned = true;
+          ++stats.pruned_delta;
+          changed = true;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace gpar

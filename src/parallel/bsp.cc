@@ -1,0 +1,59 @@
+#include "parallel/bsp.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace gpar {
+
+double ThreadCpuSeconds() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+namespace {
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+BspRuntime::BspRuntime(uint32_t num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers),
+      pool_(num_workers_),
+      wall_start_(WallSeconds()) {
+  times_.worker_total_seconds.assign(num_workers_, 0);
+}
+
+void BspRuntime::RunRound(const std::function<void(uint32_t)>& fn) {
+  std::vector<double> round_cpu(num_workers_, 0);
+  ParallelFor(pool_, num_workers_, [&](uint32_t i) {
+    double start = ThreadCpuSeconds();
+    fn(i);
+    round_cpu[i] = ThreadCpuSeconds() - start;
+  });
+  double round_max = 0;
+  for (uint32_t i = 0; i < num_workers_; ++i) {
+    times_.worker_total_seconds[i] += round_cpu[i];
+    round_max = std::max(round_max, round_cpu[i]);
+  }
+  times_.makespan_seconds += round_max;
+  ++times_.rounds;
+}
+
+void BspRuntime::RunCoordinator(const std::function<void()>& fn) {
+  double start = ThreadCpuSeconds();
+  fn();
+  times_.coordinator_seconds += ThreadCpuSeconds() - start;
+}
+
+ParallelTimes BspRuntime::FinishTiming() {
+  times_.wall_seconds = WallSeconds() - wall_start_;
+  return times_;
+}
+
+}  // namespace gpar

@@ -1,0 +1,63 @@
+#ifndef GPAR_PARALLEL_BSP_H_
+#define GPAR_PARALLEL_BSP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace gpar {
+
+/// Timing record for one BSP computation.
+///
+/// The paper deploys n fragments on n machines; this reproduction runs them
+/// as n threads on one host and reports, per round, the *max per-worker CPU
+/// time* (the makespan a real n-machine deployment would see), plus the
+/// coordinator's assembly time. `SimulatedParallelSeconds` — makespan plus
+/// coordinator — is the quantity the Exp-1/Exp-3 "varying n" curves plot;
+/// wall time on a single host cannot show the speedup, makespan can
+/// (see DESIGN.md §5, EC2 substitution).
+struct ParallelTimes {
+  double wall_seconds = 0;
+  double makespan_seconds = 0;
+  double coordinator_seconds = 0;
+  std::vector<double> worker_total_seconds;  // per worker, cumulative CPU
+  uint32_t rounds = 0;
+
+  double SimulatedParallelSeconds() const {
+    return makespan_seconds + coordinator_seconds;
+  }
+};
+
+/// Returns CPU time consumed by the calling thread, in seconds.
+double ThreadCpuSeconds();
+
+/// Bulk-synchronous runtime: alternating parallel worker rounds and
+/// coordinator sections, with per-round makespan accounting.
+class BspRuntime {
+ public:
+  explicit BspRuntime(uint32_t num_workers);
+
+  /// Runs fn(worker_id) for all workers; the barrier is implicit (returns
+  /// when all are done). Adds max-over-workers CPU time to the makespan.
+  void RunRound(const std::function<void(uint32_t)>& fn);
+
+  /// Runs (and times) a coordinator section on the calling thread.
+  void RunCoordinator(const std::function<void()>& fn);
+
+  uint32_t num_workers() const { return num_workers_; }
+  const ParallelTimes& times() const { return times_; }
+  /// Finalizes wall time; call once when the computation completes.
+  ParallelTimes FinishTiming();
+
+ private:
+  uint32_t num_workers_;
+  ThreadPool pool_;
+  ParallelTimes times_;
+  double wall_start_;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_PARALLEL_BSP_H_

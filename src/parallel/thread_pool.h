@@ -1,0 +1,51 @@
+#ifndef GPAR_PARALLEL_THREAD_POOL_H_
+#define GPAR_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpar {
+
+/// Fixed-size worker pool. Submitted tasks run FIFO; `Wait` blocks until
+/// all submitted tasks have finished. Used by the BSP runtime to simulate
+/// the paper's n processors with n threads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all in-flight tasks complete.
+  void Wait();
+
+  uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  uint32_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(0..n-1) on the pool and waits for completion.
+void ParallelFor(ThreadPool& pool, uint32_t n,
+                 const std::function<void(uint32_t)>& fn);
+
+}  // namespace gpar
+
+#endif  // GPAR_PARALLEL_THREAD_POOL_H_

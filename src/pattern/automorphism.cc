@@ -1,0 +1,64 @@
+#include "pattern/automorphism.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "pattern/pattern_ops.h"
+
+namespace gpar {
+
+bool AreIsomorphic(const Pattern& a, const Pattern& b,
+                   bool preserve_designated) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  // An injective embedding between equal-sized patterns with equal edge
+  // counts is a bijection covering all edges (edge mapping is injective by
+  // construction and every a-edge must be present).
+  if (preserve_designated) {
+    if (a.has_y() != b.has_y()) return false;
+  }
+  return IsSubsumedBy(a, b, preserve_designated) &&
+         IsSubsumedBy(b, a, preserve_designated);
+}
+
+std::string IsomorphismBucketKey(const Pattern& p) {
+  // Invariants preserved by designated-preserving isomorphism: per-node
+  // (label, multiplicity, out-degree, in-degree) multiset, edge label
+  // triple multiset, and the invariant tuples of x and y themselves.
+  std::vector<std::string> node_keys;
+  node_keys.reserve(p.num_nodes());
+  auto node_key = [&](PNodeId u) {
+    size_t out_deg = 0, in_deg = 0;
+    for (const PatternAdj& e : p.adj(u)) {
+      if (e.out) ++out_deg; else ++in_deg;
+    }
+    std::ostringstream os;
+    os << p.node(u).label << ':' << p.node(u).multiplicity << ':' << out_deg
+       << ':' << in_deg;
+    return os.str();
+  };
+  for (PNodeId u = 0; u < p.num_nodes(); ++u) node_keys.push_back(node_key(u));
+
+  std::ostringstream os;
+  os << "x=" << node_keys[p.x()];
+  os << ";y=" << (p.has_y() ? node_keys[p.y()] : "-");
+  std::vector<std::string> sorted_nodes = node_keys;
+  std::sort(sorted_nodes.begin(), sorted_nodes.end());
+  os << ";V=";
+  for (const std::string& k : sorted_nodes) os << k << ',';
+  std::vector<std::string> edge_keys;
+  edge_keys.reserve(p.num_edges());
+  for (const PatternEdge& e : p.edges()) {
+    std::ostringstream ek;
+    ek << p.node(e.src).label << '-' << e.label << '>' << p.node(e.dst).label;
+    edge_keys.push_back(ek.str());
+  }
+  std::sort(edge_keys.begin(), edge_keys.end());
+  os << ";E=";
+  for (const std::string& k : edge_keys) os << k << ',';
+  return os.str();
+}
+
+}  // namespace gpar

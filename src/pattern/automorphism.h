@@ -1,0 +1,27 @@
+#ifndef GPAR_PATTERN_AUTOMORPHISM_H_
+#define GPAR_PATTERN_AUTOMORPHISM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "pattern/pattern.h"
+
+namespace gpar {
+
+/// True iff there is a bijection between the nodes of `a` and `b` that
+/// preserves node labels, multiplicities, and labeled edges. With
+/// `preserve_designated`, the bijection must also map a.x -> b.x and
+/// a.y -> b.y. This is the exact test behind DMine's "automorphic GPAR"
+/// grouping (the paper calls isomorphic candidate patterns automorphic
+/// because they denote the same rule).
+bool AreIsomorphic(const Pattern& a, const Pattern& b,
+                   bool preserve_designated);
+
+/// A cheap grouping key: patterns that are isomorphic (designated-preserving)
+/// always share the same key. Used to bucket candidates before pairwise
+/// bisimulation / isomorphism tests.
+std::string IsomorphismBucketKey(const Pattern& p);
+
+}  // namespace gpar
+
+#endif  // GPAR_PATTERN_AUTOMORPHISM_H_

@@ -1,0 +1,32 @@
+#ifndef GPAR_PATTERN_BISIMULATION_H_
+#define GPAR_PATTERN_BISIMULATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace gpar {
+
+/// Stable bisimulation colors of a pattern's nodes: two nodes get the same
+/// color iff they are bisimilar (same label, matching out-edge behaviour),
+/// computed by partition refinement [12].
+std::vector<uint32_t> BisimulationColors(const Pattern& p);
+
+/// True iff patterns `a` and `b` are bisimilar per the paper's definition
+/// (Section 4.2): there is a relation Ob covering every node of each
+/// pattern, pairing same-label nodes whose outgoing edges mutually match.
+///
+/// Lemma 4: if not bisimilar, the patterns cannot be automorphic — so this
+/// is DMine's cheap O((|a|+|b|)^2) prefilter before exact automorphism
+/// checks.
+bool AreBisimilar(const Pattern& a, const Pattern& b);
+
+/// As `AreBisimilar`, additionally requiring the designated nodes x (and y,
+/// when present) to be related. A necessary condition for an automorphism
+/// that fixes the designated nodes — what DMine's rule grouping needs.
+bool AreBisimilarDesignated(const Pattern& a, const Pattern& b);
+
+}  // namespace gpar
+
+#endif  // GPAR_PATTERN_BISIMULATION_H_

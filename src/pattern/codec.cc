@@ -1,0 +1,82 @@
+#include "pattern/codec.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gpar {
+
+Result<Pattern> ParsePattern(const std::string& text, Interner* labels) {
+  Pattern p;
+  std::istringstream is(text);
+  std::string line;
+  size_t lineno = 0;
+  bool saw_x = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    if (kind == 'n') {
+      uint64_t id;
+      std::string label;
+      if (!(ls >> id >> label)) {
+        return Status::Corruption("bad pattern node line " +
+                                  std::to_string(lineno));
+      }
+      if (id != p.num_nodes()) {
+        return Status::Corruption("non-dense pattern node id at line " +
+                                  std::to_string(lineno));
+      }
+      uint32_t mult = 1;
+      std::string tok;
+      bool is_x = false, is_y = false;
+      while (ls >> tok) {
+        if (tok.size() > 1 && tok[0] == '*') {
+          mult = static_cast<uint32_t>(std::stoul(tok.substr(1)));
+        } else if (tok == "x") {
+          is_x = true;
+        } else if (tok == "y") {
+          is_y = true;
+        } else {
+          return Status::Corruption("unknown node attribute '" + tok +
+                                    "' at line " + std::to_string(lineno));
+        }
+      }
+      PNodeId u = p.AddNode(labels->Intern(label), mult);
+      if (is_x) {
+        p.set_x(u);
+        saw_x = true;
+      }
+      if (is_y) p.set_y(u);
+    } else if (kind == 'e') {
+      uint64_t src, dst;
+      std::string label;
+      if (!(ls >> src >> dst >> label)) {
+        return Status::Corruption("bad pattern edge line " +
+                                  std::to_string(lineno));
+      }
+      if (src >= p.num_nodes() || dst >= p.num_nodes()) {
+        return Status::Corruption("pattern edge endpoint out of range at line " +
+                                  std::to_string(lineno));
+      }
+      p.AddEdge(static_cast<PNodeId>(src), labels->Intern(label),
+                static_cast<PNodeId>(dst));
+    } else {
+      return Status::Corruption("unknown pattern record at line " +
+                                std::to_string(lineno));
+    }
+  }
+  if (p.num_nodes() == 0) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  (void)saw_x;  // x defaults to node 0 when unmarked, matching ToString.
+  return p;
+}
+
+std::string SerializePattern(const Pattern& p, const Interner& labels) {
+  return p.ToString(labels);
+}
+
+}  // namespace gpar

@@ -1,0 +1,26 @@
+#ifndef GPAR_PATTERN_CODEC_H_
+#define GPAR_PATTERN_CODEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "pattern/pattern.h"
+
+namespace gpar {
+
+/// Parses the line format emitted by `Pattern::ToString`:
+/// ```
+/// n <id> <label> [*<multiplicity>] [x] [y]
+/// e <src> <dst> <label>
+/// ```
+/// Ids must be dense in declaration order; labels are interned through
+/// `labels`. Blank lines and `#` comments are ignored.
+Result<Pattern> ParsePattern(const std::string& text, Interner* labels);
+
+/// Serializes `p` to the same format (alias of Pattern::ToString, provided
+/// for symmetry with ParsePattern).
+std::string SerializePattern(const Pattern& p, const Interner& labels);
+
+}  // namespace gpar
+
+#endif  // GPAR_PATTERN_CODEC_H_

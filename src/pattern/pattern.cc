@@ -1,0 +1,93 @@
+#include "pattern/pattern.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace gpar {
+
+PNodeId Pattern::AddNode(LabelId label, uint32_t multiplicity) {
+  assert(multiplicity >= 1);
+  nodes_.push_back({label, multiplicity});
+  adj_.emplace_back();
+  return static_cast<PNodeId>(nodes_.size() - 1);
+}
+
+void Pattern::AddEdge(PNodeId src, LabelId label, PNodeId dst) {
+  assert(src < nodes_.size() && dst < nodes_.size());
+  edges_.push_back({src, dst, label});
+  adj_[src].push_back({label, dst, /*out=*/true});
+  if (src != dst) adj_[dst].push_back({label, src, /*out=*/false});
+}
+
+bool Pattern::has_multiplicities() const {
+  for (const PatternNode& n : nodes_) {
+    if (n.multiplicity > 1) return true;
+  }
+  return false;
+}
+
+Pattern Pattern::ExpandMultiplicities(std::vector<PNodeId>* first_copy_out) const {
+  if (!has_multiplicities()) {
+    if (first_copy_out != nullptr) {
+      first_copy_out->resize(nodes_.size());
+      for (PNodeId u = 0; u < nodes_.size(); ++u) (*first_copy_out)[u] = u;
+    }
+    return *this;
+  }
+  assert(nodes_[x_].multiplicity == 1);
+  assert(!has_y() || nodes_[y_].multiplicity == 1);
+
+  Pattern out;
+  // first_copy[u] = id of u's first copy in `out`; copies are contiguous.
+  std::vector<PNodeId> first_copy(nodes_.size());
+  for (PNodeId u = 0; u < nodes_.size(); ++u) {
+    first_copy[u] = out.num_nodes();
+    for (uint32_t c = 0; c < nodes_[u].multiplicity; ++c) {
+      out.AddNode(nodes_[u].label, 1);
+    }
+  }
+  for (const PatternEdge& e : edges_) {
+    // Every copy of src links to every copy of dst ("associated links in
+    // the common neighborhood"). For the typical case one side has
+    // multiplicity 1, reproducing Q1's three like-edges to FR^3.
+    for (uint32_t cs = 0; cs < nodes_[e.src].multiplicity; ++cs) {
+      for (uint32_t cd = 0; cd < nodes_[e.dst].multiplicity; ++cd) {
+        out.AddEdge(first_copy[e.src] + cs, e.label, first_copy[e.dst] + cd);
+      }
+    }
+  }
+  out.set_x(first_copy[x_]);
+  if (has_y()) out.set_y(first_copy[y_]);
+  if (first_copy_out != nullptr) *first_copy_out = first_copy;
+  return out;
+}
+
+std::string Pattern::ToString(const Interner& labels) const {
+  std::ostringstream os;
+  for (PNodeId u = 0; u < nodes_.size(); ++u) {
+    os << "n " << u << ' ' << labels.Name(nodes_[u].label);
+    if (nodes_[u].multiplicity > 1) os << " *" << nodes_[u].multiplicity;
+    if (u == x_) os << " x";
+    if (u == y_) os << " y";
+    os << '\n';
+  }
+  for (const PatternEdge& e : edges_) {
+    os << "e " << e.src << ' ' << e.dst << ' ' << labels.Name(e.label)
+       << '\n';
+  }
+  return os.str();
+}
+
+bool operator==(const Pattern& a, const Pattern& b) {
+  if (a.x_ != b.x_ || a.y_ != b.y_) return false;
+  if (a.nodes_.size() != b.nodes_.size()) return false;
+  for (size_t i = 0; i < a.nodes_.size(); ++i) {
+    if (a.nodes_[i].label != b.nodes_[i].label ||
+        a.nodes_[i].multiplicity != b.nodes_[i].multiplicity) {
+      return false;
+    }
+  }
+  return a.edges_ == b.edges_;
+}
+
+}  // namespace gpar

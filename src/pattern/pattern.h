@@ -1,0 +1,100 @@
+#ifndef GPAR_PATTERN_PATTERN_H_
+#define GPAR_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace gpar {
+
+/// Index of a pattern node within a Pattern.
+using PNodeId = uint32_t;
+inline constexpr PNodeId kNoPatternNode = static_cast<PNodeId>(-1);
+
+/// A pattern node: a search-condition label plus the paper's succinct
+/// multiplicity annotation C(u) = k ("k copies of u with the same label and
+/// associated links in the common neighborhood", Section 2.1).
+struct PatternNode {
+  LabelId label;
+  uint32_t multiplicity = 1;
+};
+
+/// A directed labeled pattern edge.
+struct PatternEdge {
+  PNodeId src;
+  PNodeId dst;
+  LabelId label;
+
+  friend bool operator==(const PatternEdge&, const PatternEdge&) = default;
+};
+
+/// One adjacency record of a pattern node: the incident edge seen from this
+/// node's perspective.
+struct PatternAdj {
+  LabelId elabel;
+  PNodeId other;
+  bool out;  ///< true if the edge leaves this node
+};
+
+/// A pattern query Q = (Vp, Ep, f, C) with up to two designated nodes x and
+/// y (Section 2.1/2.2). Patterns are small (a handful of nodes); the
+/// representation favours simplicity: adjacency lists are kept in sync on
+/// every AddEdge.
+///
+/// Node labels are `LabelId`s interned through the same dictionary as the
+/// graph the pattern will be matched against.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  PNodeId AddNode(LabelId label, uint32_t multiplicity = 1);
+  void AddEdge(PNodeId src, LabelId label, PNodeId dst);
+
+  PNodeId num_nodes() const { return static_cast<PNodeId>(nodes_.size()); }
+  size_t num_edges() const { return edges_.size(); }
+  const PatternNode& node(PNodeId u) const { return nodes_[u]; }
+  const PatternEdge& edge(size_t i) const { return edges_[i]; }
+  std::span<const PatternEdge> edges() const { return edges_; }
+  std::span<const PatternAdj> adj(PNodeId u) const { return adj_[u]; }
+
+  /// Designated node x (the "potential customer"); defaults to node 0.
+  PNodeId x() const { return x_; }
+  void set_x(PNodeId u) { x_ = u; }
+  /// Designated node y, or kNoPatternNode when unset.
+  PNodeId y() const { return y_; }
+  void set_y(PNodeId u) { y_ = u; }
+  bool has_y() const { return y_ != kNoPatternNode; }
+
+  /// True iff some node carries a multiplicity > 1.
+  bool has_multiplicities() const;
+
+  /// Returns an equivalent pattern where every C(u) = k annotation is
+  /// expanded into k copies of u with duplicated incident edges. Designated
+  /// nodes must have multiplicity 1 (checked). Matching always operates on
+  /// the expanded form: injectivity of subgraph isomorphism then forces the
+  /// k copies onto k distinct graph nodes (Example 2/3 counting).
+  ///
+  /// If `first_copy` is non-null it receives, for every original node, the
+  /// id of its first copy in the expanded pattern (used to translate
+  /// anchors).
+  Pattern ExpandMultiplicities(std::vector<PNodeId>* first_copy = nullptr) const;
+
+  /// Human-readable rendering using `labels` for names.
+  std::string ToString(const Interner& labels) const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b);
+
+ private:
+  std::vector<PatternNode> nodes_;
+  std::vector<PatternEdge> edges_;
+  std::vector<std::vector<PatternAdj>> adj_;
+  PNodeId x_ = 0;
+  PNodeId y_ = kNoPatternNode;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_PATTERN_PATTERN_H_

@@ -1,0 +1,143 @@
+#include "pattern/pattern_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "match/matcher.h"
+#include "pattern/automorphism.h"
+#include "pattern/pattern_ops.h"
+
+namespace gpar {
+
+namespace {
+
+/// Lifts one pattern from the neighborhood of graph node `vx`: starts with
+/// the consequent edge (vx, q, vy) and repeatedly copies a random incident
+/// graph edge of an already-lifted node, keeping the radius bound.
+bool LiftPattern(const Graph& g, const Predicate& q, NodeId vx, Rng& rng,
+                 const GparGenOptions& opt, Pattern* out) {
+  // Pick a valid consequent endpoint vy.
+  auto q_edges = g.out_edges_labeled(vx, q.edge_label);
+  std::vector<NodeId> vy_cands;
+  for (const AdjEntry& e : q_edges) {
+    if (g.node_label(e.other) == q.y_label) vy_cands.push_back(e.other);
+  }
+  if (vy_cands.empty()) return false;
+  NodeId vy = vy_cands[rng.Uniform(vy_cands.size())];
+
+  Pattern p;
+  std::unordered_map<NodeId, PNodeId> lifted;  // graph node -> pattern node
+  std::vector<NodeId> lifted_order;
+  PNodeId px = p.AddNode(g.node_label(vx));
+  PNodeId py = p.AddNode(g.node_label(vy));
+  p.set_x(px);
+  p.set_y(py);
+  lifted[vx] = px;
+  lifted[vy] = py;
+  lifted_order = {vx, vy};
+
+  // The antecedent must be nonempty and must not duplicate q(x, y); build
+  // edges until targets are met or attempts run out.
+  std::map<std::tuple<PNodeId, LabelId, PNodeId>, bool> have_edges;
+  size_t edges_added = 0;
+  const size_t edge_target = opt.num_edges > 0 ? opt.num_edges - 1 : 1;
+  for (int attempt = 0; attempt < 200 && edges_added < edge_target;
+       ++attempt) {
+    NodeId src_g = lifted_order[rng.Uniform(lifted_order.size())];
+    PNodeId src_p = lifted[src_g];
+    // Choose a random incident edge (out or in) of src_g.
+    size_t od = g.out_degree(src_g);
+    size_t id = g.in_degree(src_g);
+    if (od + id == 0) continue;
+    size_t pick = rng.Uniform(od + id);
+    bool out_dir = pick < od;
+    AdjEntry e = out_dir ? g.out_edges(src_g)[pick]
+                         : g.in_edges(src_g)[pick - od];
+    NodeId other_g = e.other;
+
+    auto it = lifted.find(other_g);
+    const bool is_new = it == lifted.end();
+    if (is_new && p.num_nodes() >= opt.num_nodes) continue;
+    // A brand-new node cannot produce a duplicate edge; for existing nodes
+    // check before mutating the pattern.
+    PNodeId other_p = is_new ? p.num_nodes() : it->second;
+    PNodeId es = out_dir ? src_p : other_p;
+    PNodeId ed = out_dir ? other_p : src_p;
+    if (!is_new) {
+      if (have_edges.count({es, e.label, ed}) > 0) continue;
+      if (es == px && ed == py && e.label == q.edge_label) continue;
+    }
+    if (is_new) {
+      PNodeId added = p.AddNode(g.node_label(other_g));
+      (void)added;
+      lifted[other_g] = other_p;
+      lifted_order.push_back(other_g);
+    }
+    p.AddEdge(es, e.label, ed);
+    have_edges[{es, e.label, ed}] = true;
+    ++edges_added;
+  }
+  if (edges_added == 0) return false;
+
+  // Radius check on P_R.
+  Pattern pr = p;
+  pr.AddEdge(px, q.edge_label, py);
+  if (!IsConnected(pr) || Radius(pr, px) > opt.max_radius) return false;
+  *out = std::move(p);
+  return true;
+}
+
+}  // namespace
+
+std::vector<Gpar> GenerateGparWorkload(const Graph& g, const Predicate& q,
+                                       size_t count,
+                                       const GparGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Gpar> out;
+  std::map<std::string, std::vector<Pattern>> seen;
+
+  // Candidate anchors: nodes with a valid consequent edge (q-matches).
+  std::vector<NodeId> anchors;
+  for (NodeId v : g.nodes_with_label(q.x_label)) {
+    for (const AdjEntry& e : g.out_edges_labeled(v, q.edge_label)) {
+      if (g.node_label(e.other) == q.y_label) {
+        anchors.push_back(v);
+        break;
+      }
+    }
+  }
+  if (anchors.empty()) return out;
+
+  const size_t max_attempts = count * 50 + 100;
+  for (size_t attempt = 0; attempt < max_attempts && out.size() < count;
+       ++attempt) {
+    NodeId vx = anchors[rng.Uniform(anchors.size())];
+    Pattern p;
+    if (!LiftPattern(g, q, vx, rng, options, &p)) continue;
+    auto r = Gpar::Create(std::move(p), q.edge_label);
+    if (!r.ok()) continue;
+    // The radius bound applies to evaluation depth (P_R *and* the
+    // antecedent's x-component): workloads must not force the EIP
+    // partitioner into deeper-than-requested neighborhoods.
+    if (r.value().eval_radius() > options.max_radius) continue;
+    // Distinctness up to designated isomorphism.
+    std::string key = IsomorphismBucketKey(r.value().pr());
+    auto& bucket = seen[key];
+    bool dup = false;
+    for (const Pattern& prev : bucket) {
+      if (AreIsomorphic(prev, r.value().pr(), /*preserve_designated=*/true)) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    bucket.push_back(r.value().pr());
+    out.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+}  // namespace gpar

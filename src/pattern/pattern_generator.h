@@ -1,0 +1,34 @@
+#ifndef GPAR_PATTERN_PATTERN_GENERATOR_H_
+#define GPAR_PATTERN_PATTERN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rule/gpar.h"
+
+namespace gpar {
+
+/// Options for the GPAR workload generator (the paper's "pattern generator",
+/// Section 6: GPARs controlled by |Vp| and |Ep| with labels drawn from the
+/// data).
+struct GparGenOptions {
+  uint32_t num_nodes = 5;   ///< |Vp| including x and y
+  uint32_t num_edges = 8;   ///< |Ep| including the consequent edge
+  uint32_t max_radius = 2;  ///< r(P_R, x) bound
+  uint64_t seed = 42;
+};
+
+/// Generates `count` distinct GPARs pertaining to `q` whose patterns are
+/// *lifted from the graph*: each is grown by a random walk over the
+/// d-neighborhood of an actual q-match, so every generated GPAR has
+/// supp(R, G) >= 1 (the generated workloads are "meaningful", like the 48
+/// hand-picked GPARs in the paper's evaluation). Returns fewer than `count`
+/// if the graph cannot support that many distinct patterns.
+std::vector<Gpar> GenerateGparWorkload(const Graph& g, const Predicate& q,
+                                       size_t count,
+                                       const GparGenOptions& options);
+
+}  // namespace gpar
+
+#endif  // GPAR_PATTERN_PATTERN_GENERATOR_H_

@@ -1,0 +1,50 @@
+#include "rule/diversity.h"
+
+#include <algorithm>
+
+namespace gpar {
+
+double JaccardDistance(const std::vector<NodeId>& a_sorted,
+                       const std::vector<NodeId>& b_sorted) {
+  if (a_sorted.empty() && b_sorted.empty()) return 0;
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < a_sorted.size() && j < b_sorted.size()) {
+    if (a_sorted[i] < b_sorted[j]) {
+      ++i;
+    } else if (a_sorted[i] > b_sorted[j]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  size_t uni = a_sorted.size() + b_sorted.size() - inter;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double ObjectiveF(const std::vector<double>& confs,
+                  const std::vector<const std::vector<NodeId>*>& match_sets,
+                  double lambda, double n_norm, uint32_t k) {
+  double conf_sum = 0;
+  for (double c : confs) conf_sum += c;
+  double diff_sum = 0;
+  for (size_t i = 0; i < match_sets.size(); ++i) {
+    for (size_t j = i + 1; j < match_sets.size(); ++j) {
+      diff_sum += JaccardDistance(*match_sets[i], *match_sets[j]);
+    }
+  }
+  double conf_term = n_norm > 0 ? (1.0 - lambda) * conf_sum / n_norm : 0;
+  double div_term = k > 1 ? 2.0 * lambda / (k - 1) * diff_sum : 0;
+  return conf_term + div_term;
+}
+
+double FPrime(double conf1, double conf2, double diff, double lambda,
+              double n_norm, uint32_t k) {
+  if (k <= 1 || n_norm <= 0) return 0;
+  return (1.0 - lambda) / (n_norm * (k - 1)) * (conf1 + conf2) +
+         2.0 * lambda / (k - 1) * diff;
+}
+
+}  // namespace gpar

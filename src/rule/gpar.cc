@@ -1,0 +1,174 @@
+#include "rule/gpar.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "pattern/codec.h"
+#include "pattern/pattern_ops.h"
+
+namespace gpar {
+
+Pattern Predicate::ToPattern() const {
+  Pattern p;
+  PNodeId x = p.AddNode(x_label);
+  PNodeId y = p.AddNode(y_label);
+  p.AddEdge(x, edge_label, y);
+  p.set_x(x);
+  p.set_y(y);
+  return p;
+}
+
+Result<Gpar> Gpar::Create(Pattern antecedent, LabelId q_label) {
+  if (!antecedent.has_y()) {
+    return Status::InvalidArgument("antecedent must designate y");
+  }
+  if (antecedent.x() == antecedent.y()) {
+    return Status::InvalidArgument("x and y must be distinct");
+  }
+  if (antecedent.num_edges() == 0) {
+    return Status::InvalidArgument("antecedent Q must be nonempty");
+  }
+  if (antecedent.node(antecedent.x()).multiplicity != 1 ||
+      antecedent.node(antecedent.y()).multiplicity != 1) {
+    return Status::InvalidArgument("designated nodes must have multiplicity 1");
+  }
+  for (const PatternEdge& e : antecedent.edges()) {
+    if (e.src == antecedent.x() && e.dst == antecedent.y() &&
+        e.label == q_label) {
+      return Status::InvalidArgument("q(x, y) must not appear in Q");
+    }
+  }
+  Gpar r;
+  r.q_label_ = q_label;
+  r.pr_ = antecedent;
+  r.pr_.AddEdge(antecedent.x(), q_label, antecedent.y());
+  r.antecedent_ = std::move(antecedent);
+  if (!IsConnected(r.pr_)) {
+    return Status::InvalidArgument("P_R must be connected");
+  }
+
+  // Decompose Q into the x-component and the rest.
+  const Pattern& q = r.antecedent_;
+  std::vector<uint32_t> dist = DistancesFrom(q, q.x());
+  std::vector<PNodeId> remap(q.num_nodes(), kNoPatternNode);
+  for (PNodeId u = 0; u < q.num_nodes(); ++u) {
+    if (dist[u] != kUnreachable) {
+      remap[u] = r.x_component_.AddNode(q.node(u).label,
+                                        q.node(u).multiplicity);
+    }
+  }
+  r.x_component_.set_x(remap[q.x()]);
+  if (dist[q.y()] != kUnreachable) r.x_component_.set_y(remap[q.y()]);
+  for (const PatternEdge& e : q.edges()) {
+    if (remap[e.src] != kNoPatternNode) {
+      r.x_component_.AddEdge(remap[e.src], e.label, remap[e.dst]);
+    }
+  }
+  // Remaining components, peeled off one root at a time.
+  std::vector<bool> taken(q.num_nodes(), false);
+  for (PNodeId u = 0; u < q.num_nodes(); ++u) {
+    taken[u] = dist[u] != kUnreachable;
+  }
+  for (PNodeId root = 0; root < q.num_nodes(); ++root) {
+    if (taken[root]) continue;
+    std::vector<uint32_t> cd = DistancesFrom(q, root);
+    Pattern comp;
+    std::vector<PNodeId> cmap(q.num_nodes(), kNoPatternNode);
+    for (PNodeId u = 0; u < q.num_nodes(); ++u) {
+      if (cd[u] != kUnreachable) {
+        cmap[u] = comp.AddNode(q.node(u).label, q.node(u).multiplicity);
+        taken[u] = true;
+      }
+    }
+    comp.set_x(0);
+    for (const PatternEdge& e : q.edges()) {
+      if (cmap[e.src] != kNoPatternNode) {
+        comp.AddEdge(cmap[e.src], e.label, cmap[e.dst]);
+      }
+    }
+    r.other_components_.push_back(std::move(comp));
+  }
+
+  uint32_t q_radius = Radius(r.x_component_, r.x_component_.x());
+  r.eval_radius_ = std::max(Radius(r.pr_, r.pr_.x()), q_radius);
+  return r;
+}
+
+uint32_t Gpar::radius_at_x() const { return Radius(pr_, pr_.x()); }
+
+std::string Gpar::ToString(const Interner& labels) const {
+  std::ostringstream os;
+  os << "GPAR: Q(x,y) => " << labels.Name(q_label_) << "(x,y)\n"
+     << antecedent_.ToString(labels);
+  return os.str();
+}
+
+std::string Gpar::Serialize(const Interner& labels) const {
+  std::ostringstream os;
+  os << antecedent_.ToString(labels);
+  os << "q " << labels.Name(q_label_) << '\n';
+  return os.str();
+}
+
+Result<Gpar> Gpar::Parse(const std::string& text, Interner* labels) {
+  // Split off the `q <label>` line; the rest is the antecedent pattern.
+  std::istringstream is(text);
+  std::string line;
+  std::ostringstream pattern_text;
+  LabelId q_label = kNoLabel;
+  while (std::getline(is, line)) {
+    if (line.rfind("q ", 0) == 0) {
+      std::string name = line.substr(2);
+      while (!name.empty() && (name.back() == ' ' || name.back() == '\r')) {
+        name.pop_back();
+      }
+      q_label = labels->Intern(name);
+    } else {
+      pattern_text << line << '\n';
+    }
+  }
+  if (q_label == kNoLabel) {
+    return Status::Corruption("GPAR text missing 'q <label>' line");
+  }
+  GPAR_ASSIGN_OR_RETURN(Pattern antecedent,
+                        ParsePattern(pattern_text.str(), labels));
+  return Create(std::move(antecedent), q_label);
+}
+
+std::string Gpar::SerializeSet(const std::vector<Gpar>& rules,
+                               const Interner& labels) {
+  std::ostringstream os;
+  for (const Gpar& r : rules) {
+    os << r.Serialize(labels) << "---\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<Gpar>> Gpar::ParseSet(const std::string& text,
+                                         Interner* labels) {
+  std::vector<Gpar> out;
+  std::istringstream is(text);
+  std::string line;
+  std::ostringstream block;
+  auto flush = [&]() -> Status {
+    std::string b = block.str();
+    block.str("");
+    bool blank = b.find_first_not_of(" \t\r\n") == std::string::npos;
+    if (blank) return Status::OK();
+    GPAR_ASSIGN_OR_RETURN(Gpar r, Parse(b, labels));
+    out.push_back(std::move(r));
+    return Status::OK();
+  };
+  while (std::getline(is, line)) {
+    if (line.rfind("---", 0) == 0) {
+      GPAR_RETURN_NOT_OK(flush());
+    } else {
+      block << line << '\n';
+    }
+  }
+  GPAR_RETURN_NOT_OK(flush());
+  return out;
+}
+
+}  // namespace gpar

@@ -1,0 +1,108 @@
+#ifndef GPAR_RULE_GPAR_H_
+#define GPAR_RULE_GPAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pattern/pattern.h"
+
+namespace gpar {
+
+/// The consequent predicate q(x, y) of a GPAR: an edge labeled `edge_label`
+/// from a node satisfying `x_label` to one satisfying `y_label`.
+/// `y_label` may be a value binding (e.g. "fake" in Q4 of the paper).
+struct Predicate {
+  LabelId x_label;
+  LabelId edge_label;
+  LabelId y_label;
+
+  /// P_q: the two-node pattern {x --q--> y} with x designated 0, y 1.
+  Pattern ToPattern() const;
+
+  friend bool operator==(const Predicate&, const Predicate&) = default;
+};
+
+/// A graph-pattern association rule R(x, y): Q(x, y) => q(x, y)
+/// (Section 2.2).
+///
+/// The antecedent Q is a graph pattern with designated nodes x and y; the
+/// consequent is a single edge predicate q(x, y) carrying the same search
+/// conditions on x and y. The rule is represented by the pattern
+/// P_R = Q + q(x, y). Validity (checked by `Create`):
+///   (1) P_R is connected;
+///   (2) Q is nonempty (at least one edge);
+///   (3) q(x, y) does not appear in Q.
+class Gpar {
+ public:
+  Gpar() = default;
+
+  /// Builds and validates a GPAR from antecedent Q (x and y designated)
+  /// and the consequent edge label.
+  static Result<Gpar> Create(Pattern antecedent, LabelId q_label);
+
+  /// Q(x, y) — the antecedent pattern.
+  const Pattern& antecedent() const { return antecedent_; }
+  /// P_R(x, y) — antecedent plus the consequent edge.
+  const Pattern& pr() const { return pr_; }
+  LabelId q_label() const { return q_label_; }
+
+  /// The consequent predicate labels, derived from the designated nodes.
+  Predicate predicate() const {
+    return {antecedent_.node(antecedent_.x()).label, q_label_,
+            antecedent_.node(antecedent_.y()).label};
+  }
+
+  /// r(P_R, x): the pattern radius at x; the mining bound d applies to it.
+  uint32_t radius_at_x() const;
+
+  /// The connected component of the antecedent Q that contains x (node ids
+  /// renumbered; x and, if reachable, y re-designated). Fragment-local
+  /// matching of the antecedent uses this component: it is exactly
+  /// localizable within `eval_radius()` hops of the candidate, whereas
+  /// components not containing x can match anywhere in G and are checked
+  /// globally once (`other_components`).
+  const Pattern& x_component() const { return x_component_; }
+
+  /// Components of Q not containing x (e.g. an isolated y when the only
+  /// y-edge is the consequent). Often empty.
+  const std::vector<Pattern>& other_components() const {
+    return other_components_;
+  }
+
+  /// The d-neighborhood depth needed to decide membership of a candidate
+  /// in both P_R(x, ·) and Q(x, ·) locally:
+  /// max(r(P_R, x), r(x_component of Q, x)). Note the second term can
+  /// exceed the first: the consequent edge is a shortcut to y that the
+  /// antecedent alone does not have.
+  uint32_t eval_radius() const { return eval_radius_; }
+
+  std::string ToString(const Interner& labels) const;
+
+  friend bool operator==(const Gpar& a, const Gpar& b) {
+    return a.q_label_ == b.q_label_ && a.antecedent_ == b.antecedent_;
+  }
+
+  /// Round-trippable text form: the antecedent in the pattern codec format
+  /// followed by a `q <edge_label>` consequent line.
+  std::string Serialize(const Interner& labels) const;
+  static Result<Gpar> Parse(const std::string& text, Interner* labels);
+
+  /// (De)serializes a rule set, one rule per `---`-separated block.
+  static std::string SerializeSet(const std::vector<Gpar>& rules,
+                                  const Interner& labels);
+  static Result<std::vector<Gpar>> ParseSet(const std::string& text,
+                                            Interner* labels);
+
+ private:
+  Pattern antecedent_;
+  Pattern pr_;
+  Pattern x_component_;
+  std::vector<Pattern> other_components_;
+  uint32_t eval_radius_ = 0;
+  LabelId q_label_ = kNoLabel;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_RULE_GPAR_H_

@@ -1,0 +1,114 @@
+#include "rule/multi_consequent.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "pattern/pattern_ops.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+
+Result<MultiConsequentGpar> MultiConsequentGpar::Create(
+    Pattern antecedent, std::vector<ConsequentEdge> consequents) {
+  if (consequents.empty()) {
+    return Status::InvalidArgument("at least one consequent is required");
+  }
+  if (antecedent.num_edges() == 0) {
+    return Status::InvalidArgument("antecedent Q must be nonempty");
+  }
+  std::set<std::pair<LabelId, PNodeId>> seen;
+  for (const ConsequentEdge& c : consequents) {
+    if (c.target >= antecedent.num_nodes()) {
+      return Status::InvalidArgument("consequent target out of range");
+    }
+    if (c.target == antecedent.x()) {
+      return Status::InvalidArgument("consequent target must differ from x");
+    }
+    if (!seen.insert({c.edge_label, c.target}).second) {
+      return Status::InvalidArgument("duplicate consequent");
+    }
+    for (const PatternEdge& e : antecedent.edges()) {
+      if (e.src == antecedent.x() && e.dst == c.target &&
+          e.label == c.edge_label) {
+        return Status::InvalidArgument("a consequent already appears in Q");
+      }
+    }
+  }
+
+  MultiConsequentGpar r;
+  r.consequents_ = consequents;
+  r.pr_ = antecedent;
+  for (const ConsequentEdge& c : consequents) {
+    r.pr_.AddEdge(antecedent.x(), c.edge_label, c.target);
+  }
+  if (!IsConnected(r.pr_)) {
+    return Status::InvalidArgument("P_R must be connected");
+  }
+  // q*: the star of consequent edges with fresh target nodes carrying the
+  // antecedent targets' labels.
+  PNodeId qx = r.q_star_.AddNode(antecedent.node(antecedent.x()).label);
+  r.q_star_.set_x(qx);
+  for (const ConsequentEdge& c : consequents) {
+    PNodeId t = r.q_star_.AddNode(antecedent.node(c.target).label,
+                                  antecedent.node(c.target).multiplicity);
+    r.q_star_.AddEdge(qx, c.edge_label, t);
+  }
+  r.antecedent_ = std::move(antecedent);
+  return r;
+}
+
+std::string MultiConsequentGpar::ToString(const Interner& labels) const {
+  std::ostringstream os;
+  os << "GPAR: Q(x,y*) =>";
+  for (const ConsequentEdge& c : consequents_) {
+    os << ' ' << labels.Name(c.edge_label) << "(x,n" << c.target << ")";
+  }
+  os << '\n' << antecedent_.ToString(labels);
+  return os.str();
+}
+
+MultiConsequentEval EvaluateMultiConsequent(Matcher& m,
+                                            const MultiConsequentGpar& r) {
+  MultiConsequentEval eval;
+  const Graph& g = m.graph();
+  const Pattern& qs = r.q_star();
+
+  // Composite-event pools.
+  std::vector<NodeId> q_matches = m.Images(qs, qs.x());
+  std::sort(q_matches.begin(), q_matches.end());
+  eval.supp_q = q_matches.size();
+
+  std::vector<NodeId> qbar;
+  const LabelId x_label = qs.node(qs.x()).label;
+  for (NodeId v : g.nodes_with_label(x_label)) {
+    if (std::binary_search(q_matches.begin(), q_matches.end(), v)) continue;
+    // Negative under LCWA for the conjunction: the node "talks about"
+    // every consequent predicate (has >= 1 edge of each label) yet fails
+    // the composite event. Nodes silent on any q_i stay unknown.
+    bool all_labels = true;
+    for (const ConsequentEdge& c : r.consequents()) {
+      if (!g.HasOutLabel(v, c.edge_label)) {
+        all_labels = false;
+        break;
+      }
+    }
+    if (all_labels) qbar.push_back(v);
+  }
+  eval.supp_qbar = qbar.size();
+
+  for (NodeId v : q_matches) {
+    if (m.ExistsAt(r.pr(), v)) eval.pr_matches.push_back(v);
+  }
+  std::sort(eval.pr_matches.begin(), eval.pr_matches.end());
+  eval.supp_r = eval.pr_matches.size();
+
+  for (NodeId v : qbar) {
+    if (m.ExistsAt(r.antecedent(), v)) ++eval.supp_qqbar;
+  }
+  eval.conf = BayesFactorConf(eval.supp_r, eval.supp_qbar, eval.supp_qqbar,
+                              eval.supp_q);
+  return eval;
+}
+
+}  // namespace gpar

@@ -1,0 +1,75 @@
+#ifndef GPAR_RULE_MULTI_CONSEQUENT_H_
+#define GPAR_RULE_MULTI_CONSEQUENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "match/matcher.h"
+#include "pattern/pattern.h"
+
+namespace gpar {
+
+/// One consequent predicate of a conjunctive-consequent GPAR: an edge
+/// labeled `edge_label` from x to the antecedent node `target`.
+struct ConsequentEdge {
+  LabelId edge_label;
+  PNodeId target;
+};
+
+/// The paper's §2.2 remark: "a consequent can be readily extended to
+/// multiple predicates and even to a graph pattern". This class implements
+/// the conjunctive form
+///
+///   R(x, y_1..y_m): Q(x, y_1..y_m) => q_1(x, y_1) ∧ ... ∧ q_m(x, y_m)
+///
+/// interpreted as a single composite event: a match must satisfy *all*
+/// consequent edges. (Each target y_i is a node of Q; the single-predicate
+/// Gpar is the m = 1 special case.)
+///
+/// Metrics mirror Section 3, with the composite consequent playing q's
+/// role: P_q* is the star {x --q_i--> y_i}; the LCWA negative pool contains
+/// nodes with at least one edge of every q_i label that still fail P_q*.
+class MultiConsequentGpar {
+ public:
+  MultiConsequentGpar() = default;
+
+  /// Validates: >= 1 consequent, antecedent nonempty, no consequent
+  /// duplicated in Q, P_R connected, distinct targets.
+  static Result<MultiConsequentGpar> Create(
+      Pattern antecedent, std::vector<ConsequentEdge> consequents);
+
+  const Pattern& antecedent() const { return antecedent_; }
+  /// P_R: antecedent plus every consequent edge.
+  const Pattern& pr() const { return pr_; }
+  /// P_q*: x plus the consequent star only (labels from the antecedent).
+  const Pattern& q_star() const { return q_star_; }
+  const std::vector<ConsequentEdge>& consequents() const {
+    return consequents_;
+  }
+
+  std::string ToString(const Interner& labels) const;
+
+ private:
+  Pattern antecedent_;
+  Pattern pr_;
+  Pattern q_star_;
+  std::vector<ConsequentEdge> consequents_;
+};
+
+/// Section-3 metrics for the composite event.
+struct MultiConsequentEval {
+  uint64_t supp_r = 0;       ///< ||P_R(x, G)||
+  uint64_t supp_q = 0;       ///< ||P_q*(x, G)||
+  uint64_t supp_qbar = 0;    ///< LCWA negatives for the composite event
+  uint64_t supp_qqbar = 0;   ///< negatives matching the antecedent
+  double conf = 0;           ///< BF/LCWA confidence
+  std::vector<NodeId> pr_matches;  ///< sorted
+};
+
+MultiConsequentEval EvaluateMultiConsequent(Matcher& m,
+                                            const MultiConsequentGpar& r);
+
+}  // namespace gpar
+
+#endif  // GPAR_RULE_MULTI_CONSEQUENT_H_

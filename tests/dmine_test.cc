@@ -1,0 +1,242 @@
+#include "mine/dmine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "graph/generator.h"
+#include "graph/paper_graphs.h"
+#include "match/matcher.h"
+#include "mine/naive_miner.h"
+#include "pattern/automorphism.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+namespace {
+
+DmineOptions SmallOptions() {
+  DmineOptions opt;
+  opt.num_workers = 2;
+  opt.k = 2;
+  opt.d = 2;
+  opt.sigma = 1;
+  opt.lambda = 0.5;
+  opt.max_pattern_edges = 4;
+  opt.seed_edge_limit = 8;
+  opt.max_candidates_per_round = 200;
+  return opt;
+}
+
+/// Canonical fingerprint of a mined pool: per rule, (bucket key, supp,
+/// supp_qqbar) sorted — two runs with equal fingerprints found the same
+/// rules with the same statistics.
+std::vector<std::string> PoolFingerprint(
+    const std::vector<std::shared_ptr<MinedRule>>& pool) {
+  std::vector<std::string> out;
+  for (const auto& r : pool) {
+    out.push_back(IsomorphismBucketKey(r->rule.pr()) + "|s=" +
+                  std::to_string(r->supp) + "|n=" +
+                  std::to_string(r->supp_qqbar));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DmineTest, DiscoversRulesOnG1) {
+  PaperG1 g1 = MakePaperG1();
+  auto result = Dmine(g1.graph, g1.q, SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.supp_q, 5u);
+  EXPECT_EQ(result->stats.supp_qbar, 1u);
+  EXPECT_GT(result->stats.accepted, 0u);
+  ASSERT_EQ(result->topk.size(), 2u);
+  EXPECT_GT(result->objective, 0.9);  // at least Example 9's round-1 value
+
+  // Every reported rule's statistics must agree with a from-scratch
+  // sequential evaluation (cross-validation of the parallel assembly).
+  VF2Matcher m(g1.graph);
+  QStats stats = ComputeQStats(m, g1.q);
+  for (const auto& r : result->topk) {
+    GparEval eval = EvaluateGpar(m, r->rule, stats,
+                                 {.compute_antecedent_images = false});
+    EXPECT_EQ(r->supp, eval.supp_r);
+    EXPECT_EQ(r->supp_qqbar, eval.supp_qqbar);
+    EXPECT_DOUBLE_EQ(r->conf, eval.conf);
+    EXPECT_EQ(r->matches, eval.pr_matches);
+    EXPECT_LE(r->rule.radius_at_x(), SmallOptions().d);
+    EXPECT_GE(r->supp, SmallOptions().sigma);
+  }
+}
+
+TEST(DmineTest, PoolIndependentOfWorkerCount) {
+  // Parallel correctness: the accepted rule pool (with exact supports) must
+  // not depend on n. Reduction rules are disabled so pruning order cannot
+  // mask differences.
+  PaperG1 g1 = MakePaperG1();
+  DmineOptions opt = SmallOptions();
+  opt.enable_reduction_rules = false;
+
+  std::vector<std::string> reference;
+  for (uint32_t n : {1u, 2u, 4u}) {
+    opt.num_workers = n;
+    auto result = Dmine(g1.graph, g1.q, opt);
+    ASSERT_TRUE(result.ok());
+    // Recover the pool from stats: compare via accepted counts + topk only
+    // is weak; rerun and compare pool fingerprints via NaiveMine below.
+    if (reference.empty()) {
+      reference.push_back(std::to_string(result->stats.accepted));
+    } else {
+      EXPECT_EQ(reference[0], std::to_string(result->stats.accepted))
+          << "accepted pool size differs at n=" << n;
+    }
+    EXPECT_GT(result->objective, 0.0);
+  }
+}
+
+TEST(DmineTest, MatchesNaiveMinerOracle) {
+  // DMine without reduction pruning must discover exactly the same rules
+  // with the same supports as the sequential exhaustive miner.
+  PaperG1 g1 = MakePaperG1();
+  DmineOptions opt = SmallOptions();
+  opt.enable_reduction_rules = false;
+
+  auto naive = NaiveMine(g1.graph, g1.q, opt);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_GT(naive->all_rules.size(), 0u);
+
+  opt.num_workers = 3;
+  auto parallel = Dmine(g1.graph, g1.q, opt);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->stats.accepted, naive->all_rules.size());
+
+  // Compare via sequential re-evaluation of DMine's top-k against the
+  // naive pool fingerprints.
+  auto naive_fp = PoolFingerprint(naive->all_rules);
+  for (const auto& r : parallel->topk) {
+    std::string fp = IsomorphismBucketKey(r->rule.pr()) + "|s=" +
+                     std::to_string(r->supp) + "|n=" +
+                     std::to_string(r->supp_qqbar);
+    EXPECT_TRUE(std::binary_search(naive_fp.begin(), naive_fp.end(), fp))
+        << "DMine produced a rule the oracle does not know: " << fp;
+  }
+}
+
+TEST(DmineTest, DmineNoFindsSameQualityTopK) {
+  // DMineno (no optimizations) is slower but must reach a top-k of the
+  // same objective quality (both are 2-approximations; the greedy choices
+  // coincide on this small instance).
+  PaperG1 g1 = MakePaperG1();
+  DmineOptions opt = SmallOptions();
+  auto fast = Dmine(g1.graph, g1.q, opt);
+  auto slow = Dmine(g1.graph, g1.q, DmineNoOptions(opt));
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_NEAR(fast->objective, slow->objective, 1e-9);
+}
+
+TEST(DmineTest, SupportThresholdFilters) {
+  PaperG1 g1 = MakePaperG1();
+  DmineOptions opt = SmallOptions();
+  opt.sigma = 4;  // only rules with supp >= 4 survive
+  auto result = Dmine(g1.graph, g1.q, opt);
+  ASSERT_TRUE(result.ok());
+  for (const auto& r : result->topk) {
+    EXPECT_GE(r->supp, 4u);
+  }
+}
+
+TEST(DmineTest, TrivialPredicateYieldsEmptyResult) {
+  PaperG1 g1 = MakePaperG1();
+  Predicate q = g1.q;
+  q.edge_label = g1.graph.labels().Lookup("live_in");
+  q.y_label = g1.graph.labels().Lookup("Asian_restaurant");  // nobody
+  auto result = Dmine(g1.graph, q, SmallOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.supp_q, 0u);
+  EXPECT_TRUE(result->topk.empty());
+}
+
+TEST(DmineTest, InvalidOptionsRejected) {
+  PaperG1 g1 = MakePaperG1();
+  DmineOptions opt = SmallOptions();
+  opt.num_workers = 0;
+  EXPECT_FALSE(Dmine(g1.graph, g1.q, opt).ok());
+  opt = SmallOptions();
+  opt.k = 1;
+  EXPECT_FALSE(Dmine(g1.graph, g1.q, opt).ok());
+  opt = SmallOptions();
+  opt.d = 0;
+  EXPECT_FALSE(Dmine(g1.graph, g1.q, opt).ok());
+}
+
+TEST(DmineTest, BisimPrefilterDoesNotChangeDedup) {
+  // Lemma 4 guarantees the prefilter never merges non-automorphic rules:
+  // candidate counts with and without it must be identical.
+  PaperG1 g1 = MakePaperG1();
+  DmineOptions with = SmallOptions();
+  DmineOptions without = SmallOptions();
+  without.enable_bisim_prefilter = false;
+  auto a = Dmine(g1.graph, g1.q, with);
+  auto b = Dmine(g1.graph, g1.q, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->stats.candidates_verified, b->stats.candidates_verified);
+  EXPECT_EQ(a->stats.automorphic_merged, b->stats.automorphic_merged);
+  EXPECT_GT(a->stats.bisim_tests, 0u);
+  EXPECT_EQ(b->stats.bisim_tests, 0u);
+  // The prefilter skips exact iso tests for non-bisimilar pairs.
+  EXPECT_LE(a->stats.iso_tests, b->stats.iso_tests);
+}
+
+TEST(DmineTest, GenerateExtensionsRadiusDiscipline) {
+  // One-edge extensions of the bare predicate, and of those, stay within
+  // the radius bound d — measured on P_R *and* on the antecedent's
+  // x-component (eval_radius).
+  PaperG1 g1 = MakePaperG1();
+  const Interner& labels = g1.graph.labels();
+  Pattern base;
+  PNodeId x = base.AddNode(labels.Lookup("cust"));
+  PNodeId y = base.AddNode(labels.Lookup("French_restaurant"));
+  base.set_x(x);
+  base.set_y(y);
+
+  auto seeds = FrequentEdgePatterns(g1.graph, 8);
+  const uint32_t d = 2;
+  auto level1 = GenerateExtensions(base, labels.Lookup("visit"), d, 4, seeds);
+  ASSERT_GT(level1.size(), 0u);
+  for (const Gpar& r : level1) {
+    EXPECT_LE(r.eval_radius(), d);
+    EXPECT_EQ(r.antecedent().num_edges(), 1u);
+  }
+
+  for (const Gpar& r : level1) {
+    auto level2 = GenerateExtensions(r.antecedent(), labels.Lookup("visit"),
+                                     d, 4, seeds);
+    for (const Gpar& r2 : level2) {
+      EXPECT_LE(r2.eval_radius(), d);
+      EXPECT_EQ(r2.antecedent().num_edges(), 2u);
+    }
+  }
+
+  // Edge cap: no extensions beyond max_edges.
+  auto capped = GenerateExtensions(level1[0].antecedent(),
+                                   labels.Lookup("visit"), d, 1, seeds);
+  EXPECT_TRUE(capped.empty());
+}
+
+TEST(DmineTest, WorksOnSyntheticGraph) {
+  Graph g = MakeSynthetic(400, 1200, 20, 5);
+  auto freq = FrequentEdgePatterns(g, 1);
+  ASSERT_FALSE(freq.empty());
+  Predicate q{freq[0].src_label, freq[0].edge_label, freq[0].dst_label};
+  DmineOptions opt = SmallOptions();
+  opt.sigma = 2;
+  auto result = Dmine(g, q, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->stats.candidates_verified, 0u);
+}
+
+}  // namespace
+}  // namespace gpar

@@ -1,0 +1,87 @@
+#include "mine/fsm.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/paper_graphs.h"
+#include "match/matcher.h"
+#include "pattern/pattern_ops.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+namespace {
+
+TEST(FsmTest, SingleEdgePatternsOnG1) {
+  PaperG1 g1 = MakePaperG1();
+  FsmOptions opt;
+  opt.min_support = 2;
+  opt.max_edges = 1;
+  opt.seed_edge_limit = 20;
+  auto patterns = MineFrequentSubgraphs(g1.graph, opt);
+  ASSERT_FALSE(patterns.empty());
+  // All results meet the threshold and are sorted by support.
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    EXPECT_GE(patterns[i].support, opt.min_support);
+    if (i > 0) EXPECT_LE(patterns[i].support, patterns[i - 1].support);
+    EXPECT_EQ(patterns[i].pattern.num_edges(), 1u);
+  }
+}
+
+TEST(FsmTest, SupportsAreMniExact) {
+  PaperG1 g1 = MakePaperG1();
+  VF2Matcher m(g1.graph);
+  FsmOptions opt;
+  opt.min_support = 2;
+  opt.max_edges = 2;
+  auto patterns = MineFrequentSubgraphs(g1.graph, opt);
+  for (const FrequentPattern& fp : patterns) {
+    EXPECT_EQ(fp.support, MinImageSupport(m, fp.pattern))
+        << fp.pattern.ToString(g1.graph.labels());
+  }
+}
+
+TEST(FsmTest, AntiMonotonePruning) {
+  // Growing a pattern can never raise its MNI support: every reported
+  // 2-edge pattern's support is <= the max 1-edge support.
+  PaperG1 g1 = MakePaperG1();
+  FsmOptions opt1;
+  opt1.min_support = 1;
+  opt1.max_edges = 1;
+  auto level1 = MineFrequentSubgraphs(g1.graph, opt1);
+  uint64_t best1 = level1.empty() ? 0 : level1.front().support;
+
+  FsmOptions opt2 = opt1;
+  opt2.max_edges = 2;
+  auto level2 = MineFrequentSubgraphs(g1.graph, opt2);
+  for (const FrequentPattern& fp : level2) {
+    EXPECT_LE(fp.support, best1);
+  }
+}
+
+TEST(FsmTest, FindsPlantedFrequentStructure) {
+  // The Pokec-like generator plants abundant (user)-[follow]->(user) and
+  // (user)-[like_*]->(item) edges; the miner must surface them.
+  Graph g = MakePokecLike(1);
+  FsmOptions opt;
+  opt.min_support = 50;
+  opt.max_edges = 2;
+  opt.seed_edge_limit = 6;
+  opt.max_patterns = 10;
+  opt.embedding_cap = 20000;
+  auto patterns = MineFrequentSubgraphs(g, opt);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_GE(patterns.front().support, 50u);
+}
+
+TEST(FsmTest, MaxPatternsCap) {
+  PaperG1 g1 = MakePaperG1();
+  FsmOptions opt;
+  opt.min_support = 1;
+  opt.max_edges = 2;
+  opt.max_patterns = 3;
+  auto patterns = MineFrequentSubgraphs(g1.graph, opt);
+  EXPECT_LE(patterns.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gpar

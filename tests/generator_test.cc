@@ -1,0 +1,143 @@
+#include "graph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/stats.h"
+#include "pattern/pattern_generator.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+namespace {
+
+TEST(GeneratorTest, SyntheticRespectsParameters) {
+  Graph g = MakeSynthetic(1000, 3000, 100, 42);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Deduplication may remove a few collisions, but most edges survive.
+  EXPECT_GT(g.num_edges(), 2800u);
+  EXPECT_LE(g.num_edges(), 3000u);
+}
+
+TEST(GeneratorTest, SyntheticIsDeterministic) {
+  Graph a = MakeSynthetic(500, 1500, 50, 7);
+  Graph b = MakeSynthetic(500, 1500, 50, 7);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.node_label(v), b.node_label(v));
+  }
+  Graph c = MakeSynthetic(500, 1500, 50, 8);
+  bool any_diff = c.num_edges() != a.num_edges();
+  for (NodeId v = 0; !any_diff && v < a.num_nodes(); ++v) {
+    any_diff = a.node_label(v) != c.node_label(v);
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should differ";
+}
+
+TEST(GeneratorTest, PokecLikeSchemaCardinalities) {
+  Graph g = MakePokecLike(1);
+  // 269 node labels (user + 268 item kinds), 11 edge labels.
+  std::set<LabelId> node_labels;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) node_labels.insert(g.node_label(v));
+  EXPECT_EQ(node_labels.size(), 269u);
+
+  std::set<LabelId> edge_labels;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.out_edges(v)) edge_labels.insert(e.label);
+  }
+  EXPECT_EQ(edge_labels.size(), 11u);
+}
+
+TEST(GeneratorTest, GPlusLikeSchemaCardinalities) {
+  Graph g = MakeGPlusLike(1);
+  // 5 schema *types* (person + 4 item domains) realized as per-entity value
+  // labels: person + 30 employers + 40 schools + 25 majors + 30 cities.
+  std::set<LabelId> node_labels;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) node_labels.insert(g.node_label(v));
+  EXPECT_EQ(node_labels.size(), 1u + 30u + 40u + 25u + 30u);
+  // 5 edge types exactly: follow + 4 domain edges.
+  std::set<LabelId> edge_labels;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.out_edges(v)) edge_labels.insert(e.label);
+  }
+  EXPECT_EQ(edge_labels.size(), 5u);
+  // The schema prefixes are present.
+  EXPECT_NE(g.labels().Lookup("employer0"), kNoLabel);
+  EXPECT_NE(g.labels().Lookup("major0"), kNoLabel);
+}
+
+TEST(GeneratorTest, ScaleGrowsTheGraph) {
+  Graph s1 = MakePokecLike(1);
+  Graph s2 = MakePokecLike(2);
+  EXPECT_GT(s2.num_nodes(), s1.num_nodes());
+  EXPECT_GT(s2.num_edges(), s1.num_edges());
+}
+
+TEST(GeneratorTest, PlantedCorrelationsAreMineable) {
+  // The generator's whole point: some like_music predicate must have both
+  // positives and LCWA negatives so confidence is well-defined and finite.
+  Graph g = MakePokecLike(1);
+  LabelId user = g.labels().Lookup("user");
+  LabelId like_music = g.labels().Lookup("like_music");
+  ASSERT_NE(user, kNoLabel);
+  ASSERT_NE(like_music, kNoLabel);
+
+  // Find the most frequent like_music target kind.
+  auto freq = FrequentEdgePatterns(g);
+  LabelId target = kNoLabel;
+  for (const EdgePatternStat& s : freq) {
+    if (s.edge_label == like_music) {
+      target = s.dst_label;
+      break;
+    }
+  }
+  ASSERT_NE(target, kNoLabel);
+
+  VF2Matcher m(g);
+  QStats stats = ComputeQStats(m, {user, like_music, target});
+  EXPECT_GT(stats.supp_q, 10u);
+  EXPECT_GT(stats.supp_qbar, 10u);
+}
+
+TEST(GparWorkloadTest, GeneratedRulesAreValidAndSupported) {
+  Graph g = MakePokecLike(1);
+  LabelId user = g.labels().Lookup("user");
+  LabelId like_music = g.labels().Lookup("like_music");
+  auto freq = FrequentEdgePatterns(g);
+  LabelId target = kNoLabel;
+  for (const EdgePatternStat& s : freq) {
+    if (s.edge_label == like_music) {
+      target = s.dst_label;
+      break;
+    }
+  }
+  ASSERT_NE(target, kNoLabel);
+  Predicate q{user, like_music, target};
+
+  GparGenOptions opt;
+  opt.num_nodes = 4;
+  opt.num_edges = 5;
+  opt.max_radius = 2;
+  std::vector<Gpar> rules = GenerateGparWorkload(g, q, 8, opt);
+  ASSERT_GE(rules.size(), 4u);
+
+  VF2Matcher m(g);
+  for (const Gpar& r : rules) {
+    EXPECT_TRUE(r.predicate() == q);
+    EXPECT_LE(r.radius_at_x(), opt.max_radius);
+    EXPECT_GE(r.antecedent().num_edges(), 1u);
+    // Lifted from real embeddings => support at least 1.
+    bool supported = false;
+    for (NodeId v : g.nodes_with_label(user)) {
+      if (m.ExistsAt(r.pr(), v)) {
+        supported = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(supported);
+  }
+}
+
+}  // namespace
+}  // namespace gpar

@@ -1,0 +1,192 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/neighborhood.h"
+#include "graph/stats.h"
+
+namespace gpar {
+namespace {
+
+Graph SmallGraph() {
+  GraphBuilder b;
+  NodeId a = b.AddNode("person");   // 0
+  NodeId c = b.AddNode("person");   // 1
+  NodeId s = b.AddNode("store");    // 2
+  NodeId t = b.AddNode("city");     // 3
+  EXPECT_TRUE(b.AddEdge(a, "knows", c).ok());
+  EXPECT_TRUE(b.AddEdge(c, "knows", a).ok());
+  EXPECT_TRUE(b.AddEdge(a, "shops_at", s).ok());
+  EXPECT_TRUE(b.AddEdge(c, "shops_at", s).ok());
+  EXPECT_TRUE(b.AddEdge(s, "in", t).ok());
+  EXPECT_TRUE(b.AddEdge(a, "lives_in", t).ok());
+  return std::move(b).Build();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.size(), 10u);  // |G| = |V| + |E|
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEdge) {
+  GraphBuilder b;
+  b.AddNode("x");
+  Status s = b.AddEdge(0, "e", 7);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("n");
+  NodeId c = b.AddNode("n");
+  ASSERT_TRUE(b.AddEdge(a, "e", c).ok());
+  ASSERT_TRUE(b.AddEdge(a, "e", c).ok());
+  ASSERT_TRUE(b.AddEdge(a, "f", c).ok());  // different label survives
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphTest, AdjacencyIsLabelSorted) {
+  Graph g = SmallGraph();
+  auto edges = g.out_edges(0);
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LE(edges[i - 1].label, edges[i].label);
+  }
+}
+
+TEST(GraphTest, HasEdgeAndLabeledSlices) {
+  Graph g = SmallGraph();
+  LabelId knows = g.labels().Lookup("knows");
+  LabelId shops = g.labels().Lookup("shops_at");
+  ASSERT_NE(knows, kNoLabel);
+  EXPECT_TRUE(g.HasEdge(0, knows, 1));
+  EXPECT_TRUE(g.HasEdge(1, knows, 0));
+  EXPECT_FALSE(g.HasEdge(0, knows, 2));
+  EXPECT_FALSE(g.HasEdge(0, shops, 1));
+
+  auto slice = g.out_edges_labeled(0, shops);
+  ASSERT_EQ(slice.size(), 1u);
+  EXPECT_EQ(slice[0].other, 2u);
+
+  auto empty = g.out_edges_labeled(2, knows);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(GraphTest, InEdgesMirrorOutEdges) {
+  Graph g = SmallGraph();
+  LabelId shops = g.labels().Lookup("shops_at");
+  auto in = g.in_edges_labeled(2, shops);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0].other, 0u);
+  EXPECT_EQ(in[1].other, 1u);
+}
+
+TEST(GraphTest, LabelIndex) {
+  Graph g = SmallGraph();
+  LabelId person = g.labels().Lookup("person");
+  auto people = g.nodes_with_label(person);
+  ASSERT_EQ(people.size(), 2u);
+  EXPECT_EQ(people[0], 0u);
+  EXPECT_EQ(people[1], 1u);
+  EXPECT_EQ(g.label_count(person), 2u);
+  EXPECT_TRUE(g.nodes_with_label(kWildcardLabel).empty());
+}
+
+TEST(GraphTest, HasOutLabel) {
+  Graph g = SmallGraph();
+  EXPECT_TRUE(g.HasOutLabel(0, g.labels().Lookup("lives_in")));
+  EXPECT_FALSE(g.HasOutLabel(1, g.labels().Lookup("lives_in")));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  Graph g = SmallGraph();
+  std::ostringstream os;
+  ASSERT_TRUE(WriteGraphText(g, os).ok());
+  std::istringstream is(os.str());
+  auto r = ReadGraphText(is);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Graph& h = r.value();
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(h.labels().Name(h.node_label(v)),
+              g.labels().Name(g.node_label(v)));
+  }
+}
+
+TEST(GraphIoTest, RejectsCorruptInput) {
+  std::istringstream bad1("v 0 a\ne 0 5 edge\n");
+  EXPECT_FALSE(ReadGraphText(bad1).ok());
+  std::istringstream bad2("z nonsense\n");
+  EXPECT_FALSE(ReadGraphText(bad2).ok());
+  std::istringstream bad3("v 3 skipped_id\n");
+  EXPECT_FALSE(ReadGraphText(bad3).ok());
+}
+
+TEST(NeighborhoodTest, RadiusBfs) {
+  Graph g = SmallGraph();
+  // From node 3 (city): hop 1 = {s, a}, hop 2 = {c}.
+  std::vector<uint32_t> dist;
+  auto n1 = NodesWithinRadius(g, 3, 1, &dist);
+  EXPECT_EQ(n1.size(), 3u);
+  auto n2 = NodesWithinRadius(g, 3, 2, &dist);
+  EXPECT_EQ(n2.size(), 4u);
+  uint32_t max_d = 0;
+  for (uint32_t d : dist) max_d = std::max(max_d, d);
+  EXPECT_EQ(max_d, 2u);
+}
+
+TEST(NeighborhoodTest, InducedSubgraphKeepsInternalEdgesOnly) {
+  Graph g = SmallGraph();
+  InducedSubgraph sub = BuildInducedSubgraph(g, {0, 1, 3});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  // knows x2 + lives_in survive; shops_at edges dropped (store excluded).
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  // Label dictionary is shared.
+  EXPECT_EQ(sub.graph.labels().Lookup("knows"), g.labels().Lookup("knows"));
+}
+
+TEST(NeighborhoodTest, DNeighborhoodCentersItself) {
+  Graph g = SmallGraph();
+  DNeighborhood dn = ExtractDNeighborhood(g, 0, 1);
+  EXPECT_EQ(dn.sub.to_global[dn.center_local], 0u);
+  // 1 hop of node 0: {0, 1, 2, 3}.
+  EXPECT_EQ(dn.sub.graph.num_nodes(), 4u);
+}
+
+TEST(NeighborhoodTest, Descendants) {
+  Graph g = SmallGraph();
+  EXPECT_TRUE(IsDescendant(g, 0, 3));   // a -> t directly
+  EXPECT_TRUE(IsDescendant(g, 1, 3));   // c -> s -> t
+  EXPECT_FALSE(IsDescendant(g, 3, 0));  // t has no out-edges
+  EXPECT_FALSE(IsDescendant(g, 0, 0));  // not its own descendant
+}
+
+TEST(StatsTest, FrequentEdgePatterns) {
+  Graph g = SmallGraph();
+  auto stats = FrequentEdgePatterns(g);
+  ASSERT_FALSE(stats.empty());
+  // (person, knows, person) and (person, shops_at, store) both occur twice.
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_EQ(stats[1].count, 2u);
+  auto limited = FrequentEdgePatterns(g, 2);
+  EXPECT_EQ(limited.size(), 2u);
+}
+
+TEST(StatsTest, DegreeStats) {
+  Graph g = SmallGraph();
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 3.0);  // 2*6/4
+  EXPECT_EQ(s.max_out_degree, 3u);      // node 0
+  EXPECT_EQ(s.max_in_degree, 2u);       // store and city
+}
+
+}  // namespace
+}  // namespace gpar

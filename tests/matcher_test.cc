@@ -1,0 +1,204 @@
+#include "match/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/paper_graphs.h"
+#include "match/guided.h"
+#include "match/multi_pattern.h"
+#include "match/simulation.h"
+
+namespace gpar {
+namespace {
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() : g1_(MakePaperG1()) {}
+  PaperG1 g1_;
+};
+
+TEST_F(MatcherTest, Example3_Q1ImagesOfX) {
+  // Example 3: Q1(x, G1) includes cust1-cust3 and cust5.
+  VF2Matcher m(g1_.graph);
+  const Pattern& q1 = g1_.r1.antecedent();
+  std::vector<NodeId> images = m.Images(q1, q1.x());
+  std::sort(images.begin(), images.end());
+  std::vector<NodeId> expected{g1_.cust1, g1_.cust2, g1_.cust3, g1_.cust5};
+  EXPECT_EQ(images, expected);
+}
+
+TEST_F(MatcherTest, ExistsAtAnchors) {
+  VF2Matcher m(g1_.graph);
+  EXPECT_TRUE(m.ExistsAt(g1_.r1.pr(), g1_.cust1));
+  EXPECT_TRUE(m.ExistsAt(g1_.r1.pr(), g1_.cust2));
+  EXPECT_FALSE(m.ExistsAt(g1_.r1.pr(), g1_.cust4));
+  EXPECT_FALSE(m.ExistsAt(g1_.r1.pr(), g1_.cust5));  // antecedent only
+  EXPECT_TRUE(m.ExistsAt(g1_.r1.antecedent(), g1_.cust5));
+}
+
+TEST_F(MatcherTest, MultiplicityForcesDistinctCopies) {
+  // like(x, FR^4): nobody likes 4 French restaurants.
+  VF2Matcher m(g1_.graph);
+  const Interner& labels = g1_.graph.labels();
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("cust"));
+  PNodeId f = p.AddNode(labels.Lookup("French_restaurant"), 4);
+  p.AddEdge(x, labels.Lookup("like"), f);
+  p.set_x(x);
+  EXPECT_TRUE(m.Images(p, x).empty());
+
+  // FR^3 matches cust1-cust5.
+  Pattern p3;
+  PNodeId x3 = p3.AddNode(labels.Lookup("cust"));
+  PNodeId f3 = p3.AddNode(labels.Lookup("French_restaurant"), 3);
+  p3.AddEdge(x3, labels.Lookup("like"), f3);
+  p3.set_x(x3);
+  EXPECT_EQ(m.Images(p3, x3).size(), 5u);
+  (void)f;
+}
+
+TEST_F(MatcherTest, EnumerateCountsEmbeddings) {
+  // friend(x, x') in the two triangles: 6 ordered pairs per triangle.
+  VF2Matcher m(g1_.graph);
+  const Interner& labels = g1_.graph.labels();
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("cust"));
+  PNodeId z = p.AddNode(labels.Lookup("cust"));
+  p.AddEdge(x, labels.Lookup("friend"), z);
+  p.set_x(x);
+  uint64_t n = m.Enumerate(
+      p, {}, [](std::span<const NodeId>) { return true; });
+  EXPECT_EQ(n, 12u);
+
+  // Early stop via callback.
+  uint64_t seen = 0;
+  m.Enumerate(p, {}, [&](std::span<const NodeId>) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+
+  // Limit parameter.
+  uint64_t limited = m.Enumerate(
+      p, {}, [](std::span<const NodeId>) { return true; }, 5);
+  EXPECT_EQ(limited, 5u);
+}
+
+TEST_F(MatcherTest, DisconnectedPatternStillMatches) {
+  // Antecedent with isolated y is legal for Q-only matching.
+  const Interner& labels = g1_.graph.labels();
+  VF2Matcher m(g1_.graph);
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("cust"));
+  PNodeId z = p.AddNode(labels.Lookup("cust"));
+  PNodeId y = p.AddNode(labels.Lookup("French_restaurant"));
+  p.AddEdge(x, labels.Lookup("friend"), z);
+  p.set_x(x);
+  p.set_y(y);
+  // Every cust with a friend matches; y binds to any FR node.
+  EXPECT_EQ(m.Images(p, x).size(), 6u);
+}
+
+TEST_F(MatcherTest, GuidedMatcherAgreesWithVF2) {
+  VF2Matcher vf2(g1_.graph);
+  GuidedMatcher guided(g1_.graph, 2);
+  for (const Gpar* r : {&g1_.r1, &g1_.r5, &g1_.r6, &g1_.r7, &g1_.r8}) {
+    for (NodeId v : {g1_.cust1, g1_.cust2, g1_.cust3, g1_.cust4, g1_.cust5,
+                     g1_.cust6}) {
+      EXPECT_EQ(vf2.ExistsAt(r->pr(), v), guided.ExistsAt(r->pr(), v))
+          << "pr mismatch at cust node " << v;
+      EXPECT_EQ(vf2.ExistsAt(r->antecedent(), v),
+                guided.ExistsAt(r->antecedent(), v))
+          << "antecedent mismatch at cust node " << v;
+    }
+  }
+}
+
+TEST_F(MatcherTest, SketchCoverageIsSoundPruning) {
+  // Any true match must pass the sketch filter: compare guided image sets
+  // with VF2 image sets on every rule.
+  VF2Matcher vf2(g1_.graph);
+  GuidedMatcher guided(g1_.graph, 2);
+  for (const Gpar* r : {&g1_.r1, &g1_.r5, &g1_.r7}) {
+    auto a = vf2.Images(r->pr(), r->pr().x());
+    auto b = guided.Images(r->pr(), r->pr().x());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(MatcherTest, PatternSketchCountsMultiplicity) {
+  const Interner& labels = g1_.graph.labels();
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("cust"));
+  PNodeId f = p.AddNode(labels.Lookup("French_restaurant"), 3);
+  p.AddEdge(x, labels.Lookup("like"), f);
+  p.set_x(x);
+  KHopSketch sk = ComputePatternSketch(p, x, 1);
+  ASSERT_EQ(sk.hops.size(), 1u);
+  ASSERT_EQ(sk.hops[0].size(), 1u);
+  EXPECT_EQ(sk.hops[0][0].second, 3u);  // three copies required at hop 1
+}
+
+TEST_F(MatcherTest, MultiPatternSharing) {
+  // Q5 ⊑ Q7 anchored at x: evaluating both at a center that fails Q5 must
+  // skip Q7 entirely.
+  std::vector<const Pattern*> pats{&g1_.r5.antecedent(),
+                                   &g1_.r7.antecedent()};
+  MultiPatternEvaluator eval(pats);
+  VF2Matcher m(g1_.graph);
+
+  std::vector<char> out;
+  eval.EvaluateAt(m, g1_.cust6, &out);  // cust6 fails Q5 (no FR likes)
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 0);
+  uint64_t q_after_fail = eval.queries_issued();
+  EXPECT_EQ(q_after_fail, 1u);  // only Q5 was actually evaluated
+
+  eval.EvaluateAt(m, g1_.cust1, &out);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 1);
+}
+
+TEST_F(MatcherTest, MultiPatternDuplicatesEvaluatedOnce) {
+  std::vector<const Pattern*> pats{&g1_.r5.antecedent(),
+                                   &g1_.r5.antecedent()};
+  MultiPatternEvaluator eval(pats);
+  VF2Matcher m(g1_.graph);
+  std::vector<char> out;
+  eval.EvaluateAt(m, g1_.cust1, &out);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(eval.queries_issued(), 1u);
+}
+
+TEST_F(MatcherTest, SimulationOverapproximatesIsomorphism) {
+  // sim(x) ⊇ Q(x, G) for every rule pattern.
+  VF2Matcher m(g1_.graph);
+  for (const Gpar* r : {&g1_.r1, &g1_.r5, &g1_.r6, &g1_.r7, &g1_.r8}) {
+    auto iso = m.Images(r->antecedent(), r->antecedent().x());
+    auto sim = SimulationImages(r->antecedent(), g1_.graph,
+                                r->antecedent().x());
+    std::sort(iso.begin(), iso.end());
+    for (NodeId v : iso) {
+      EXPECT_TRUE(std::binary_search(sim.begin(), sim.end(), v))
+          << "simulation dropped isomorphism image " << v;
+    }
+  }
+}
+
+TEST_F(MatcherTest, SimulationEmptyWhenLabelMissing) {
+  const Interner& labels = g1_.graph.labels();
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("cust"));
+  PNodeId z = p.AddNode(kWildcardLabel);  // label that exists nowhere
+  p.AddEdge(x, labels.Lookup("friend"), z);
+  p.set_x(x);
+  auto sim = DualSimulation(p, g1_.graph);
+  for (const auto& s : sim) EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace gpar

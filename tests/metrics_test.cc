@@ -1,0 +1,120 @@
+#include "rule/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/paper_graphs.h"
+#include "match/matcher.h"
+#include "mine/fsm.h"
+#include "rule/diversity.h"
+
+namespace gpar {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : g1_(MakePaperG1()), m_(g1_.graph) {
+    stats_ = ComputeQStats(m_, g1_.q);
+  }
+  PaperG1 g1_;
+  VF2Matcher m_;
+  QStats stats_;
+};
+
+TEST_F(MetricsTest, PcaConfMatchesPaperDefinition) {
+  // PCAconf(R, G) = supp(R, G) / supp(Q~q, G) per the paper's Exp-2.
+  GparEval e1 = EvaluateGpar(m_, g1_.r1, stats_);
+  EXPECT_DOUBLE_EQ(e1.pca_conf, 3.0 / 1.0);
+  GparEval e8 = EvaluateGpar(m_, g1_.r8, stats_);
+  EXPECT_DOUBLE_EQ(e8.pca_conf, 1.0 / 1.0);
+}
+
+TEST_F(MetricsTest, ConventionalConfRequiresAntecedentImages) {
+  GparEval with = EvaluateGpar(m_, g1_.r1, stats_,
+                               {.compute_antecedent_images = true});
+  EXPECT_DOUBLE_EQ(with.conventional_conf, 3.0 / 4.0);
+  GparEval without = EvaluateGpar(m_, g1_.r1, stats_,
+                                  {.compute_antecedent_images = false});
+  EXPECT_EQ(without.supp_q_ant, 0u);
+  EXPECT_DOUBLE_EQ(without.conventional_conf, 0.0);
+  // But the BF confidence is unaffected by the flag.
+  EXPECT_DOUBLE_EQ(with.conf, without.conf);
+}
+
+TEST_F(MetricsTest, MinImageSupportOnKnownPattern) {
+  // friend(x, x') over the two triangles: each node image set is all six
+  // customers; min image = 6.
+  const Interner& labels = g1_.graph.labels();
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("cust"));
+  PNodeId z = p.AddNode(labels.Lookup("cust"));
+  p.AddEdge(x, labels.Lookup("friend"), z);
+  p.set_x(x);
+  EXPECT_EQ(MinImageSupport(m_, p), 6u);
+
+  // live_in(cust, city): images are 6 custs and 2 cities -> min image 2.
+  Pattern q;
+  PNodeId qx = q.AddNode(labels.Lookup("cust"));
+  PNodeId qc = q.AddNode(labels.Lookup("city"));
+  q.AddEdge(qx, labels.Lookup("live_in"), qc);
+  q.set_x(qx);
+  EXPECT_EQ(MinImageSupport(m_, q), 2u);
+}
+
+TEST_F(MetricsTest, MinImageSupportRespectsCap) {
+  const Interner& labels = g1_.graph.labels();
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("cust"));
+  PNodeId z = p.AddNode(labels.Lookup("cust"));
+  p.AddEdge(x, labels.Lookup("friend"), z);
+  p.set_x(x);
+  // With a tiny cap the measure can only shrink, never grow.
+  EXPECT_LE(MinImageSupport(m_, p, 3), 6u);
+}
+
+TEST_F(MetricsTest, ImageBasedConfFinite) {
+  GparEval e1 = EvaluateGpar(m_, g1_.r1, stats_);
+  double iconf = ImageBasedConf(m_, g1_.r1, stats_, e1.supp_qqbar);
+  EXPECT_TRUE(std::isfinite(iconf));
+  EXPECT_GT(iconf, 0.0);
+}
+
+TEST_F(MetricsTest, EmptyQbarMakesRulesLogicRules) {
+  // A predicate with positives but no negatives: like(cust, city)? No —
+  // build one where every edge-holder matches: visit(cust, Asian) has
+  // cust5 as only visitor -> supp_q=1, qbar = custs visiting non-Asian =
+  // cust1..4,6.
+  Predicate q{g1_.graph.labels().Lookup("cust"),
+              g1_.graph.labels().Lookup("visit"),
+              g1_.graph.labels().Lookup("Asian_restaurant")};
+  QStats s = ComputeQStats(m_, q);
+  EXPECT_EQ(s.supp_q, 1u);       // cust5
+  EXPECT_EQ(s.supp_qbar, 5u);    // the French-restaurant visitors
+}
+
+TEST(JaccardTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(JaccardDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2, 3}, {3, 4, 5}), 0.8);  // 1 - 1/5
+}
+
+TEST(FPrimeTest, DegenerateParameters) {
+  EXPECT_DOUBLE_EQ(FPrime(1, 1, 1, 0.5, 10, 1), 0.0);  // k = 1
+  EXPECT_DOUBLE_EQ(FPrime(1, 1, 1, 0.5, 0, 2), 0.0);   // N = 0
+}
+
+TEST(ObjectiveFTest, LambdaExtremes) {
+  std::vector<NodeId> a{1, 2, 3};
+  std::vector<NodeId> b{4, 5, 6};
+  std::vector<double> confs{1.0, 2.0};
+  std::vector<const std::vector<NodeId>*> sets{&a, &b};
+  // lambda = 0: pure confidence.
+  EXPECT_DOUBLE_EQ(ObjectiveF(confs, sets, 0.0, 10, 2), 3.0 / 10);
+  // lambda = 1: pure diversity (diff = 1).
+  EXPECT_DOUBLE_EQ(ObjectiveF(confs, sets, 1.0, 10, 2), 2.0);
+}
+
+}  // namespace
+}  // namespace gpar

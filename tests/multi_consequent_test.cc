@@ -1,0 +1,137 @@
+#include "rule/multi_consequent.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/paper_graphs.h"
+#include "match/matcher.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+namespace {
+
+class MultiConsequentTest : public ::testing::Test {
+ protected:
+  MultiConsequentTest() : g1_(MakePaperG1()), m_(g1_.graph) {
+    labels_ = &g1_.graph.labels();
+    cust_ = labels_->Lookup("cust");
+    fr_ = labels_->Lookup("French_restaurant");
+    friend_ = labels_->Lookup("friend");
+    visit_ = labels_->Lookup("visit");
+    like_ = labels_->Lookup("like");
+  }
+
+  PaperG1 g1_;
+  VF2Matcher m_;
+  const Interner* labels_;
+  LabelId cust_, fr_, friend_, visit_, like_;
+};
+
+TEST_F(MultiConsequentTest, SinglePredicateReducesToGpar) {
+  // Q = friend(x, x') + visit(x', y); consequent visit(x, y). The m = 1
+  // multi-consequent rule must agree with the plain Gpar machinery.
+  Pattern q;
+  PNodeId x = q.AddNode(cust_);
+  PNodeId xp = q.AddNode(cust_);
+  PNodeId y = q.AddNode(fr_);
+  q.set_x(x);
+  q.set_y(y);
+  q.AddEdge(x, friend_, xp);
+  q.AddEdge(xp, visit_, y);
+
+  auto multi = MultiConsequentGpar::Create(q, {{visit_, y}});
+  ASSERT_TRUE(multi.ok()) << multi.status();
+  MultiConsequentEval me = EvaluateMultiConsequent(m_, *multi);
+
+  Gpar single = Gpar::Create(q, visit_).value();
+  QStats stats = ComputeQStats(m_, single.predicate());
+  GparEval se = EvaluateGpar(m_, single, stats);
+
+  EXPECT_EQ(me.supp_r, se.supp_r);
+  EXPECT_EQ(me.supp_q, stats.supp_q);
+  EXPECT_EQ(me.supp_qbar, stats.supp_qbar);
+  EXPECT_EQ(me.supp_qqbar, se.supp_qqbar);
+  EXPECT_DOUBLE_EQ(me.conf, se.conf);
+  EXPECT_EQ(me.pr_matches, se.pr_matches);
+}
+
+TEST_F(MultiConsequentTest, ConjunctionIsStricterThanEachConjunct) {
+  // Consequent: visit(x, y) ∧ like(x, f). Matches must satisfy both, so
+  // the composite support is bounded by each single-consequent support.
+  Pattern q;
+  PNodeId x = q.AddNode(cust_);
+  PNodeId xp = q.AddNode(cust_);
+  PNodeId y = q.AddNode(fr_);
+  PNodeId f = q.AddNode(fr_);
+  q.set_x(x);
+  q.set_y(y);
+  q.AddEdge(x, friend_, xp);
+  q.AddEdge(xp, visit_, y);
+  q.AddEdge(xp, like_, f);
+
+  auto both =
+      MultiConsequentGpar::Create(q, {{visit_, y}, {like_, f}});
+  ASSERT_TRUE(both.ok()) << both.status();
+  MultiConsequentEval be = EvaluateMultiConsequent(m_, *both);
+
+  auto only_visit = MultiConsequentGpar::Create(q, {{visit_, y}});
+  ASSERT_TRUE(only_visit.ok());
+  MultiConsequentEval ve = EvaluateMultiConsequent(m_, *only_visit);
+
+  EXPECT_LE(be.supp_r, ve.supp_r);
+  EXPECT_LE(be.supp_q, ve.supp_q);
+  EXPECT_GT(be.supp_r, 0u);  // cust1-3 visit LeB and like the FR triple
+}
+
+TEST_F(MultiConsequentTest, UnknownNodesStayOutOfNegativePool) {
+  // A node missing edges of *any* consequent label is LCWA-unknown for the
+  // conjunction: with consequents visit+like, a cust with likes but no
+  // visits is unknown, not negative.
+  Pattern q;
+  PNodeId x = q.AddNode(cust_);
+  PNodeId xp = q.AddNode(cust_);
+  PNodeId y = q.AddNode(fr_);
+  PNodeId f = q.AddNode(fr_);
+  q.set_x(x);
+  q.set_y(y);
+  q.AddEdge(x, friend_, xp);
+  q.AddEdge(xp, visit_, y);
+  q.AddEdge(xp, like_, f);
+  auto r = MultiConsequentGpar::Create(q, {{visit_, y}, {like_, f}});
+  ASSERT_TRUE(r.ok());
+  MultiConsequentEval e = EvaluateMultiConsequent(m_, *r);
+  // All six custs have like edges... but cust6 has no like to an FR and
+  // no... check consistency bounds only: negatives + positives <= custs
+  // with both edge labels present.
+  size_t with_both = 0;
+  for (NodeId v : g1_.graph.nodes_with_label(cust_)) {
+    if (g1_.graph.HasOutLabel(v, visit_) && g1_.graph.HasOutLabel(v, like_)) {
+      ++with_both;
+    }
+  }
+  EXPECT_LE(e.supp_q + e.supp_qbar, with_both);
+}
+
+TEST_F(MultiConsequentTest, CreateValidations) {
+  Pattern q;
+  PNodeId x = q.AddNode(cust_);
+  PNodeId xp = q.AddNode(cust_);
+  PNodeId y = q.AddNode(fr_);
+  q.set_x(x);
+  q.set_y(y);
+  q.AddEdge(x, friend_, xp);
+  q.AddEdge(xp, visit_, y);
+
+  EXPECT_FALSE(MultiConsequentGpar::Create(q, {}).ok());
+  EXPECT_FALSE(MultiConsequentGpar::Create(q, {{visit_, 99}}).ok());
+  EXPECT_FALSE(MultiConsequentGpar::Create(q, {{visit_, x}}).ok());
+  EXPECT_FALSE(
+      MultiConsequentGpar::Create(q, {{visit_, y}, {visit_, y}}).ok());
+
+  // Consequent already present in Q.
+  Pattern q2 = q;
+  q2.AddEdge(x, visit_, y);
+  EXPECT_FALSE(MultiConsequentGpar::Create(q2, {{visit_, y}}).ok());
+}
+
+}  // namespace
+}  // namespace gpar

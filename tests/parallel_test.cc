@@ -1,0 +1,106 @@
+#include "parallel/bsp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace gpar {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(17);
+  ParallelFor(pool, 17, [&](uint32_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(BspTest, RoundsAndMakespan) {
+  BspRuntime bsp(4);
+  std::atomic<int> work{0};
+  bsp.RunRound([&](uint32_t) {
+    // A small busy loop so CPU time is measurable but tiny.
+    volatile int x = 0;
+    for (int i = 0; i < 100000; ++i) x += i;
+    work.fetch_add(1);
+  });
+  bsp.RunCoordinator([&] { work.fetch_add(1); });
+  bsp.RunRound([&](uint32_t) { work.fetch_add(1); });
+
+  ParallelTimes t = bsp.FinishTiming();
+  EXPECT_EQ(work.load(), 9);  // 4 + 1 + 4
+  EXPECT_EQ(t.rounds, 2u);
+  EXPECT_EQ(t.worker_total_seconds.size(), 4u);
+  EXPECT_GE(t.makespan_seconds, 0.0);
+  EXPECT_GE(t.wall_seconds, 0.0);
+  // Makespan (max per round) is never more than the sum of worker times.
+  double total_worker = 0;
+  for (double s : t.worker_total_seconds) total_worker += s;
+  EXPECT_LE(t.makespan_seconds, total_worker + 1e-9);
+  EXPECT_DOUBLE_EQ(t.SimulatedParallelSeconds(),
+                   t.makespan_seconds + t.coordinator_seconds);
+}
+
+TEST(BspTest, MakespanShrinksWithMoreWorkers) {
+  // Fixed total work divided over n workers: makespan must not grow with n
+  // (the essence of the parallel-scalability measurements).
+  auto run = [](uint32_t n) {
+    BspRuntime bsp(n);
+    const int total_items = 64;
+    bsp.RunRound([&](uint32_t w) {
+      // Worker w handles its slice of items.
+      volatile double acc = 0;
+      for (int item = w; item < total_items; item += n) {
+        for (int i = 0; i < 400000; ++i) acc += i * 0.5;
+      }
+    });
+    return bsp.FinishTiming().makespan_seconds;
+  };
+  double t1 = run(1);
+  double t8 = run(8);
+  // CPU-time accounting makes this robust even on a single-core host.
+  EXPECT_LT(t8, t1 * 0.6);
+}
+
+TEST(ThreadCpuTest, MonotonicallyIncreases) {
+  double a = ThreadCpuSeconds();
+  volatile int x = 0;
+  for (int i = 0; i < 1000000; ++i) x += i;
+  double b = ThreadCpuSeconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace gpar

@@ -1,0 +1,252 @@
+// Property-based suites: each TEST_P sweeps randomized instances (seeded,
+// deterministic) and checks an invariant the paper's formal development
+// relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "graph/neighborhood.h"
+#include "graph/partition.h"
+#include "graph/stats.h"
+#include "match/guided.h"
+#include "match/matcher.h"
+#include "match/simulation.h"
+#include "mine/dmine.h"
+#include "pattern/automorphism.h"
+#include "pattern/bisimulation.h"
+#include "pattern/pattern_generator.h"
+#include "rule/diversity.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+namespace {
+
+/// Shared randomized scenario: a synthetic graph plus a workload of GPARs
+/// lifted from it.
+struct Scenario {
+  Graph graph;
+  Predicate q;
+  std::vector<Gpar> rules;
+};
+
+Scenario MakeScenario(uint64_t seed) {
+  Scenario s;
+  s.graph = MakeSynthetic(600, 1800, 25, seed);
+  auto freq = FrequentEdgePatterns(s.graph, 1);
+  s.q = {freq[0].src_label, freq[0].edge_label, freq[0].dst_label};
+  GparGenOptions opt;
+  opt.num_nodes = 4;
+  opt.num_edges = 4;
+  opt.max_radius = 2;
+  opt.seed = seed * 31 + 7;
+  s.rules = GenerateGparWorkload(s.graph, s.q, 5, opt);
+  return s;
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_P(SeededProperty, SupportAntiMonotonicUnderExtension) {
+  // Section 3: supp(Q', G) >= supp(Q, G) whenever Q' ⊑ Q. Extensions add
+  // one edge, so every extension's support is bounded by its parent's.
+  Scenario s = MakeScenario(GetParam());
+  VF2Matcher m(s.graph);
+  auto seeds = FrequentEdgePatterns(s.graph, 6);
+  for (const Gpar& r : s.rules) {
+    uint64_t parent_supp = 0;
+    for (NodeId v : s.graph.nodes_with_label(s.q.x_label)) {
+      if (m.ExistsAt(r.pr(), v)) ++parent_supp;
+    }
+    auto extensions =
+        GenerateExtensions(r.antecedent(), s.q.edge_label, 2, 6, seeds);
+    // Probe a few extensions (they are numerous).
+    size_t probed = 0;
+    for (const Gpar& ext : extensions) {
+      if (++probed > 4) break;
+      uint64_t ext_supp = 0;
+      for (NodeId v : s.graph.nodes_with_label(s.q.x_label)) {
+        if (m.ExistsAt(ext.pr(), v)) ++ext_supp;
+      }
+      EXPECT_LE(ext_supp, parent_supp)
+          << "anti-monotonicity violated at seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(SeededProperty, GuidedMatcherAgreesWithVF2) {
+  Scenario s = MakeScenario(GetParam());
+  VF2Matcher vf2(s.graph);
+  GuidedMatcher guided(s.graph, 2);
+  for (const Gpar& r : s.rules) {
+    auto a = vf2.Images(r.pr(), r.pr().x());
+    auto b = guided.Images(r.pr(), r.pr().x());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "guided/vf2 divergence at seed " << GetParam();
+  }
+}
+
+TEST_P(SeededProperty, MatchingIsLocalWithinEvalRadius) {
+  // Data locality (Section 4.2): v ∈ P_R(x, G) iff v ∈ P_R(x, G_d(v)) for
+  // d = eval_radius — the foundation of both parallel algorithms.
+  Scenario s = MakeScenario(GetParam());
+  VF2Matcher global(s.graph);
+  auto centers = s.graph.nodes_with_label(s.q.x_label);
+  size_t probes = 0;
+  for (const Gpar& r : s.rules) {
+    for (NodeId v : centers) {
+      if (++probes > 60) break;
+      DNeighborhood dn = ExtractDNeighborhood(s.graph, v, r.eval_radius());
+      VF2Matcher local(dn.sub.graph);
+      EXPECT_EQ(global.ExistsAt(r.pr(), v),
+                local.ExistsAt(r.pr(), dn.center_local))
+          << "locality violated at seed " << GetParam() << " node " << v;
+    }
+  }
+}
+
+TEST_P(SeededProperty, SimulationContainsIsomorphismImages) {
+  Scenario s = MakeScenario(GetParam());
+  VF2Matcher m(s.graph);
+  for (const Gpar& r : s.rules) {
+    auto iso = m.Images(r.pr(), r.pr().x());
+    auto sim = SimulationImages(r.pr(), s.graph, r.pr().x());
+    for (NodeId v : iso) {
+      EXPECT_TRUE(std::binary_search(sim.begin(), sim.end(), v));
+    }
+  }
+}
+
+TEST_P(SeededProperty, IsomorphicPatternsAreBisimilarAndShareBuckets) {
+  // Lemma 4 direction, on randomized patterns: build an isomorphic copy by
+  // reversing node declaration order; both tests must accept it.
+  Scenario s = MakeScenario(GetParam());
+  for (const Gpar& r : s.rules) {
+    const Pattern& p = r.pr();
+    Pattern copy;
+    std::vector<PNodeId> remap(p.num_nodes());
+    for (PNodeId u = 0; u < p.num_nodes(); ++u) {
+      PNodeId orig = static_cast<PNodeId>(p.num_nodes() - 1 - u);
+      remap[orig] = copy.AddNode(p.node(orig).label,
+                                 p.node(orig).multiplicity);
+    }
+    for (const PatternEdge& e : p.edges()) {
+      copy.AddEdge(remap[e.src], e.label, remap[e.dst]);
+    }
+    copy.set_x(remap[p.x()]);
+    if (p.has_y()) copy.set_y(remap[p.y()]);
+
+    EXPECT_TRUE(AreIsomorphic(p, copy, /*preserve_designated=*/true));
+    EXPECT_TRUE(AreBisimilarDesignated(p, copy));
+    EXPECT_EQ(IsomorphismBucketKey(p), IsomorphismBucketKey(copy));
+  }
+}
+
+TEST_P(SeededProperty, PartitionInvariants) {
+  Scenario s = MakeScenario(GetParam());
+  std::vector<NodeId> centers;
+  {
+    auto span = s.graph.nodes_with_label(s.q.x_label);
+    centers.assign(span.begin(), span.end());
+  }
+  for (uint32_t n : {2u, 5u}) {
+    PartitionOptions opt;
+    opt.num_fragments = n;
+    opt.d = 2;
+    auto parts = PartitionGraph(s.graph, centers, opt);
+    ASSERT_TRUE(parts.ok());
+    size_t owned = 0;
+    for (const Fragment& f : parts->fragments) owned += f.centers.size();
+    EXPECT_EQ(owned, centers.size());
+    // Locality spot-check.
+    for (const Fragment& f : parts->fragments) {
+      for (NodeId local : f.centers) {
+        NodeId global = f.sub.to_global[local];
+        for (NodeId w : NodesWithinRadius(s.graph, global, opt.d)) {
+          EXPECT_TRUE(f.sub.to_local.count(w) > 0);
+        }
+        break;  // one center per fragment suffices
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperty, GraphIoRoundTrip) {
+  Graph g = MakeSynthetic(200, 600, 15, GetParam());
+  std::ostringstream os;
+  ASSERT_TRUE(WriteGraphText(g, os).ok());
+  std::istringstream is(os.str());
+  auto r = ReadGraphText(is);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_nodes(), g.num_nodes());
+  EXPECT_EQ(r->num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(r->labels().Name(r->node_label(v)),
+              g.labels().Name(g.node_label(v)));
+    EXPECT_EQ(r->out_degree(v), g.out_degree(v));
+  }
+}
+
+TEST_P(SeededProperty, JaccardIsAMetricOnMatchSets) {
+  Scenario s = MakeScenario(GetParam());
+  VF2Matcher m(s.graph);
+  std::vector<std::vector<NodeId>> sets;
+  for (const Gpar& r : s.rules) {
+    auto images = m.Images(r.pr(), r.pr().x());
+    std::sort(images.begin(), images.end());
+    sets.push_back(std::move(images));
+  }
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(JaccardDistance(sets[i], sets[i]), 0.0);
+    for (size_t j = 0; j < sets.size(); ++j) {
+      double dij = JaccardDistance(sets[i], sets[j]);
+      EXPECT_GE(dij, 0.0);
+      EXPECT_LE(dij, 1.0);
+      EXPECT_DOUBLE_EQ(dij, JaccardDistance(sets[j], sets[i]));
+      // Triangle inequality (Jaccard distance is a true metric).
+      for (size_t k = 0; k < sets.size(); ++k) {
+        EXPECT_LE(dij, JaccardDistance(sets[i], sets[k]) +
+                           JaccardDistance(sets[k], sets[j]) + 1e-12);
+      }
+    }
+  }
+}
+
+class WorkerCountProperty : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerCountProperty,
+                         ::testing::Values(1, 2, 3, 5));
+
+TEST_P(WorkerCountProperty, DmineAcceptedPoolInvariant) {
+  // The number of accepted rules (and objective) must not depend on n:
+  // compare every n against the single-worker run.
+  Graph g = MakeSynthetic(400, 1200, 20, 9);
+  auto freq = FrequentEdgePatterns(g, 1);
+  Predicate q{freq[0].src_label, freq[0].edge_label, freq[0].dst_label};
+  DmineOptions opt;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+  opt.enable_reduction_rules = false;
+
+  opt.num_workers = 1;
+  auto reference = Dmine(g, q, opt);
+  ASSERT_TRUE(reference.ok());
+
+  opt.num_workers = GetParam();
+  auto result = Dmine(g, q, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.accepted, reference->stats.accepted);
+  EXPECT_NEAR(result->objective, reference->objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace gpar

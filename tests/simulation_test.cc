@@ -1,0 +1,113 @@
+#include "match/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+#include "graph/paper_graphs.h"
+#include "match/matcher.h"
+
+namespace gpar {
+namespace {
+
+TEST(SimulationTest, CycleMatchesUnderSimulationButNotIsomorphism) {
+  // The classic separator: a 3-cycle pattern simulates into a 2-cycle
+  // graph (every node has the required successor/predecessor), but no
+  // injective match exists.
+  GraphBuilder b;
+  NodeId u = b.AddNode("a");
+  NodeId v = b.AddNode("a");
+  (void)b.AddEdge(u, "e", v);
+  (void)b.AddEdge(v, "e", u);
+  Graph g = std::move(b).Build();
+  LabelId a = g.labels().Lookup("a");
+  LabelId e = g.labels().Lookup("e");
+
+  Pattern cycle3;
+  PNodeId p0 = cycle3.AddNode(a);
+  PNodeId p1 = cycle3.AddNode(a);
+  PNodeId p2 = cycle3.AddNode(a);
+  cycle3.AddEdge(p0, e, p1);
+  cycle3.AddEdge(p1, e, p2);
+  cycle3.AddEdge(p2, e, p0);
+  cycle3.set_x(p0);
+
+  auto sim = DualSimulation(cycle3, g);
+  EXPECT_EQ(sim[p0].size(), 2u);  // both graph nodes simulate
+  VF2Matcher m(g);
+  EXPECT_TRUE(m.Images(cycle3, p0).empty());  // no injective match
+}
+
+TEST(SimulationTest, RespectsEdgeLabels) {
+  GraphBuilder b;
+  NodeId u = b.AddNode("a");
+  NodeId v = b.AddNode("b");
+  (void)b.AddEdge(u, "likes", v);
+  Graph g = std::move(b).Build();
+
+  Pattern p;
+  PNodeId x = p.AddNode(g.labels().Lookup("a"));
+  PNodeId y = p.AddNode(g.labels().Lookup("b"));
+  p.AddEdge(x, g.labels().Lookup("likes"), y);
+  p.set_x(x);
+  auto sim_ok = DualSimulation(p, g);
+  EXPECT_EQ(sim_ok[x].size(), 1u);
+
+  Pattern wrong;
+  PNodeId wx = wrong.AddNode(g.labels().Lookup("a"));
+  PNodeId wy = wrong.AddNode(g.labels().Lookup("b"));
+  Interner* labels = const_cast<Graph&>(g).mutable_labels();
+  wrong.AddEdge(wx, labels->Intern("hates"), wy);
+  wrong.set_x(wx);
+  auto sim_bad = DualSimulation(wrong, g);
+  EXPECT_TRUE(sim_bad[wx].empty());
+}
+
+TEST(SimulationTest, DualConstraintUsesInEdges) {
+  // Pattern: a -> b. A graph "b" node with no incoming "e" edge must not
+  // simulate pattern node b (dual simulation checks in-edges too).
+  GraphBuilder bld;
+  NodeId a1 = bld.AddNode("a");
+  NodeId b1 = bld.AddNode("b");
+  NodeId b2 = bld.AddNode("b");  // orphan: no in-edge
+  (void)bld.AddEdge(a1, "e", b1);
+  Graph g = std::move(bld).Build();
+  (void)b2;
+
+  Pattern p;
+  PNodeId x = p.AddNode(g.labels().Lookup("a"));
+  PNodeId y = p.AddNode(g.labels().Lookup("b"));
+  p.AddEdge(x, g.labels().Lookup("e"), y);
+  p.set_x(x);
+  auto sim = DualSimulation(p, g);
+  ASSERT_EQ(sim[y].size(), 1u);
+  EXPECT_EQ(sim[y][0], b1);
+}
+
+TEST(SimulationTest, MultiplicityExpansionApplies) {
+  PaperG1 g1 = MakePaperG1();
+  // like(x, FR^3): simulation is looser than isomorphism but still needs
+  // the like edge; custs with no FR likes are excluded.
+  const Interner& labels = g1.graph.labels();
+  Pattern p;
+  PNodeId x = p.AddNode(labels.Lookup("cust"));
+  PNodeId f = p.AddNode(labels.Lookup("French_restaurant"), 3);
+  p.AddEdge(x, labels.Lookup("like"), f);
+  p.set_x(x);
+  auto images = SimulationImages(p, g1.graph, x);
+  EXPECT_TRUE(std::binary_search(images.begin(), images.end(), g1.cust1));
+  EXPECT_FALSE(std::binary_search(images.begin(), images.end(), g1.cust6));
+}
+
+TEST(SimulationTest, EmptyWhenNoLabel) {
+  PaperG1 g1 = MakePaperG1();
+  Pattern p;
+  PNodeId x = p.AddNode(kWildcardLabel);  // not present in the graph
+  p.set_x(x);
+  auto sim = DualSimulation(p, g1.graph);
+  EXPECT_TRUE(sim[x].empty());
+}
+
+}  // namespace
+}  // namespace gpar

@@ -1,0 +1,248 @@
+// gpar_tool — command-line front end for the library.
+//
+//   gpar_tool generate --type pokec|gplus|synthetic --scale N --out g.txt
+//   gpar_tool info     --graph g.txt
+//   gpar_tool mine     --graph g.txt --x user --edge like_music --y music_1
+//                      [--k 10 --d 2 --sigma 5 --lambda 0.5 --workers 4]
+//                      [--rules-out rules.txt]
+//   gpar_tool identify --graph g.txt --rules rules.txt --eta 1.0
+//                      [--algo match|matchc|disvf2|seq] [--workers 4]
+//
+// Graphs use the `v/e` text format of graph_io.h; rule files use the
+// Gpar::SerializeSet format (pattern codec blocks separated by `---`).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "graph/generator.h"
+#include "graph/graph_io.h"
+#include "graph/stats.h"
+#include "identify/eip.h"
+#include "mine/dmine.h"
+#include "rule/gpar.h"
+
+namespace {
+
+using namespace gpar;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "expected --flag, got %s\n", key.c_str());
+      std::exit(2);
+    }
+    flags[key.substr(2)] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& def) {
+  auto it = flags.find(key);
+  return it == flags.end() ? def : it->second;
+}
+
+std::string RequireFlag(const std::map<std::string, std::string>& flags,
+                        const std::string& key) {
+  auto it = flags.find(key);
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing required --%s\n", key.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+Graph LoadGraph(const std::string& path) {
+  auto r = ReadGraphFile(path);
+  if (!r.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+LabelId RequireLabel(const Graph& g, const std::string& name) {
+  LabelId id = g.labels().Lookup(name);
+  if (id == kNoLabel) {
+    std::fprintf(stderr, "label '%s' does not occur in the graph\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  return id;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  std::string type = FlagOr(flags, "type", "synthetic");
+  uint32_t scale = std::stoul(FlagOr(flags, "scale", "1"));
+  uint64_t seed = std::stoull(FlagOr(flags, "seed", "42"));
+  Graph g;
+  if (type == "pokec") {
+    g = MakePokecLike(scale, seed);
+  } else if (type == "gplus") {
+    g = MakeGPlusLike(scale, seed);
+  } else if (type == "synthetic") {
+    g = MakeSynthetic(10000 * scale, 20000 * scale, 100, seed);
+  } else {
+    std::fprintf(stderr, "unknown --type %s\n", type.c_str());
+    return 2;
+  }
+  std::string out = RequireFlag(flags, "out");
+  Status s = WriteGraphFile(g, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u nodes, %zu edges\n", out.c_str(), g.num_nodes(),
+              g.num_edges());
+  return 0;
+}
+
+int CmdInfo(const std::map<std::string, std::string>& flags) {
+  Graph g = LoadGraph(RequireFlag(flags, "graph"));
+  DegreeStats deg = ComputeDegreeStats(g);
+  std::printf("nodes: %u\nedges: %zu\n|G| = |V|+|E|: %zu\n", g.num_nodes(),
+              g.num_edges(), g.size());
+  std::printf("avg degree: %.2f  max out: %zu  max in: %zu\n",
+              deg.avg_degree, deg.max_out_degree, deg.max_in_degree);
+  std::printf("top edge patterns (src --edge--> dst : count):\n");
+  for (const EdgePatternStat& s : FrequentEdgePatterns(g, 10)) {
+    std::printf("  %s --%s--> %s : %llu\n",
+                g.labels().Name(s.src_label).c_str(),
+                g.labels().Name(s.edge_label).c_str(),
+                g.labels().Name(s.dst_label).c_str(),
+                static_cast<unsigned long long>(s.count));
+  }
+  return 0;
+}
+
+int CmdMine(const std::map<std::string, std::string>& flags) {
+  Graph g = LoadGraph(RequireFlag(flags, "graph"));
+  Predicate q{RequireLabel(g, RequireFlag(flags, "x")),
+              RequireLabel(g, RequireFlag(flags, "edge")),
+              RequireLabel(g, RequireFlag(flags, "y"))};
+  DmineOptions opt;
+  opt.k = std::stoul(FlagOr(flags, "k", "10"));
+  opt.d = std::stoul(FlagOr(flags, "d", "2"));
+  opt.sigma = std::stoull(FlagOr(flags, "sigma", "5"));
+  opt.lambda = std::stod(FlagOr(flags, "lambda", "0.5"));
+  opt.num_workers = std::stoul(FlagOr(flags, "workers", "4"));
+  opt.max_pattern_edges = std::stoul(FlagOr(flags, "max-edges", "4"));
+
+  auto result = Dmine(g, q, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("accepted %zu rules; top-%u objective F = %.4f "
+              "(%.2fs simulated parallel)\n",
+              result->stats.accepted, opt.k, result->objective,
+              result->times.SimulatedParallelSeconds());
+  std::vector<Gpar> rules;
+  for (const auto& r : result->topk) {
+    std::printf("--- supp=%llu conf=%.3f ---\n%s",
+                static_cast<unsigned long long>(r->supp), r->conf,
+                r->rule.ToString(g.labels()).c_str());
+    rules.push_back(r->rule);
+  }
+  auto it = flags.find("rules-out");
+  if (it != flags.end()) {
+    std::ofstream os(it->second);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", it->second.c_str());
+      return 1;
+    }
+    os << Gpar::SerializeSet(rules, g.labels());
+    std::printf("wrote %zu rules to %s\n", rules.size(), it->second.c_str());
+  }
+  return 0;
+}
+
+int CmdIdentify(const std::map<std::string, std::string>& flags) {
+  Graph g = LoadGraph(RequireFlag(flags, "graph"));
+  std::ifstream is(RequireFlag(flags, "rules"));
+  if (!is) {
+    std::fprintf(stderr, "cannot open rules file\n");
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  auto rules = Gpar::ParseSet(buffer.str(), g.mutable_labels());
+  if (!rules.ok()) {
+    std::fprintf(stderr, "bad rules file: %s\n",
+                 rules.status().ToString().c_str());
+    return 1;
+  }
+
+  EipOptions opt;
+  opt.eta = std::stod(FlagOr(flags, "eta", "1.0"));
+  opt.num_workers = std::stoul(FlagOr(flags, "workers", "4"));
+  std::string algo = FlagOr(flags, "algo", "match");
+  if (algo == "match") {
+    opt.algorithm = EipAlgorithm::kMatch;
+  } else if (algo == "matchc") {
+    opt.algorithm = EipAlgorithm::kMatchc;
+  } else if (algo == "disvf2") {
+    opt.algorithm = EipAlgorithm::kDisVf2;
+  } else if (algo == "seq") {
+    opt.algorithm = EipAlgorithm::kSequential;
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+    return 2;
+  }
+
+  auto result = IdentifyEntities(g, *rules, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("rules: %zu; eta: %.2f\n", rules->size(), opt.eta);
+  for (size_t i = 0; i < result->rule_evals.size(); ++i) {
+    std::printf("  rule %zu: supp=%llu conf=%.3f%s\n", i,
+                static_cast<unsigned long long>(result->rule_evals[i].supp_r),
+                result->rule_evals[i].conf,
+                result->rule_evals[i].conf >= opt.eta ? "  [selected]" : "");
+  }
+  std::printf("Σ(x, G, η): %zu potential customers\n",
+              result->entities.size());
+  size_t shown = 0;
+  for (NodeId v : result->entities) {
+    if (++shown > 20) {
+      std::printf("  ... (%zu more)\n", result->entities.size() - 20);
+      break;
+    }
+    std::printf("  node %u\n", v);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: gpar_tool <generate|info|mine|identify> --flag value "
+               "...\n(see the header comment of tools/gpar_tool.cc)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  std::string cmd = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "mine") return CmdMine(flags);
+  if (cmd == "identify") return CmdIdentify(flags);
+  Usage();
+  return 2;
+}
