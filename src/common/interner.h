@@ -1,6 +1,8 @@
 #ifndef GPAR_COMMON_INTERNER_H_
 #define GPAR_COMMON_INTERNER_H_
 
+#include "common/require_cxx20.h"  // IWYU pragma: keep
+
 #include <cstdint>
 #include <string>
 #include <string_view>

@@ -1,0 +1,17 @@
+#ifndef GPAR_COMMON_REQUIRE_CXX20_H_
+#define GPAR_COMMON_REQUIRE_CXX20_H_
+
+// The library uses C++20-only constructs (operator<=>, std::span, concepts)
+// that can fail with inscrutable errors — or, worse, compile to subtly wrong
+// overload resolutions — under an older dialect. Fail loudly with one clear
+// diagnostic instead. (MSVC reports 199711L unless /Zc:__cplusplus is given;
+// _MSVC_LANG carries the real value there.)
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "gpar requires C++20: compile with /std:c++20 /Zc:__cplusplus"
+#endif
+#elif __cplusplus < 202002L
+#error "gpar requires C++20: compile with -std=c++20 (see CMakeLists.txt)"
+#endif
+
+#endif  // GPAR_COMMON_REQUIRE_CXX20_H_

@@ -1,6 +1,8 @@
 #ifndef GPAR_COMMON_RESULT_H_
 #define GPAR_COMMON_RESULT_H_
 
+#include "common/require_cxx20.h"  // IWYU pragma: keep
+
 #include <cassert>
 #include <utility>
 #include <variant>

@@ -1,6 +1,8 @@
 #ifndef GPAR_COMMON_STATUS_H_
 #define GPAR_COMMON_STATUS_H_
 
+#include "common/require_cxx20.h"  // IWYU pragma: keep
+
 #include <ostream>
 #include <string>
 #include <utility>

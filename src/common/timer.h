@@ -1,6 +1,8 @@
 #ifndef GPAR_COMMON_TIMER_H_
 #define GPAR_COMMON_TIMER_H_
 
+#include "common/require_cxx20.h"  // IWYU pragma: keep
+
 #include <chrono>
 #include <cstdint>
 

@@ -179,7 +179,11 @@ Graph MakeSynthetic(uint32_t num_nodes, uint64_t num_edges,
   std::vector<LabelId> labels;
   labels.reserve(num_labels);
   for (uint32_t i = 0; i < num_labels; ++i) {
-    labels.push_back(b.InternLabel("l" + std::to_string(i)));
+    // Built with append (not operator+) to dodge GCC 12's -Wrestrict false
+    // positive (PR 105329) that fires when the concat inlines into this loop.
+    std::string name = "l";
+    name += std::to_string(i);
+    labels.push_back(b.InternLabel(name));
   }
   for (uint32_t v = 0; v < num_nodes; ++v) {
     b.AddNode(labels[rng.Zipf(num_labels, 0.9)]);
@@ -188,7 +192,9 @@ Graph MakeSynthetic(uint32_t num_nodes, uint64_t num_edges,
   const uint32_t num_edge_labels = std::max<uint32_t>(4, num_labels / 10);
   std::vector<LabelId> elabels;
   for (uint32_t i = 0; i < num_edge_labels; ++i) {
-    elabels.push_back(b.InternLabel("e" + std::to_string(i)));
+    std::string name = "e";  // append, not operator+: GCC PR 105329
+    name += std::to_string(i);
+    elabels.push_back(b.InternLabel(name));
   }
   // Edges: endpoints mix uniform and "hub" choices for a heavy tail.
   const uint32_t hub_count = std::max<uint32_t>(1, num_nodes / 50);

@@ -1,6 +1,8 @@
 #ifndef GPAR_GRAPH_GRAPH_H_
 #define GPAR_GRAPH_GRAPH_H_
 
+#include "common/require_cxx20.h"  // IWYU pragma: keep
+
 #include <cstdint>
 #include <memory>
 #include <span>

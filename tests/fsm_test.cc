@@ -22,7 +22,9 @@ TEST(FsmTest, SingleEdgePatternsOnG1) {
   // All results meet the threshold and are sorted by support.
   for (size_t i = 0; i < patterns.size(); ++i) {
     EXPECT_GE(patterns[i].support, opt.min_support);
-    if (i > 0) EXPECT_LE(patterns[i].support, patterns[i - 1].support);
+    if (i > 0) {
+      EXPECT_LE(patterns[i].support, patterns[i - 1].support);
+    }
     EXPECT_EQ(patterns[i].pattern.num_edges(), 1u);
   }
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -52,8 +53,8 @@ TEST(BspTest, RoundsAndMakespan) {
   std::atomic<int> work{0};
   bsp.RunRound([&](uint32_t) {
     // A small busy loop so CPU time is measurable but tiny.
-    volatile int x = 0;
-    for (int i = 0; i < 100000; ++i) x += i;
+    volatile int64_t x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + i;
     work.fetch_add(1);
   });
   bsp.RunCoordinator([&] { work.fetch_add(1); });
@@ -83,7 +84,7 @@ TEST(BspTest, MakespanShrinksWithMoreWorkers) {
       // Worker w handles its slice of items.
       volatile double acc = 0;
       for (int item = w; item < total_items; item += n) {
-        for (int i = 0; i < 400000; ++i) acc += i * 0.5;
+        for (int i = 0; i < 400000; ++i) acc = acc + i * 0.5;
       }
     });
     return bsp.FinishTiming().makespan_seconds;
@@ -96,8 +97,8 @@ TEST(BspTest, MakespanShrinksWithMoreWorkers) {
 
 TEST(ThreadCpuTest, MonotonicallyIncreases) {
   double a = ThreadCpuSeconds();
-  volatile int x = 0;
-  for (int i = 0; i < 1000000; ++i) x += i;
+  volatile int64_t x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + i;
   double b = ThreadCpuSeconds();
   EXPECT_GE(b, a);
 }

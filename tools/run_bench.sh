@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the micro benchmarks (google-benchmark binaries named micro_*) and
+# merges their JSON reports into one machine-readable file that seeds the
+# perf trajectory across PRs.
+#
+# Usage:
+#   tools/run_bench.sh [OUTPUT_JSON]
+#
+# Environment:
+#   GPAR_BENCH_BIN_DIR   directory holding the bench binaries
+#                        (default: build/release/bench)
+#   GPAR_BENCH_FILTER    --benchmark_filter regex passed through (default: all)
+#   GPAR_BENCH_MIN_TIME  --benchmark_min_time per benchmark (default: unset)
+#
+# The merged document has the shape:
+#   { "benches": { "<binary>": <google-benchmark JSON report>, ... } }
+set -euo pipefail
+
+out="${1:-BENCH_micro.json}"
+bin_dir="${GPAR_BENCH_BIN_DIR:-build/release/bench}"
+
+if [[ ! -d "${bin_dir}" ]]; then
+  echo "error: bench binary dir '${bin_dir}' not found." >&2
+  echo "Build first: cmake --preset release && cmake --build --preset release" >&2
+  exit 1
+fi
+
+shopt -s nullglob
+bins=("${bin_dir}"/micro_*)
+if [[ ${#bins[@]} -eq 0 ]]; then
+  echo "error: no micro_* binaries under '${bin_dir}'." >&2
+  echo "Was google-benchmark found at configure time?" >&2
+  exit 1
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+extra_args=()
+[[ -n "${GPAR_BENCH_FILTER:-}" ]] &&
+  extra_args+=("--benchmark_filter=${GPAR_BENCH_FILTER}")
+[[ -n "${GPAR_BENCH_MIN_TIME:-}" ]] &&
+  extra_args+=("--benchmark_min_time=${GPAR_BENCH_MIN_TIME}")
+
+for bin in "${bins[@]}"; do
+  [[ -x "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  echo "== ${name}" >&2
+  "${bin}" --benchmark_format=json \
+    ${extra_args[@]+"${extra_args[@]}"} >"${tmp_dir}/${name}.json"
+done
+
+python3 - "${out}" "${tmp_dir}" <<'PY'
+import json, pathlib, sys
+
+out, tmp_dir = sys.argv[1], pathlib.Path(sys.argv[2])
+merged = {"benches": {}}
+for report in sorted(tmp_dir.glob("*.json")):
+    merged["benches"][report.stem] = json.loads(report.read_text())
+pathlib.Path(out).write_text(json.dumps(merged, indent=2) + "\n")
+total = sum(len(r.get("benchmarks", [])) for r in merged["benches"].values())
+print(f"wrote {out}: {len(merged['benches'])} binaries, {total} benchmarks")
+PY
