@@ -26,6 +26,18 @@ inline uint32_t Scale() {
   return v >= 1 ? static_cast<uint32_t>(v) : 1;
 }
 
+/// GPAR_BENCH_SMALL=1 shrinks an experiment to a CI-sized run (fewer steps,
+/// ~10x smaller graphs) so per-PR artifacts stay cheap to produce. Off by
+/// default: local runs keep the paper-shaped sizes.
+inline bool SmallRun() {
+  const char* s = std::getenv("GPAR_BENCH_SMALL");
+  return s != nullptr && std::atoi(s) >= 1;
+}
+
+/// Destination for a machine-readable report (GPAR_BENCH_JSON), or nullptr
+/// when the bench should only print its table.
+inline const char* JsonPath() { return std::getenv("GPAR_BENCH_JSON"); }
+
 /// Picks the most frequent (x_label, edge, y_label) triple whose edge label
 /// is `edge_name` — the benchmark predicate q(x, y).
 inline Predicate PickPredicate(const Graph& g, const std::string& edge_name) {

@@ -4,6 +4,8 @@
 #include <deque>
 #include <unordered_map>
 
+#include "pattern/pattern_ops.h"
+
 namespace gpar {
 
 KHopSketch ComputePatternSketch(const Pattern& p, PNodeId u, uint32_t k) {
@@ -44,34 +46,8 @@ const KHopSketch& GuidedMatcher::SketchOf(NodeId v) {
   return it->second;
 }
 
-namespace {
-
-/// Structural FNV-1a hash over a pattern's nodes and edges; collisions are
-/// resolved by exact equality in the cache bucket.
-uint64_t PatternHash(const Pattern& p) {
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&](uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
-  for (PNodeId u = 0; u < p.num_nodes(); ++u) {
-    mix(p.node(u).label);
-    mix(p.node(u).multiplicity);
-  }
-  for (const PatternEdge& e : p.edges()) {
-    mix(e.src);
-    mix(e.dst);
-    mix(e.label);
-  }
-  mix(p.x());
-  mix(p.y());
-  return h;
-}
-
-}  // namespace
-
 void GuidedMatcher::PrepareForPattern(const Pattern& p) {
-  uint64_t h = PatternHash(p);
+  uint64_t h = StructuralHash(p);
   auto& bucket = pattern_cache_[h];
   for (const PatternSketches& entry : bucket) {
     if (entry.pattern == p) {

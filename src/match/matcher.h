@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -32,6 +33,13 @@ using EmbeddingCallback = std::function<bool(std::span<const NodeId>)>;
 /// filtering and ordering. `VF2Matcher` applies label checks only;
 /// `GuidedMatcher` adds the paper's k-hop-sketch filter and best-first
 /// candidate ordering (Section 5.2).
+///
+/// Searches reuse per-matcher scratch state (mapping, injectivity bitmap,
+/// candidate buffers) and a search-plan cache, so repeated `ExistsAt` probes
+/// of the same pattern are allocation-free. Consequently a matcher is NOT
+/// reentrant: embedding callbacks must not call back into the same matcher,
+/// and instances must not be shared across threads without external
+/// synchronization (DMine gives each worker its own matcher).
 class Matcher {
  public:
   explicit Matcher(const Graph& g) : g_(g) {}
@@ -67,6 +75,9 @@ class Matcher {
   /// Number of search-tree nodes visited since construction (for benches).
   uint64_t nodes_visited() const { return nodes_visited_; }
 
+  /// Number of patterns with a cached search plan (for tests/benches).
+  size_t plans_cached() const { return plans_cached_; }
+
  protected:
   /// Policy hook: may a candidate `v` be considered for pattern node `u`?
   /// Node-label equality is already checked by the engine.
@@ -85,14 +96,46 @@ class Matcher {
   virtual void PrepareForPattern(const Pattern& p) { (void)p; }
 
  private:
-  struct SearchPlan;
+  /// A cached match order for one (expanded pattern, anchored-node set):
+  /// anchored nodes first, then BFS over pattern adjacency. Only the node
+  /// *set* of the anchors matters — anchor values are per-call state held in
+  /// `Scratch::anchor_of`.
+  struct SearchPlan {
+    std::vector<PNodeId> anchored;  ///< sorted, deduplicated key
+    std::vector<PNodeId> order;
+  };
+
+  /// Everything derived from one pattern, cached across calls: the
+  /// multiplicity expansion and the search plans seen so far (typically one,
+  /// anchored at x). Keyed by StructuralHash with exact-equality buckets.
+  struct PlanCacheEntry {
+    Pattern pattern;  ///< original, exact-equality key
+    Pattern expanded;
+    std::vector<PNodeId> first_copy;  ///< original node -> first expanded copy
+    std::vector<SearchPlan> plans;
+  };
+
+  /// Reusable per-search state: `ExistsAt` is called once per candidate
+  /// center on the mining hot path, so the search must not pay a heap
+  /// allocation per level per call.
+  struct Scratch {
+    std::vector<char> used;        ///< per graph node: mapped right now
+    std::vector<NodeId> mapping;   ///< per expanded pattern node
+    std::vector<NodeId> anchor_of; ///< per expanded pattern node, or invalid
+    std::vector<std::vector<NodeId>> cand_bufs;  ///< per search level
+  };
+
   bool Extend(const Pattern& p, const SearchPlan& plan, size_t level,
-              std::vector<NodeId>& mapping, const EmbeddingCallback& cb,
-              uint64_t limit, uint64_t* count);
-  SearchPlan MakePlan(const Pattern& p, std::span<const Anchor> anchors);
+              const EmbeddingCallback& cb, uint64_t limit, uint64_t* count);
+  PlanCacheEntry& CacheEntryFor(const Pattern& p);
+  const SearchPlan& PlanFor(PlanCacheEntry& entry,
+                            std::vector<PNodeId> anchored);
 
   const Graph& g_;
   uint64_t nodes_visited_ = 0;
+  size_t plans_cached_ = 0;
+  std::unordered_map<uint64_t, std::vector<PlanCacheEntry>> plan_cache_;
+  Scratch scratch_;
 };
 
 /// Plain VF2-style matcher [10]: label-filtered candidates in index order.

@@ -3,18 +3,48 @@
 #include <algorithm>
 #include <deque>
 
+#include "pattern/pattern_ops.h"
+
 namespace gpar {
 
-struct Matcher::SearchPlan {
-  std::vector<PNodeId> order;     // match order over pattern nodes
-  std::vector<NodeId> anchor_of;  // per pattern node, or kInvalidNode
-};
+namespace {
 
-Matcher::SearchPlan Matcher::MakePlan(const Pattern& p,
-                                      std::span<const Anchor> anchors) {
+// Mined pattern universes are bounded (a few thousand per run); the cache is
+// cleared wholesale if a workload ever exceeds this, trading a re-plan for a
+// memory ceiling.
+constexpr size_t kMaxCachedPatterns = 1 << 14;
+
+}  // namespace
+
+Matcher::PlanCacheEntry& Matcher::CacheEntryFor(const Pattern& p) {
+  if (plans_cached_ > kMaxCachedPatterns) {
+    plan_cache_.clear();
+    plans_cached_ = 0;
+  }
+  auto& bucket = plan_cache_[StructuralHash(p)];
+  for (PlanCacheEntry& entry : bucket) {
+    if (entry.pattern == p) return entry;
+  }
+  PlanCacheEntry entry;
+  entry.pattern = p;
+  entry.expanded = p.ExpandMultiplicities(&entry.first_copy);
+  bucket.push_back(std::move(entry));
+  ++plans_cached_;
+  return bucket.back();
+}
+
+const Matcher::SearchPlan& Matcher::PlanFor(PlanCacheEntry& entry,
+                                            std::vector<PNodeId> anchored) {
+  std::sort(anchored.begin(), anchored.end());
+  anchored.erase(std::unique(anchored.begin(), anchored.end()),
+                 anchored.end());
+  for (const SearchPlan& plan : entry.plans) {
+    if (plan.anchored == anchored) return plan;
+  }
+
+  const Pattern& p = entry.expanded;
   SearchPlan plan;
-  plan.anchor_of.assign(p.num_nodes(), kInvalidNode);
-  for (const Anchor& a : anchors) plan.anchor_of[a.u] = a.v;
+  plan.anchored = std::move(anchored);
 
   std::vector<bool> placed(p.num_nodes(), false);
   std::deque<PNodeId> frontier;
@@ -27,7 +57,7 @@ Matcher::SearchPlan Matcher::MakePlan(const Pattern& p,
 
   // Anchored nodes first, then BFS across pattern adjacency so every later
   // node has a mapped neighbor (pivot) when reached.
-  for (const Anchor& a : anchors) place(a.u);
+  for (PNodeId u : plan.anchored) place(u);
   auto drain = [&] {
     while (!frontier.empty()) {
       PNodeId u = frontier.front();
@@ -53,12 +83,14 @@ Matcher::SearchPlan Matcher::MakePlan(const Pattern& p,
     place(best);
     drain();
   }
-  return plan;
+  entry.plans.push_back(std::move(plan));
+  return entry.plans.back();
 }
 
 bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
-                     std::vector<NodeId>& mapping, const EmbeddingCallback& cb,
-                     uint64_t limit, uint64_t* count) {
+                     const EmbeddingCallback& cb, uint64_t limit,
+                     uint64_t* count) {
+  std::vector<NodeId>& mapping = scratch_.mapping;
   if (level == plan.order.size()) {
     ++*count;
     bool keep_going = cb(mapping);
@@ -70,9 +102,11 @@ bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
 
   // Candidate source: anchored value, or neighbors of the pivot (the mapped
   // neighbor whose labeled adjacency list is smallest), or the label index.
-  std::vector<NodeId> cands;
-  if (plan.anchor_of[u] != kInvalidNode) {
-    cands.push_back(plan.anchor_of[u]);
+  // The per-level buffer is owned by the scratch and reused across calls.
+  std::vector<NodeId>& cands = scratch_.cand_bufs[level];
+  cands.clear();
+  if (scratch_.anchor_of[u] != kInvalidNode) {
+    cands.push_back(scratch_.anchor_of[u]);
   } else {
     std::span<const AdjEntry> best_slice;
     bool have_pivot = false;
@@ -102,15 +136,9 @@ bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
   for (NodeId v : cands) {
     ++nodes_visited_;
     if (g_.node_label(v) != want) continue;
-    // Injectivity.
-    bool used = false;
-    for (NodeId w : mapping) {
-      if (w == v) {
-        used = true;
-        break;
-      }
-    }
-    if (used) continue;
+    // Injectivity: the used bitmap mirrors `mapping` (set/cleared with it),
+    // replacing the O(|P|) scan over mapped nodes.
+    if (scratch_.used[v]) continue;
     if (!FilterCandidate(p, u, v)) continue;
     // Every pattern edge between u and an already-mapped node (including
     // self-loops) must exist in the graph with the right label.
@@ -134,8 +162,10 @@ bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
     if (!edges_ok) continue;
 
     mapping[u] = v;
-    bool keep_going = Extend(p, plan, level + 1, mapping, cb, limit, count);
+    scratch_.used[v] = 1;
+    bool keep_going = Extend(p, plan, level + 1, cb, limit, count);
     mapping[u] = kInvalidNode;
+    scratch_.used[v] = 0;
     if (!keep_going) return false;
   }
   return true;
@@ -143,16 +173,39 @@ bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
 
 uint64_t Matcher::Enumerate(const Pattern& p, std::span<const Anchor> anchors,
                             const EmbeddingCallback& cb, uint64_t limit) {
-  std::vector<PNodeId> first_copy;
-  const Pattern expanded = p.ExpandMultiplicities(&first_copy);
-  std::vector<Anchor> xanchors(anchors.begin(), anchors.end());
-  for (Anchor& a : xanchors) a.u = first_copy[a.u];
+  PlanCacheEntry& entry = CacheEntryFor(p);
+  const Pattern& expanded = entry.expanded;
+
+  std::vector<PNodeId> anchored_nodes;
+  anchored_nodes.reserve(anchors.size());
+  for (const Anchor& a : anchors) {
+    anchored_nodes.push_back(entry.first_copy[a.u]);
+  }
+  // Anchor values are per-call: (re)build the anchor_of table in scratch.
+  scratch_.anchor_of.assign(expanded.num_nodes(), kInvalidNode);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    scratch_.anchor_of[anchored_nodes[i]] = anchors[i].v;
+  }
 
   PrepareForPattern(expanded);
-  SearchPlan plan = MakePlan(expanded, xanchors);
-  std::vector<NodeId> mapping(expanded.num_nodes(), kInvalidNode);
+  const SearchPlan& plan = PlanFor(entry, std::move(anchored_nodes));
+
+  if (scratch_.used.size() < g_.num_nodes()) {
+    scratch_.used.assign(g_.num_nodes(), 0);
+  }
+  if (scratch_.cand_bufs.size() < plan.order.size()) {
+    scratch_.cand_bufs.resize(plan.order.size());
+  }
+  // A previous search that unwound abnormally (an embedding callback threw)
+  // skipped Extend's symmetric clears; sweep the stale path out of `used`
+  // before the mapping is reset, or those nodes stay excluded forever.
+  for (NodeId v : scratch_.mapping) {
+    if (v != kInvalidNode) scratch_.used[v] = 0;
+  }
+  scratch_.mapping.assign(expanded.num_nodes(), kInvalidNode);
+
   uint64_t count = 0;
-  Extend(expanded, plan, 0, mapping, cb, limit, &count);
+  Extend(expanded, plan, 0, cb, limit, &count);
   return count;
 }
 

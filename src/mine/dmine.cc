@@ -101,10 +101,12 @@ namespace {
 struct WorkerState {
   const Fragment* frag = nullptr;
   std::unique_ptr<VF2Matcher> matcher;
-  std::vector<char> center_is_q;     // per fragment center
-  std::vector<char> center_is_qbar;  // per fragment center
+  std::vector<uint32_t> q_centers;     // center indices in P_q(x, ·)
+  std::vector<uint32_t> qbar_centers;  // center indices in the ~q pool
   uint64_t supp_q_local = 0;
   uint64_t supp_qbar_local = 0;
+  uint64_t exists_calls = 0;
+  uint64_t centers_skipped = 0;
 };
 
 /// Local statistics for one candidate GPAR at one fragment.
@@ -114,16 +116,25 @@ struct LocalStats {
   uint64_t usupp = 0;
   bool extendable = false;
   std::vector<NodeId> matches_global;
+  // Parent sets handed to this candidate's own extensions (collected only
+  // under enable_parent_prune; ascending center indices).
+  std::vector<uint32_t> pr_centers;
+  std::vector<uint32_t> ant_centers;
 };
 
-/// Deduplicates `fresh` against itself and `seen_keys` using bucket keys,
-/// then (optionally bisimulation-prefiltered) designated isomorphism.
-std::vector<Gpar> DedupCandidates(
-    std::vector<Gpar> fresh,
+/// Sentinel parent index for round-1 candidates: extensions of the bare
+/// predicate seed their pools from the round-0 q / ~q center sets.
+constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+}  // namespace
+
+std::vector<size_t> DedupCandidates(
+    const std::vector<Gpar>& fresh, size_t max_keep,
     std::map<std::string, std::vector<Pattern>>* seen_buckets,
     bool bisim_prefilter, DmineStats* stats) {
-  std::vector<Gpar> out;
-  for (Gpar& g : fresh) {
+  std::vector<size_t> kept;
+  for (size_t idx = 0; idx < fresh.size() && kept.size() < max_keep; ++idx) {
+    const Gpar& g = fresh[idx];
     std::string key = IsomorphismBucketKey(g.pr());
     auto& bucket = (*seen_buckets)[key];
     bool duplicate = false;
@@ -144,12 +155,10 @@ std::vector<Gpar> DedupCandidates(
       continue;
     }
     bucket.push_back(g.pr());
-    out.push_back(std::move(g));
+    kept.push_back(idx);
   }
-  return out;
+  return kept;
 }
-
-}  // namespace
 
 Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
                           const DmineOptions& options) {
@@ -191,15 +200,14 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
     const Graph& fg = w.frag->sub.graph;
     w.matcher = std::make_unique<VF2Matcher>(fg);
     const size_t nc = w.frag->centers.size();
-    w.center_is_q.assign(nc, 0);
-    w.center_is_qbar.assign(nc, 0);
     for (size_t c = 0; c < nc; ++c) {
       NodeId local = w.frag->centers[c];
+      ++w.exists_calls;
       if (w.matcher->ExistsAt(pq, local)) {
-        w.center_is_q[c] = 1;
+        w.q_centers.push_back(static_cast<uint32_t>(c));
         ++w.supp_q_local;
       } else if (fg.HasOutLabel(local, q.edge_label)) {
-        w.center_is_qbar[c] = 1;
+        w.qbar_centers.push_back(static_cast<uint32_t>(c));
         ++w.supp_qbar_local;
       }
     }
@@ -214,7 +222,16 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   result.stats.supp_qbar = supp_qbar;
 
   // Trivial case: q(x, y) names no one in G — no interesting GPARs exist.
-  if (supp_q == 0) {
+  // Degenerate case: no ~q "negative" pool (every x-candidate with a q-edge
+  // already satisfies q). Every discovered rule would have supp(Q~q) = 0 —
+  // a trivial logic rule the paper discards — so mining finds nothing, and
+  // returning early keeps n_norm = supp_q * supp_qbar = 0 away from the
+  // objective's division paths (which are additionally guarded in
+  // FPrime/ObjectiveF).
+  if (supp_q == 0 || supp_qbar == 0) {
+    for (const WorkerState& w : workers) {
+      result.stats.exists_calls += w.exists_calls;
+    }
     result.times = bsp.FinishTiming();
     return result;
   }
@@ -225,8 +242,10 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   std::vector<std::shared_ptr<MinedRule>> sigma;  // Σ
   std::map<std::string, std::vector<Pattern>> seen_buckets;
 
-  // M: antecedents to extend next round. The base "rule" is bare q(x, y):
-  // an antecedent with just the designated nodes and no edges.
+  // M: the rules to extend next round, each carrying its per-fragment match
+  // sets — the parent pools the workers restrict to. Round 1 extends the
+  // base "rule", bare q(x, y): an antecedent with just the designated nodes
+  // and no edges, whose pools are the round-0 q / ~q center sets.
   Pattern base;
   {
     PNodeId x = base.AddNode(q.x_label);
@@ -234,7 +253,7 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
     base.set_x(x);
     base.set_y(y);
   }
-  std::vector<Pattern> m_antecedents{base};
+  std::vector<std::shared_ptr<MinedRule>> m_parents;
 
   // A full-graph matcher for the (rare) antecedent components that do not
   // contain x: their matches can live anywhere in G, so the coordinator
@@ -245,24 +264,40 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   // generator), up to max_pattern_edges edges — the levelwise structure of
   // DMine with the growth alphabet of seed edge patterns.
   for (uint32_t round = 1;
-       round <= options.max_pattern_edges && !m_antecedents.empty();
+       round <= options.max_pattern_edges &&
+       (round == 1 || !m_parents.empty());
        ++round) {
     // --- Coordinator: generate + dedup this round's candidates. ----------
     std::vector<Gpar> candidates;
+    std::vector<size_t> cand_parent;  // per candidate: m_parents index
     std::vector<char> other_ok;  // per candidate: non-x components matchable
     bsp.RunCoordinator([&] {
       std::vector<Gpar> fresh;
-      for (const Pattern& ant : m_antecedents) {
+      std::vector<size_t> fresh_parent;
+      auto generate_from = [&](const Pattern& ant, size_t parent_idx) {
         std::vector<Gpar> ext = GenerateExtensions(
             ant, q.edge_label, options.d, options.max_pattern_edges, seeds);
         result.stats.candidates_generated += ext.size();
-        for (Gpar& e : ext) fresh.push_back(std::move(e));
+        for (Gpar& e : ext) {
+          fresh.push_back(std::move(e));
+          fresh_parent.push_back(parent_idx);
+        }
+      };
+      if (round == 1) {
+        generate_from(base, kNoParent);
+      } else {
+        for (size_t pi = 0; pi < m_parents.size(); ++pi) {
+          generate_from(m_parents[pi]->rule.antecedent(), pi);
+        }
       }
-      candidates = DedupCandidates(std::move(fresh), &seen_buckets,
-                                   options.enable_bisim_prefilter,
-                                   &result.stats);
-      if (candidates.size() > options.max_candidates_per_round) {
-        candidates.resize(options.max_candidates_per_round);
+      std::vector<size_t> kept = DedupCandidates(
+          fresh, options.max_candidates_per_round, &seen_buckets,
+          options.enable_bisim_prefilter, &result.stats);
+      candidates.reserve(kept.size());
+      cand_parent.reserve(kept.size());
+      for (size_t idx : kept) {
+        candidates.push_back(std::move(fresh[idx]));
+        cand_parent.push_back(fresh_parent[idx]);
       }
       result.stats.candidates_verified += candidates.size();
       other_ok.assign(candidates.size(), 1);
@@ -278,32 +313,55 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
     if (candidates.empty()) break;
 
     // --- Workers: local support counting over owned centers. -------------
+    // With parent pruning, a candidate is only probed at the centers where
+    // its parent rule matched (per fragment, per side): anti-monotonicity
+    // guarantees every other center fails, so skipping it cannot change any
+    // support. Without pruning (ablation), every candidate re-tests the
+    // full round-0 pools — the pre-lineage cost structure.
+    const bool prune = options.enable_parent_prune;
     std::vector<std::vector<LocalStats>> local(options.num_workers);
     bsp.RunRound([&](uint32_t i) {
       WorkerState& w = workers[i];
       local[i].assign(candidates.size(), {});
-      const size_t nc = w.frag->centers.size();
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
         const Gpar& r = candidates[ci];
         LocalStats& ls = local[i][ci];
-        for (size_t c = 0; c < nc; ++c) {
+        const MinedRule* parent = nullptr;
+        if (prune && cand_parent[ci] != kNoParent) {
+          parent = m_parents[cand_parent[ci]].get();
+        }
+        // P_R matches live inside the q-match pool (or the parent's
+        // surviving subset of it).
+        std::span<const uint32_t> pr_pool =
+            parent ? std::span<const uint32_t>(parent->frag_pr_centers[i])
+                   : std::span<const uint32_t>(w.q_centers);
+        w.centers_skipped += w.q_centers.size() - pr_pool.size();
+        for (uint32_t c : pr_pool) {
           NodeId local_id = w.frag->centers[c];
-          if (w.center_is_q[c]) {
-            // P_R matches live inside the q-match pool.
-            if (w.matcher->ExistsAt(r.pr(), local_id)) {
-              ++ls.supp_r;
-              ls.matches_global.push_back(w.frag->sub.to_global[local_id]);
-              // Anti-monotonicity makes supp_r itself the sound Usupp
-              // bound: any extension matches a subset of these centers.
-              ++ls.usupp;
-              ls.extendable = true;
-            }
-          } else if (w.center_is_qbar[c] && other_ok[ci]) {
-            // Antecedent membership: x-component locally (exact within the
-            // d-hop fragment), remaining components pre-checked globally.
-            if (w.matcher->ExistsAt(r.x_component(), local_id)) {
-              ++ls.supp_qqbar;
-            }
+          ++w.exists_calls;
+          if (w.matcher->ExistsAt(r.pr(), local_id)) {
+            ++ls.supp_r;
+            ls.matches_global.push_back(w.frag->sub.to_global[local_id]);
+            // Anti-monotonicity makes supp_r itself the sound Usupp
+            // bound: any extension matches a subset of these centers.
+            ++ls.usupp;
+            ls.extendable = true;
+            if (prune) ls.pr_centers.push_back(c);
+          }
+        }
+        if (!other_ok[ci]) continue;
+        // Antecedent membership: x-component locally (exact within the
+        // d-hop fragment), remaining components pre-checked globally.
+        std::span<const uint32_t> ant_pool =
+            parent ? std::span<const uint32_t>(parent->frag_ant_centers[i])
+                   : std::span<const uint32_t>(w.qbar_centers);
+        w.centers_skipped += w.qbar_centers.size() - ant_pool.size();
+        for (uint32_t c : ant_pool) {
+          NodeId local_id = w.frag->centers[c];
+          ++w.exists_calls;
+          if (w.matcher->ExistsAt(r.x_component(), local_id)) {
+            ++ls.supp_qqbar;
+            if (prune) ls.ant_centers.push_back(c);
           }
         }
       }
@@ -316,14 +374,22 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
         auto rule = std::make_shared<MinedRule>();
         rule->rule = candidates[ci];
         uint64_t usupp = 0;
+        if (prune) {
+          rule->frag_pr_centers.resize(options.num_workers);
+          rule->frag_ant_centers.resize(options.num_workers);
+        }
         for (uint32_t i = 0; i < options.num_workers; ++i) {
-          const LocalStats& ls = local[i][ci];
+          LocalStats& ls = local[i][ci];
           rule->supp += ls.supp_r;
           rule->supp_qqbar += ls.supp_qqbar;
           usupp += ls.usupp;
           rule->extendable = rule->extendable || ls.extendable;
           rule->matches.insert(rule->matches.end(), ls.matches_global.begin(),
                                ls.matches_global.end());
+          if (prune) {
+            rule->frag_pr_centers[i] = std::move(ls.pr_centers);
+            rule->frag_ant_centers[i] = std::move(ls.ant_centers);
+          }
         }
         std::sort(rule->matches.begin(), rule->matches.end());
         rule->usupp = usupp;
@@ -359,16 +425,28 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
             FullDiversify(sigma, options.k, options.lambda, n_norm);
       }
 
-      // Next round's M: extendable, unpruned survivors of this round.
-      m_antecedents.clear();
+      // Next round's M: extendable, unpruned survivors of this round. The
+      // outgoing parents' match sets have served their one round; release
+      // them (Σ keeps the rules themselves alive for diversification).
+      for (const auto& p : m_parents) {
+        p->frag_pr_centers = {};
+        p->frag_ant_centers = {};
+      }
+      m_parents.clear();
       for (const auto& r : delta) {
-        if (!r->extendable || r->pruned) continue;
-        if (r->rule.antecedent().num_edges() >= options.max_pattern_edges) {
+        if (!r->extendable || r->pruned ||
+            r->rule.antecedent().num_edges() >= options.max_pattern_edges) {
+          r->frag_pr_centers = {};
+          r->frag_ant_centers = {};
           continue;
         }
-        m_antecedents.push_back(r->rule.antecedent());
+        m_parents.push_back(r);
       }
     });
+  }
+  for (const auto& p : m_parents) {
+    p->frag_pr_centers = {};
+    p->frag_ant_centers = {};
   }
 
   bsp.RunCoordinator([&] {
@@ -390,6 +468,10 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
     }
   });
 
+  for (const WorkerState& w : workers) {
+    result.stats.exists_calls += w.exists_calls;
+    result.stats.centers_skipped_by_parent += w.centers_skipped;
+  }
   result.times = bsp.FinishTiming();
   return result;
 }

@@ -2,7 +2,9 @@
 #define GPAR_MINE_DMINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -30,9 +32,17 @@ struct DmineOptions {
   bool enable_incremental_div = true;
   bool enable_reduction_rules = true;
   bool enable_bisim_prefilter = true;
+  /// Levelwise parent-match pruning: workers evaluate an extension only at
+  /// the centers where its parent rule matched (anti-monotonicity, §4.2)
+  /// instead of re-testing every owned center each round. Sound — pruned and
+  /// unpruned runs produce identical supports, confidences, and top-k — and
+  /// kept as an ablation flag for the Exp-1 benches.
+  bool enable_parent_prune = true;
 };
 
 /// Returns `base` with every optimization disabled (the paper's DMineno).
+/// `enable_parent_prune` is left untouched: it is this implementation's own
+/// ablation axis, not one of the paper's three.
 DmineOptions DmineNoOptions(DmineOptions base = {});
 
 /// Counters reported alongside the result.
@@ -47,6 +57,12 @@ struct DmineStats {
   size_t trivial_discarded = 0;     ///< logic rules (supp(Q~q) = 0)
   uint64_t bisim_tests = 0;
   uint64_t iso_tests = 0;
+  /// Worker-loop ExistsAt probes (both the P_R and the x-component side).
+  uint64_t exists_calls = 0;
+  /// Centers the workers never probed because the candidate's parent rule
+  /// did not match there (0 when `enable_parent_prune` is off or every
+  /// round-1 candidate exhausts its seed pool).
+  uint64_t centers_skipped_by_parent = 0;
 };
 
 /// Output of Dmine: the diversified top-k, its objective value F(L_k), and
@@ -83,6 +99,18 @@ std::vector<Gpar> GenerateExtensions(const Pattern& antecedent,
                                      LabelId q_label, uint32_t round_r,
                                      uint32_t max_edges,
                                      const std::vector<EdgePatternStat>& seeds);
+
+/// Deduplicates `fresh` against itself and `seen_buckets` (bucket keys, then
+/// optionally bisimulation-prefiltered designated isomorphism), keeping at
+/// most `max_keep` candidates. The cap is applied *before* a pattern is
+/// registered in `seen_buckets`: a candidate dropped by the cap is not
+/// poisoned as "seen" and may re-enter in a later round (the pre-cap
+/// registration bug silently deduped such candidates forever). Returns the
+/// kept candidates' indices into `fresh`, ascending. Exposed for tests.
+std::vector<size_t> DedupCandidates(
+    const std::vector<Gpar>& fresh, size_t max_keep,
+    std::map<std::string, std::vector<Pattern>>* seen_buckets,
+    bool bisim_prefilter, DmineStats* stats);
 
 }  // namespace gpar
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "rule/diversity.h"
 
@@ -16,10 +17,7 @@ double IncDiv::PairFPrime(const MinedRule& a, const MinedRule& b) const {
 }
 
 bool IncDiv::UsedInQueue(const MinedRule* r) const {
-  for (const QueuePair& p : queue_) {
-    if (p.a.get() == r || p.b.get() == r) return true;
-  }
-  return false;
+  return in_queue_.count(r) > 0;
 }
 
 bool IncDiv::InQueue(const MinedRule* rule) const { return UsedInQueue(rule); }
@@ -27,7 +25,14 @@ bool IncDiv::InQueue(const MinedRule* rule) const { return UsedInQueue(rule); }
 void IncDiv::AddRound(const std::vector<std::shared_ptr<MinedRule>>& delta,
                       const std::vector<std::shared_ptr<MinedRule>>& sigma) {
   // Phase 1 — fill: while the queue holds < ⌈k/2⌉ pairs, greedily insert
-  // the disjoint pair maximizing F'; at least one member must be new.
+  // the disjoint pair maximizing F'; at least one member must be new. Each
+  // unordered pair is scored exactly once (PairFPrime runs a Jaccard merge,
+  // the dominant cost): a both-new pair {a, b} is visited only from the
+  // earlier of a, b in ΔE, and the Σ-only fallback iterates i < j.
+  std::unordered_map<const MinedRule*, size_t> delta_idx;
+  delta_idx.reserve(delta.size());
+  for (size_t i = 0; i < delta.size(); ++i) delta_idx.emplace(delta[i].get(), i);
+
   while (queue_.size() < max_pairs_) {
     const MinedRule* best_a = nullptr;
     const MinedRule* best_b = nullptr;
@@ -47,18 +52,29 @@ void IncDiv::AddRound(const std::vector<std::shared_ptr<MinedRule>>& delta,
         best_b_sp = rb;
       }
     };
-    for (const auto& ra : delta) {
-      for (const auto& rb : sigma) consider(ra, rb);
+    for (size_t ai = 0; ai < delta.size(); ++ai) {
+      for (const auto& rb : sigma) {
+        auto it = delta_idx.find(rb.get());
+        // Skip self-pairs and pairs already visited from an earlier ΔE
+        // member; first-encounter order matches the old double scan, so
+        // tie-breaking under strict > is unchanged.
+        if (it != delta_idx.end() && it->second <= ai) continue;
+        consider(delta[ai], rb);
+      }
     }
     // Fall back to pool-only pairs so the queue can fill even when ΔE is
     // exhausted (e.g. a late round discovering nothing new).
     if (best_a == nullptr) {
-      for (const auto& ra : sigma) {
-        for (const auto& rb : sigma) consider(ra, rb);
+      for (size_t i = 0; i < sigma.size(); ++i) {
+        for (size_t j = i + 1; j < sigma.size(); ++j) {
+          consider(sigma[i], sigma[j]);
+        }
       }
     }
     if (best_a == nullptr) break;  // fewer rules than slots
     queue_.push_back({best_a_sp, best_b_sp, best_f});
+    in_queue_.insert(best_a);
+    in_queue_.insert(best_b);
   }
 
   // Phase 2 — replace: each new rule pairs with its best partner in Σ; the
@@ -82,7 +98,11 @@ void IncDiv::AddRound(const std::vector<std::shared_ptr<MinedRule>>& delta,
                            return a.fprime < b.fprime;
                          });
     if (min_it != queue_.end() && min_it->fprime < best_f) {
+      in_queue_.erase(min_it->a.get());
+      in_queue_.erase(min_it->b.get());
       *min_it = {r, *best_partner, best_f};
+      in_queue_.insert(r.get());
+      in_queue_.insert(best_partner->get());
     }
   }
 }

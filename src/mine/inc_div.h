@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "mine/mined_rule.h"
@@ -61,6 +62,10 @@ class IncDiv {
   double n_norm_;
   uint32_t max_pairs_;
   std::vector<QueuePair> queue_;
+  /// Members of `queue_`, kept in sync on every insert/replace: membership
+  /// tests run inside AddRound's O(|σ|²) pair scans, so they must be O(1),
+  /// not a walk over the queue.
+  std::unordered_set<const MinedRule*> in_queue_;
 };
 
 /// Non-incremental greedy diversification over a full pool ("discover and

@@ -21,6 +21,16 @@ struct MinedRule {
   uint64_t usupp = 0;        ///< matches with expansion room (Lemma 3)
   double uconf_plus = 0;     ///< Uconf+(R): confidence bound for extensions
   bool pruned = false;       ///< removed from Σ/ΔE by the reduction rules
+
+  /// Per-fragment (parallel to the DMine worker array) local-center indices
+  /// where P_R matched. Anti-monotonicity makes this the exact search pool
+  /// for every extension of this rule: a child's P_R contains the parent's
+  /// P_R, so the child can only match where the parent did. The coordinator
+  /// clears these once the rule's children have been evaluated.
+  std::vector<std::vector<uint32_t>> frag_pr_centers;
+  /// Same lineage for the negative side: per-fragment ~q-pool center indices
+  /// where the antecedent's x-component matched (the supp(Q~q) pool).
+  std::vector<std::vector<uint32_t>> frag_ant_centers;
 };
 
 }  // namespace gpar

@@ -37,6 +37,26 @@ bool IsConnected(const Pattern& p) {
   return Radius(p, 0) != kUnreachable;
 }
 
+uint64_t StructuralHash(const Pattern& p) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (PNodeId u = 0; u < p.num_nodes(); ++u) {
+    mix(p.node(u).label);
+    mix(p.node(u).multiplicity);
+  }
+  for (const PatternEdge& e : p.edges()) {
+    mix(e.src);
+    mix(e.dst);
+    mix(e.label);
+  }
+  mix(p.x());
+  mix(p.y());
+  return h;
+}
+
 namespace {
 
 /// Backtracking embedding of `sub` into `super` (both tiny).

@@ -21,6 +21,12 @@ uint32_t Radius(const Pattern& p, PNodeId from);
 /// True iff the pattern is connected (undirected reachability).
 bool IsConnected(const Pattern& p);
 
+/// Structural FNV-1a hash over nodes, edges, and designated nodes. Equal
+/// patterns (operator==) hash equal; collisions must be resolved by exact
+/// equality in the consuming cache bucket. Shared by the matchers' pattern
+/// caches (guided sketches, search plans).
+uint64_t StructuralHash(const Pattern& p);
+
 /// True iff there is an injective, label- and edge-preserving embedding of
 /// `sub` into `super`. With `anchor_designated`, sub's x must map to
 /// super's x (and sub's y to super's y when both are set). This decides

@@ -1,6 +1,7 @@
 #include "rule/diversity.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace gpar {
 
@@ -35,16 +36,30 @@ double ObjectiveF(const std::vector<double>& confs,
       diff_sum += JaccardDistance(*match_sets[i], *match_sets[j]);
     }
   }
-  double conf_term = n_norm > 0 ? (1.0 - lambda) * conf_sum / n_norm : 0;
+  // A degenerate normalizer (supp_q or supp_~q = 0 makes N = 0) or
+  // non-finite confidence sum (trivial logic rules have conf = +inf) zeroes
+  // the confidence term instead of emitting NaN/inf — in particular
+  // (1-λ)·inf is NaN at λ = 1. Ranking then falls back to diversity alone.
+  double conf_term = 0;
+  if (n_norm > 0 && lambda < 1.0 && std::isfinite(conf_sum)) {
+    conf_term = (1.0 - lambda) * conf_sum / n_norm;
+  }
   double div_term = k > 1 ? 2.0 * lambda / (k - 1) * diff_sum : 0;
   return conf_term + div_term;
 }
 
 double FPrime(double conf1, double conf2, double diff, double lambda,
               double n_norm, uint32_t k) {
-  if (k <= 1 || n_norm <= 0) return 0;
-  return (1.0 - lambda) / (n_norm * (k - 1)) * (conf1 + conf2) +
-         2.0 * lambda / (k - 1) * diff;
+  if (k <= 1) return 0;
+  // Same degeneracy guards as ObjectiveF's confidence term: with N = 0 the
+  // diversity term still ranks pairs (the old code returned a flat 0 here,
+  // collapsing the queue order entirely).
+  double conf_term = 0;
+  const double conf_sum = conf1 + conf2;
+  if (n_norm > 0 && lambda < 1.0 && std::isfinite(conf_sum)) {
+    conf_term = (1.0 - lambda) / (n_norm * (k - 1)) * conf_sum;
+  }
+  return conf_term + 2.0 * lambda / (k - 1) * diff;
 }
 
 }  // namespace gpar

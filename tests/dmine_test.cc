@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <string>
 
 #include "graph/generator.h"
+#include "graph/graph_builder.h"
 #include "graph/paper_graphs.h"
 #include "match/matcher.h"
 #include "mine/naive_miner.h"
@@ -224,6 +226,114 @@ TEST(DmineTest, GenerateExtensionsRadiusDiscipline) {
   auto capped = GenerateExtensions(level1[0].antecedent(),
                                    labels.Lookup("visit"), d, 1, seeds);
   EXPECT_TRUE(capped.empty());
+}
+
+TEST(DmineTest, CandidateCapDoesNotPoisonDedupState) {
+  // Regression: the cap used to be applied AFTER every fresh pattern was
+  // registered in seen_buckets, so a candidate dropped by the cap could
+  // never re-enter in a later round (silently merged as "seen").
+  PaperG1 g1 = MakePaperG1();
+  const Interner& labels = g1.graph.labels();
+  Pattern base;
+  PNodeId x = base.AddNode(labels.Lookup("cust"));
+  PNodeId y = base.AddNode(labels.Lookup("French_restaurant"));
+  base.set_x(x);
+  base.set_y(y);
+  auto seeds = FrequentEdgePatterns(g1.graph, 8);
+  auto fresh = GenerateExtensions(base, labels.Lookup("visit"), 2, 4, seeds);
+
+  // Two non-equivalent candidates, found via an uncapped side dedup.
+  std::map<std::string, std::vector<Pattern>> probe;
+  DmineStats probe_stats;
+  auto distinct = DedupCandidates(fresh, fresh.size(), &probe, false,
+                                  &probe_stats);
+  ASSERT_GE(distinct.size(), 2u);
+  std::vector<Gpar> round_a{fresh[distinct[0]], fresh[distinct[1]]};
+
+  // Round A with cap 1: only the first candidate is kept and registered.
+  std::map<std::string, std::vector<Pattern>> seen;
+  DmineStats stats;
+  auto kept = DedupCandidates(round_a, 1, &seen, false, &stats);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 0u);
+  EXPECT_EQ(stats.automorphic_merged, 0u);
+
+  // Round B re-proposes the dropped candidate: it must re-enter, not be
+  // deduped against a pattern that was never actually verified.
+  std::vector<Gpar> round_b{fresh[distinct[1]]};
+  auto kept_b = DedupCandidates(round_b, 10, &seen, false, &stats);
+  ASSERT_EQ(kept_b.size(), 1u);
+  EXPECT_EQ(stats.automorphic_merged, 0u);
+
+  // The candidate that WAS kept in round A is seen and stays deduped.
+  std::vector<Gpar> round_c{fresh[distinct[0]]};
+  EXPECT_TRUE(DedupCandidates(round_c, 10, &seen, false, &stats).empty());
+  EXPECT_EQ(stats.automorphic_merged, 1u);
+}
+
+TEST(DmineTest, DegenerateNoNegativePoolStaysFinite) {
+  // Every cust's q-edge lands on a French restaurant: supp(~q) = 0, so
+  // N = supp_q * supp_qbar = 0 and every rule would be a trivial logic
+  // rule. Mining must return an empty, finite result — no NaN/inf from the
+  // normalizer's division paths.
+  GraphBuilder b;
+  NodeId c1 = b.AddNode("cust");
+  NodeId c2 = b.AddNode("cust");
+  NodeId c3 = b.AddNode("cust");
+  NodeId fr = b.AddNode("French_restaurant");
+  ASSERT_TRUE(b.AddEdge(c1, "visit", fr).ok());
+  ASSERT_TRUE(b.AddEdge(c2, "visit", fr).ok());
+  ASSERT_TRUE(b.AddEdge(c3, "visit", fr).ok());
+  ASSERT_TRUE(b.AddEdge(c1, "friend", c2).ok());
+  ASSERT_TRUE(b.AddEdge(c2, "friend", c3).ok());
+  Graph g = std::move(b).Build();
+  Predicate q{g.labels().Lookup("cust"), g.labels().Lookup("visit"),
+              g.labels().Lookup("French_restaurant")};
+
+  auto result = Dmine(g, q, SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.supp_q, 3u);
+  EXPECT_EQ(result->stats.supp_qbar, 0u);
+  EXPECT_TRUE(result->topk.empty());
+  EXPECT_TRUE(std::isfinite(result->objective));
+  EXPECT_EQ(result->objective, 0.0);
+}
+
+TEST(DmineTest, ParentPruneSkipsCentersAndPreservesResults) {
+  Graph g = MakeSynthetic(400, 1200, 20, 5);
+  auto freq = FrequentEdgePatterns(g, 1);
+  ASSERT_FALSE(freq.empty());
+  Predicate q{freq[0].src_label, freq[0].edge_label, freq[0].dst_label};
+  DmineOptions opt = SmallOptions();
+  opt.sigma = 2;
+
+  auto pruned = Dmine(g, q, opt);
+  DmineOptions no_prune = opt;
+  no_prune.enable_parent_prune = false;
+  auto unpruned = Dmine(g, q, no_prune);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(unpruned.ok());
+
+  // The prune must actually engage on a multi-round workload...
+  EXPECT_GT(pruned->stats.centers_skipped_by_parent, 0u);
+  EXPECT_EQ(unpruned->stats.centers_skipped_by_parent, 0u);
+  EXPECT_LT(pruned->stats.exists_calls, unpruned->stats.exists_calls);
+
+  // ...without changing any result: same pool, same top-k, same stats.
+  EXPECT_EQ(pruned->stats.accepted, unpruned->stats.accepted);
+  EXPECT_EQ(pruned->stats.trivial_discarded, unpruned->stats.trivial_discarded);
+  EXPECT_NEAR(pruned->objective, unpruned->objective, 1e-12);
+  ASSERT_EQ(pruned->topk.size(), unpruned->topk.size());
+  for (size_t i = 0; i < pruned->topk.size(); ++i) {
+    const auto& a = pruned->topk[i];
+    const auto& b2 = unpruned->topk[i];
+    EXPECT_EQ(IsomorphismBucketKey(a->rule.pr()),
+              IsomorphismBucketKey(b2->rule.pr()));
+    EXPECT_EQ(a->supp, b2->supp);
+    EXPECT_EQ(a->supp_qqbar, b2->supp_qqbar);
+    EXPECT_DOUBLE_EQ(a->conf, b2->conf);
+    EXPECT_EQ(a->matches, b2->matches);
+  }
 }
 
 TEST(DmineTest, WorksOnSyntheticGraph) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "graph/paper_graphs.h"
@@ -93,6 +94,28 @@ TEST_F(IncDivTest, QueueNotFullMeansNoPruningThreshold) {
   std::vector<std::shared_ptr<MinedRule>> sigma{r5, r6};
   inc.AddRound({r5, r6}, sigma);
   EXPECT_EQ(inc.MinPairFPrime(), -std::numeric_limits<double>::infinity());
+}
+
+TEST_F(IncDivTest, DegenerateNormalizerStillRanksByDiversity) {
+  // N = 0 (no ~q pool): the confidence term of F' vanishes, but the queue
+  // must still fill and rank pairs by the diversity term — and everything
+  // stays finite (the old FPrime returned a flat 0 here, collapsing the
+  // ranking; worse, inf confidences could surface NaN).
+  IncDiv inc(2, 0.5, /*n_norm=*/0.0);
+  auto r5 = MakeRule(g1_.r5, m_, stats_);
+  auto r6 = MakeRule(g1_.r6, m_, stats_);
+  auto r8 = MakeRule(g1_.r8, m_, stats_);
+  std::vector<std::shared_ptr<MinedRule>> sigma{r5, r6, r8};
+  inc.AddRound(sigma, sigma);
+
+  auto topk = inc.TopK();
+  ASSERT_EQ(topk.size(), 2u);
+  EXPECT_TRUE(std::isfinite(inc.MinPairFPrime()));
+  EXPECT_TRUE(std::isfinite(inc.Objective()));
+  // The max-diff pair wins: R5 ({c1..c4}) and R8 ({c6}) are disjoint
+  // (diff = 1), beating any pair overlapping on matches.
+  double diff = JaccardDistance(topk[0]->matches, topk[1]->matches);
+  EXPECT_DOUBLE_EQ(diff, 1.0);
 }
 
 TEST_F(IncDivTest, PrunedRulesAreNotPaired) {

@@ -37,6 +37,47 @@ TEST_F(MatcherTest, ExistsAtAnchors) {
   EXPECT_TRUE(m.ExistsAt(g1_.r1.antecedent(), g1_.cust5));
 }
 
+TEST_F(MatcherTest, ScratchReuseAcrossInterleavedPatterns) {
+  // Successive queries reuse the matcher's scratch and plan cache; results
+  // must stay identical when patterns and anchors are interleaved, and
+  // repeated probes of the same pattern must not re-plan it.
+  VF2Matcher m(g1_.graph);
+  const Pattern& pr = g1_.r1.pr();
+  const Pattern& ant = g1_.r1.antecedent();
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_TRUE(m.ExistsAt(pr, g1_.cust1));
+    EXPECT_FALSE(m.ExistsAt(pr, g1_.cust4));
+    EXPECT_FALSE(m.ExistsAt(pr, g1_.cust5));
+    EXPECT_TRUE(m.ExistsAt(ant, g1_.cust5));
+    std::vector<NodeId> images = m.Images(ant, ant.x());
+    std::sort(images.begin(), images.end());
+    std::vector<NodeId> expected{g1_.cust1, g1_.cust2, g1_.cust3, g1_.cust5};
+    EXPECT_EQ(images, expected);
+  }
+  // Two distinct patterns were planned, each exactly once.
+  EXPECT_EQ(m.plans_cached(), 2u);
+}
+
+TEST_F(MatcherTest, ThrowingCallbackDoesNotCorruptScratch) {
+  // An exception unwinding out of an embedding callback skips Extend's
+  // symmetric used-bitmap clears; the matcher must still answer later
+  // queries correctly (the stale path is swept at the next search).
+  VF2Matcher m(g1_.graph);
+  struct Abort {};
+  const Pattern& pr = g1_.r1.pr();
+  EXPECT_THROW(m.Enumerate(pr, {},
+                           [](std::span<const NodeId>) -> bool {
+                             throw Abort{};
+                           }),
+               Abort);
+  EXPECT_TRUE(m.ExistsAt(pr, g1_.cust1));
+  std::vector<NodeId> images = m.Images(g1_.r1.antecedent(),
+                                        g1_.r1.antecedent().x());
+  std::sort(images.begin(), images.end());
+  std::vector<NodeId> expected{g1_.cust1, g1_.cust2, g1_.cust3, g1_.cust5};
+  EXPECT_EQ(images, expected);
+}
+
 TEST_F(MatcherTest, MultiplicityForcesDistinctCopies) {
   // like(x, FR^4): nobody likes 4 French restaurants.
   VF2Matcher m(g1_.graph);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "graph/paper_graphs.h"
 #include "match/matcher.h"
@@ -102,7 +103,27 @@ TEST(JaccardTest, EdgeCases) {
 
 TEST(FPrimeTest, DegenerateParameters) {
   EXPECT_DOUBLE_EQ(FPrime(1, 1, 1, 0.5, 10, 1), 0.0);  // k = 1
-  EXPECT_DOUBLE_EQ(FPrime(1, 1, 1, 0.5, 0, 2), 0.0);   // N = 0
+  // N = 0 (supp_q or supp_~q is 0): the confidence term is dropped but the
+  // diversity term still ranks pairs — 2λ/(k-1)·diff = 2·0.5/1·1.
+  EXPECT_DOUBLE_EQ(FPrime(1, 1, 1, 0.5, 0, 2), 1.0);
+  // Infinite confidence (trivial logic rule) must not poison F' with
+  // NaN/inf; λ = 1 is the 0·inf = NaN corner.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(FPrime(inf, 1, 0.5, 1.0, 10, 2), 1.0);
+  EXPECT_TRUE(std::isfinite(FPrime(inf, 1, 0.5, 0.5, 10, 2)));
+}
+
+TEST(ObjectiveFTest, DegenerateNormalizerAndInfiniteConf) {
+  std::vector<NodeId> a{1, 2, 3};
+  std::vector<NodeId> b{4, 5, 6};
+  std::vector<double> confs{1.0, 2.0};
+  std::vector<const std::vector<NodeId>*> sets{&a, &b};
+  // N = 0: confidence term dropped, diversity term kept (diff = 1).
+  EXPECT_DOUBLE_EQ(ObjectiveF(confs, sets, 0.5, 0, 2), 1.0);
+  // An infinite confidence in the pool must not make F NaN.
+  std::vector<double> inf_confs{std::numeric_limits<double>::infinity(), 2.0};
+  EXPECT_TRUE(std::isfinite(ObjectiveF(inf_confs, sets, 0.5, 10, 2)));
+  EXPECT_TRUE(std::isfinite(ObjectiveF(inf_confs, sets, 1.0, 10, 2)));
 }
 
 TEST(ObjectiveFTest, LambdaExtremes) {

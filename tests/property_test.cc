@@ -79,6 +79,73 @@ TEST_P(SeededProperty, SupportAntiMonotonicUnderExtension) {
   }
 }
 
+TEST_P(SeededProperty, ParentPruneEquivalence) {
+  // Parent-match pruning (anti-monotone worker-loop restriction) is an
+  // optimization, not an approximation: pruned and unpruned DMine must
+  // produce identical accepted pools, top-k rules, supports, confidences,
+  // and objective on every instance.
+  Scenario s = MakeScenario(GetParam());
+  DmineOptions opt;
+  opt.num_workers = 3;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+
+  auto pruned = Dmine(s.graph, s.q, opt);
+  opt.enable_parent_prune = false;
+  auto unpruned = Dmine(s.graph, s.q, opt);
+  ASSERT_TRUE(pruned.ok()) << pruned.status();
+  ASSERT_TRUE(unpruned.ok()) << unpruned.status();
+
+  EXPECT_EQ(pruned->stats.accepted, unpruned->stats.accepted)
+      << "pool diverged at seed " << GetParam();
+  EXPECT_EQ(pruned->stats.trivial_discarded,
+            unpruned->stats.trivial_discarded);
+  EXPECT_NEAR(pruned->objective, unpruned->objective, 1e-12);
+  ASSERT_EQ(pruned->topk.size(), unpruned->topk.size());
+  for (size_t i = 0; i < pruned->topk.size(); ++i) {
+    const auto& a = pruned->topk[i];
+    const auto& b = unpruned->topk[i];
+    EXPECT_EQ(IsomorphismBucketKey(a->rule.pr()),
+              IsomorphismBucketKey(b->rule.pr()))
+        << "top-k rule " << i << " diverged at seed " << GetParam();
+    EXPECT_EQ(a->supp, b->supp);
+    EXPECT_EQ(a->supp_qqbar, b->supp_qqbar);
+    EXPECT_DOUBLE_EQ(a->conf, b->conf);
+    EXPECT_EQ(a->matches, b->matches);
+  }
+  // The pruned run never probes more than the unpruned one.
+  EXPECT_LE(pruned->stats.exists_calls, unpruned->stats.exists_calls);
+}
+
+TEST_P(SeededProperty, MatcherScratchReuseMatchesFreshMatcher) {
+  // The matcher reuses scratch state (injectivity bitmap, candidate
+  // buffers, plan cache) across searches; a long-lived matcher must answer
+  // exactly like a throwaway matcher constructed per probe.
+  Scenario s = MakeScenario(GetParam());
+  VF2Matcher reused(s.graph);
+  GuidedMatcher reused_guided(s.graph, 2);
+  auto centers = s.graph.nodes_with_label(s.q.x_label);
+  for (const Gpar& r : s.rules) {
+    size_t probes = 0;
+    for (NodeId v : centers) {
+      if (++probes > 25) break;
+      VF2Matcher fresh(s.graph);
+      EXPECT_EQ(reused.ExistsAt(r.pr(), v), fresh.ExistsAt(r.pr(), v))
+          << "P_R divergence at seed " << GetParam() << " node " << v;
+      EXPECT_EQ(reused.ExistsAt(r.antecedent(), v),
+                fresh.ExistsAt(r.antecedent(), v))
+          << "antecedent divergence at seed " << GetParam() << " node " << v;
+      EXPECT_EQ(reused_guided.ExistsAt(r.pr(), v), fresh.ExistsAt(r.pr(), v));
+    }
+  }
+  // The reused matcher planned each distinct (pattern, anchor) once.
+  EXPECT_GT(reused.plans_cached(), 0u);
+  EXPECT_LE(reused.plans_cached(), 2 * s.rules.size());
+}
+
 TEST_P(SeededProperty, GuidedMatcherAgreesWithVF2) {
   Scenario s = MakeScenario(GetParam());
   VF2Matcher vf2(s.graph);

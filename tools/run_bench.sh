@@ -1,28 +1,44 @@
 #!/usr/bin/env bash
 # Runs the micro benchmarks (google-benchmark binaries named micro_*) and
 # merges their JSON reports into one machine-readable file that seeds the
-# perf trajectory across PRs.
+# perf trajectory across PRs. Additionally runs a CI-sized
+# exp1_dmine_vary_size sweep into a second JSON report (DMINE_JSON) so
+# DMine-level speedups — including the parent-prune ablation, whose
+# "noprune" column is the in-run baseline — are tracked PR-over-PR.
 #
 # Usage:
-#   tools/run_bench.sh [OUTPUT_JSON]
+#   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON]
 #
 # Environment:
 #   GPAR_BENCH_BIN_DIR   directory holding the bench binaries
 #                        (default: build/release/bench)
 #   GPAR_BENCH_FILTER    --benchmark_filter regex passed through (default: all)
 #   GPAR_BENCH_MIN_TIME  --benchmark_min_time per benchmark (default: unset)
+#   GPAR_BENCH_SMALL     sweep size for the DMine report (default: 1 = CI-sized)
 #
 # The merged document has the shape:
 #   { "benches": { "<binary>": <google-benchmark JSON report>, ... } }
 set -euo pipefail
 
 out="${1:-BENCH_micro.json}"
+dmine_out="${2:-BENCH_dmine.json}"
 bin_dir="${GPAR_BENCH_BIN_DIR:-build/release/bench}"
 
 if [[ ! -d "${bin_dir}" ]]; then
   echo "error: bench binary dir '${bin_dir}' not found." >&2
   echo "Build first: cmake --preset release && cmake --build --preset release" >&2
   exit 1
+fi
+
+# DMine experiment sweep (plain binary, own JSON format). Runs first so the
+# artifact exists even when google-benchmark is unavailable.
+dmine_bin="${bin_dir}/exp1_dmine_vary_size"
+if [[ -x "${dmine_bin}" ]]; then
+  echo "== exp1_dmine_vary_size -> ${dmine_out}" >&2
+  GPAR_BENCH_SMALL="${GPAR_BENCH_SMALL:-1}" GPAR_BENCH_JSON="${dmine_out}" \
+    "${dmine_bin}"
+else
+  echo "warning: ${dmine_bin} not built; skipping ${dmine_out}" >&2
 fi
 
 shopt -s nullglob
