@@ -1,9 +1,6 @@
 #include "mine/dmine.h"
 
 #include <algorithm>
-#include <map>
-#include <mutex>
-#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -122,21 +119,70 @@ struct LocalStats {
   std::vector<uint32_t> ant_centers;
 };
 
-/// Sentinel parent index for round-1 candidates: extensions of the bare
-/// predicate seed their pools from the round-0 q / ~q center sets.
-constexpr size_t kNoParent = static_cast<size_t>(-1);
-
 }  // namespace
+
+std::vector<CandidateProposal> MergeProposals(
+    std::vector<std::vector<CandidateProposal>> per_worker,
+    DmineStats* stats) {
+  // (parent, ext_ordinal) is an exact identity: GenerateExtensions is
+  // deterministic, so two fragments proposing the same key materialized the
+  // same grown pattern. Re-sorting by that key recovers the centralized
+  // emission order — parents in round-list order, ordinals in generation
+  // order — which keeps the downstream dedup/cap stream byte-identical to
+  // the centralized path's. This is coordinator critical-path code: sort
+  // lightweight indices, not the Gpar-carrying proposals, and move each
+  // surviving proposal exactly once.
+  size_t total = 0;
+  for (const auto& worker : per_worker) total += worker.size();
+  std::vector<CandidateProposal> flat;
+  flat.reserve(total);
+  for (std::vector<CandidateProposal>& worker : per_worker) {
+    for (CandidateProposal& p : worker) flat.push_back(std::move(p));
+  }
+  std::vector<size_t> order(flat.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Stable: among duplicate keys the earliest-worker proposal wins. The
+  // checksum tiebreaker keeps equal-checksum duplicates adjacent even when
+  // a mismatched proposal shares their key (the double-propose bug state),
+  // so the single out.back() comparison below collapses every true
+  // duplicate; in healthy runs keys are unique and the tiebreaker is inert.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (flat[a].parent != flat[b].parent) {
+      return flat[a].parent < flat[b].parent;
+    }
+    if (flat[a].ext_ordinal != flat[b].ext_ordinal) {
+      return flat[a].ext_ordinal < flat[b].ext_ordinal;
+    }
+    return flat[a].structural_hash < flat[b].structural_hash;
+  });
+  std::vector<CandidateProposal> out;
+  out.reserve(flat.size());
+  for (size_t idx : order) {
+    CandidateProposal& p = flat[idx];
+    if (!out.empty() && out.back().parent == p.parent &&
+        out.back().ext_ordinal == p.ext_ordinal &&
+        out.back().structural_hash == p.structural_hash) {
+      out.back().local_evidence += p.local_evidence;
+      ++stats->cross_fragment_merged;
+    } else {
+      // Distinct key — or a checksum mismatch on an equal key, which means
+      // the proposals do NOT denote the same grown pattern (an ownership or
+      // enumeration bug): keep both rather than silently dropping a rule;
+      // the automorphism dedup downstream decides with exact tests.
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
 
 std::vector<size_t> DedupCandidates(
     const std::vector<Gpar>& fresh, size_t max_keep,
-    std::map<std::string, std::vector<Pattern>>* seen_buckets,
+    std::unordered_map<uint64_t, std::vector<Pattern>>* seen_buckets,
     bool bisim_prefilter, DmineStats* stats) {
   std::vector<size_t> kept;
   for (size_t idx = 0; idx < fresh.size() && kept.size() < max_keep; ++idx) {
     const Gpar& g = fresh[idx];
-    std::string key = IsomorphismBucketKey(g.pr());
-    auto& bucket = (*seen_buckets)[key];
+    auto& bucket = (*seen_buckets)[IsomorphismBucketHash(g.pr())];
     bool duplicate = false;
     for (const Pattern& p : bucket) {
       if (bisim_prefilter) {
@@ -240,7 +286,7 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
 
   IncDiv incdiv(options.k, options.lambda, n_norm);
   std::vector<std::shared_ptr<MinedRule>> sigma;  // Σ
-  std::map<std::string, std::vector<Pattern>> seen_buckets;
+  std::unordered_map<uint64_t, std::vector<Pattern>> seen_buckets;
 
   // M: the rules to extend next round, each carrying its per-fragment match
   // sets — the parent pools the workers restrict to. Round 1 extends the
@@ -260,6 +306,14 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   // checks their satisfiability once per candidate rule.
   VF2Matcher global_matcher(g);
 
+  // With parent pruning, a candidate is only probed at the centers where
+  // its parent rule matched (per fragment, per side): anti-monotonicity
+  // guarantees every other center fails, so skipping it cannot change any
+  // support. Without pruning (ablation), every candidate re-tests the
+  // full round-0 pools — the pre-lineage cost structure.
+  const bool prune = options.enable_parent_prune;
+  const bool worker_gen = options.enable_worker_gen;
+
   // Each round grows antecedents by one edge (radius capped at d by the
   // generator), up to max_pattern_edges edges — the levelwise structure of
   // DMine with the growth alphabet of seed edge patterns.
@@ -267,29 +321,151 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
        round <= options.max_pattern_edges &&
        (round == 1 || !m_parents.empty());
        ++round) {
-    // --- Coordinator: generate + dedup this round's candidates. ----------
+    // --- Candidate generation: this round's fresh extension stream, in
+    // (parent, generation-ordinal) order, before dedup. Both paths produce
+    // the identical stream; they differ only in *where* the enumeration
+    // work runs.
+    std::vector<Gpar> fresh;
+    std::vector<size_t> fresh_parent;
+    // coordinator_merge_seconds spans every coordinator section from here
+    // through dedup/cap: merge-only under worker_gen, full generation +
+    // dedup on the centralized path — the share the WorkerGen ablation
+    // compares. (Worker rounds in between add nothing to it.)
+    const double merge_start = bsp.times().coordinator_seconds;
+    if (worker_gen) {
+      // Workers: propose extensions from the parents that survive locally
+      // (lineage sets from PR 2; round 1 extends the bare predicate from
+      // the q-pool). A parent may survive in several fragments; since every
+      // surviving fragment would enumerate the identical deterministic
+      // extension set, exactly one of them — round-robin over the
+      // survivors by parent index, for balance — materializes and ships
+      // the proposals. Each worker derives the assignment locally from the
+      // broadcast lineage (no extra coordinator round), and only ever
+      // generates from parents whose matches live in its own fragment.
+      // Without parent lineage (prune off) the survivor set degrades to
+      // "fragments with a non-empty q-pool". MergeProposals keeps the
+      // duplicate-collapse path regardless, as a tripwire
+      // (`cross_fragment_merged` stays 0 unless the assignment ever
+      // double-proposes).
+      auto proposals = bsp.RunRound([&](uint32_t wi) {
+        const WorkerState& w = workers[wi];
+        std::vector<CandidateProposal> out;
+        // survives(j): fragment j holds centers this parent can extend at.
+        // Every extendable parent (and, round 1, the bare predicate, since
+        // supp_q > 0 here) survives in at least one fragment; correctness
+        // only needs *one deterministic owner per parent*, so a survivor-
+        // free parent (impossible by the invariant above) would still be
+        // assigned soundly, just without the locality rationale.
+        auto owner_of = [&](size_t pi, auto survives) -> uint32_t {
+          uint32_t count = 0;
+          for (uint32_t j = 0; j < options.num_workers; ++j) {
+            if (survives(j)) ++count;
+          }
+          if (count == 0) {
+            return static_cast<uint32_t>(pi % options.num_workers);
+          }
+          uint32_t target = static_cast<uint32_t>(pi % count);
+          for (uint32_t j = 0; j < options.num_workers; ++j) {
+            if (!survives(j)) continue;
+            if (target == 0) return j;
+            --target;
+          }
+          return 0;  // unreachable: count > 0
+        };
+        auto propose_from = [&](const Pattern& ant, size_t parent_idx,
+                                uint32_t evidence) {
+          std::vector<Gpar> ext = GenerateExtensions(
+              ant, q.edge_label, options.d, options.max_pattern_edges, seeds);
+          for (uint32_t e = 0; e < ext.size(); ++e) {
+            CandidateProposal p;
+            p.parent = parent_idx;
+            p.ext_ordinal = e;
+            p.structural_hash = StructuralHash(ext[e].pr());
+            p.local_evidence = evidence;
+            p.rule = std::move(ext[e]);
+            out.push_back(std::move(p));
+          }
+        };
+        auto q_pool = [&](uint32_t j) {
+          return !workers[j].q_centers.empty();
+        };
+        if (round == 1) {
+          if (owner_of(0, q_pool) == wi) {
+            propose_from(base, kRootParent,
+                         static_cast<uint32_t>(w.q_centers.size()));
+          }
+        } else {
+          for (size_t pi = 0; pi < m_parents.size(); ++pi) {
+            const uint32_t owner =
+                prune ? owner_of(pi,
+                                 [&](uint32_t j) {
+                                   return !m_parents[pi]
+                                               ->frag_pr_centers[j]
+                                               .empty();
+                                 })
+                      : owner_of(pi, q_pool);
+            if (owner != wi) continue;
+            const size_t evidence = prune
+                                        ? m_parents[pi]->frag_pr_centers[wi].size()
+                                        : w.q_centers.size();
+            propose_from(m_parents[pi]->rule.antecedent(), pi,
+                         static_cast<uint32_t>(evidence));
+          }
+        }
+        return out;
+      });
+      // Coordinator: its generation role shrinks to the cross-fragment
+      // (parent, ordinal) merge; automorphism dedup + cap follow below,
+      // shared with the centralized path.
+      bsp.RunCoordinator([&] {
+        if (result.stats.proposals_per_worker.empty()) {
+          result.stats.proposals_per_worker.assign(options.num_workers, 0);
+        }
+        for (uint32_t i = 0; i < options.num_workers; ++i) {
+          result.stats.proposals_per_worker[i] += proposals[i].size();
+        }
+        std::vector<CandidateProposal> merged =
+            MergeProposals(std::move(proposals), &result.stats);
+        result.stats.candidates_generated += merged.size();
+        fresh.reserve(merged.size());
+        fresh_parent.reserve(merged.size());
+        for (CandidateProposal& p : merged) {
+          fresh.push_back(std::move(p.rule));
+          fresh_parent.push_back(p.parent);
+        }
+      });
+    } else {
+      // Centralized baseline: the coordinator enumerates every parent's
+      // extensions itself (the pre-decentralization contract, kept for the
+      // Exp-1 A/B ablation).
+      bsp.RunCoordinator([&] {
+        auto generate_from = [&](const Pattern& ant, size_t parent_idx) {
+          std::vector<Gpar> ext = GenerateExtensions(
+              ant, q.edge_label, options.d, options.max_pattern_edges, seeds);
+          result.stats.candidates_generated += ext.size();
+          for (Gpar& e : ext) {
+            fresh.push_back(std::move(e));
+            fresh_parent.push_back(parent_idx);
+          }
+        };
+        if (round == 1) {
+          generate_from(base, kRootParent);
+        } else {
+          for (size_t pi = 0; pi < m_parents.size(); ++pi) {
+            generate_from(m_parents[pi]->rule.antecedent(), pi);
+          }
+        }
+      });
+    }
+
+    // --- Coordinator: automorphism dedup + cap + global component check,
+    // identical under both generation paths (same fresh stream in, same
+    // candidate set out). coordinator_merge_seconds isolates this round's
+    // candidate-production share of the coordinator from assembly/incDiv.
     std::vector<Gpar> candidates;
     std::vector<size_t> cand_parent;  // per candidate: m_parents index
     std::vector<char> other_ok;  // per candidate: non-x components matchable
     bsp.RunCoordinator([&] {
-      std::vector<Gpar> fresh;
-      std::vector<size_t> fresh_parent;
-      auto generate_from = [&](const Pattern& ant, size_t parent_idx) {
-        std::vector<Gpar> ext = GenerateExtensions(
-            ant, q.edge_label, options.d, options.max_pattern_edges, seeds);
-        result.stats.candidates_generated += ext.size();
-        for (Gpar& e : ext) {
-          fresh.push_back(std::move(e));
-          fresh_parent.push_back(parent_idx);
-        }
-      };
-      if (round == 1) {
-        generate_from(base, kNoParent);
-      } else {
-        for (size_t pi = 0; pi < m_parents.size(); ++pi) {
-          generate_from(m_parents[pi]->rule.antecedent(), pi);
-        }
-      }
       std::vector<size_t> kept = DedupCandidates(
           fresh, options.max_candidates_per_round, &seen_buckets,
           options.enable_bisim_prefilter, &result.stats);
@@ -310,15 +486,11 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
         }
       }
     });
+    result.stats.coordinator_merge_seconds +=
+        bsp.times().coordinator_seconds - merge_start;
     if (candidates.empty()) break;
 
     // --- Workers: local support counting over owned centers. -------------
-    // With parent pruning, a candidate is only probed at the centers where
-    // its parent rule matched (per fragment, per side): anti-monotonicity
-    // guarantees every other center fails, so skipping it cannot change any
-    // support. Without pruning (ablation), every candidate re-tests the
-    // full round-0 pools — the pre-lineage cost structure.
-    const bool prune = options.enable_parent_prune;
     std::vector<std::vector<LocalStats>> local(options.num_workers);
     bsp.RunRound([&](uint32_t i) {
       WorkerState& w = workers[i];
@@ -327,7 +499,7 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
         const Gpar& r = candidates[ci];
         LocalStats& ls = local[i][ci];
         const MinedRule* parent = nullptr;
-        if (prune && cand_parent[ci] != kNoParent) {
+        if (prune && cand_parent[ci] != kRootParent) {
           parent = m_parents[cand_parent[ci]].get();
         }
         // P_R matches live inside the q-match pool (or the parent's

@@ -2,9 +2,8 @@
 #define GPAR_MINE_DMINE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -38,11 +37,25 @@ struct DmineOptions {
   /// unpruned runs produce identical supports, confidences, and top-k — and
   /// kept as an ablation flag for the Exp-1 benches.
   bool enable_parent_prune = true;
+  /// Decentralized candidate generation (the paper's worker/coordinator
+  /// contract, §4.2): each worker *proposes* the extensions of the parents
+  /// surviving in its own fragment — one deterministic owner per parent, so
+  /// no fragment duplicates another's generation work — and ships them to
+  /// the coordinator as `CandidateProposal` messages; the coordinator's
+  /// role shrinks to cross-fragment ordering/duplicate merging,
+  /// automorphism dedup (bisim prefilter + exact test), and the per-round
+  /// cap. Off = the legacy centralized path (coordinator generates every
+  /// extension itself), kept as the A/B baseline for the Exp-1 benches.
+  /// Both settings are result-identical: same candidate pools, supports,
+  /// confidences, and diversified top-k (enforced by the
+  /// WorkerGenEquivalence property test).
+  bool enable_worker_gen = true;
 };
 
 /// Returns `base` with every optimization disabled (the paper's DMineno).
-/// `enable_parent_prune` is left untouched: it is this implementation's own
-/// ablation axis, not one of the paper's three.
+/// `enable_parent_prune` and `enable_worker_gen` are left untouched: they
+/// are this implementation's own ablation axes, not among the paper's
+/// three.
 DmineOptions DmineNoOptions(DmineOptions base = {});
 
 /// Counters reported alongside the result.
@@ -63,6 +76,24 @@ struct DmineStats {
   /// did not match there (0 when `enable_parent_prune` is off or every
   /// round-1 candidate exhausts its seed pool).
   uint64_t centers_skipped_by_parent = 0;
+  /// Raw candidate proposals emitted by each worker across all rounds,
+  /// indexed by worker id (empty when `enable_worker_gen` is off). The sum
+  /// exceeds `candidates_generated` exactly by `cross_fragment_merged`.
+  std::vector<uint64_t> proposals_per_worker;
+  /// Proposals discarded because another fragment already proposed the same
+  /// extension of the same parent (same (parent, ext_ordinal) key) — the
+  /// coordinator's cross-fragment duplicate merge, upstream of the
+  /// automorphism dedup that feeds `automorphic_merged`. Single-owner
+  /// assignment keeps this at 0 in real runs; a nonzero value is a tripwire
+  /// for a double-proposing ownership bug (tracked in BENCH_dmine.json).
+  size_t cross_fragment_merged = 0;
+  /// Coordinator CPU seconds spent producing each round's verified
+  /// candidate set: proposal merging + automorphism dedup + cap under
+  /// `enable_worker_gen`, full generation + dedup + cap on the centralized
+  /// path. The quantity the Exp-1 WorkerGen ablation tracks (its share of
+  /// `ParallelTimes::coordinator_seconds` shrinks when generation moves to
+  /// the workers).
+  double coordinator_merge_seconds = 0;
 };
 
 /// Output of Dmine: the diversified top-k, its objective value F(L_k), and
@@ -77,20 +108,70 @@ struct DmineResult {
 /// Discovers top-k diversified GPARs pertaining to `q` in `g` (problem DMP,
 /// Section 4.1) with DMine's BSP structure: the graph is partitioned into
 /// `num_workers` fragments with d-hop locality; in round r each worker
-/// evaluates the round's candidate GPARs (radius r) over its owned centers;
-/// the coordinator assembles confidences, updates the top-k incrementally
+/// first *proposes* candidate extensions from its locally surviving parents
+/// and then evaluates the merged round candidates (radius r) over its owned
+/// centers; the coordinator merges cross-fragment duplicate and automorphic
+/// proposals, assembles confidences, updates the top-k incrementally
 /// (incDiv), and prunes via the Lemma-3 reduction rules and
 /// bisimulation-prefiltered automorphism grouping.
 ///
-/// Candidate generation note: the paper's workers propose extensions from
-/// local data and the coordinator merges automorphic copies. This
-/// implementation generates the (deterministic) extension set once at the
-/// coordinator from the frequent-edge alphabet — the same set every worker
-/// would produce, which keeps the assembled supports exact — and leaves the
-/// evaluation work on the workers, preserving the cost structure the
-/// Exp-1 benchmarks measure.
+/// Worker/coordinator candidate contract (round r, `enable_worker_gen`):
+///  1. Worker i enumerates `GenerateExtensions(parent)` for each parent
+///     rule it *owns*: a parent is owned by exactly one of the fragments
+///     where it survives (`frag_pr_centers[j]` non-empty; round-robin over
+///     the survivors by parent index, derived locally from the broadcast
+///     lineage — round 1 extends the bare predicate from the q-pool), and
+///     ships one `CandidateProposal` per extension.
+///  2. The coordinator re-orders the per-worker proposal streams by their
+///     exact (parent, ext_ordinal) key, collapsing any duplicate keys
+///     (`MergeProposals`, `cross_fragment_merged` — zero under single
+///     ownership; nonzero flags a double-proposing assignment bug), then
+///     merges *automorphic* candidates proposed by different workers with
+///     the bisim-prefiltered exact test (`DedupCandidates`,
+///     `automorphic_merged`) and applies `max_candidates_per_round`.
+/// Because every extendable parent survives in at least one fragment and
+/// its owner enumerates the full deterministic extension set, the merged,
+/// ordered candidate stream is byte-identical to the centralized path's —
+/// decentralization moves generation cost from `coordinator_seconds` into
+/// the round makespan without changing any result (pools, supports,
+/// confidences, diversified top-k).
 Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
                           const DmineOptions& options = {});
+
+/// Parent index carried by round-1 proposals: extensions of the bare
+/// predicate q(x, y), which has no MinedRule parent. Sorts after all real
+/// parent indices; rounds never mix root and non-root proposals.
+inline constexpr size_t kRootParent = static_cast<size_t>(-1);
+
+/// One worker-proposed candidate extension — the compact BSP message of the
+/// generation half-round. (parent, ext_ordinal) identifies the extension
+/// exactly: `GenerateExtensions` is deterministic, so equal keys denote
+/// equal grown patterns no matter which fragment proposed them. The
+/// structural hash guards that invariant at merge time — duplicate keys
+/// only collapse when the checksums agree; a mismatch keeps both proposals
+/// for the exact automorphism tests instead of silently dropping a rule.
+/// `local_evidence` is the proposing fragment's support evidence (its
+/// surviving parent-center count; summed across proposers on merge). It is
+/// diagnostic payload for tests and tripwire forensics only — under single
+/// ownership it covers one fragment, so it bounds nothing global, and the
+/// support assembly deliberately ignores it: exact supports come from the
+/// evaluation round.
+struct CandidateProposal {
+  size_t parent = kRootParent;  ///< index into this round's parent list
+  uint32_t ext_ordinal = 0;     ///< index into GenerateExtensions(parent)
+  uint64_t structural_hash = 0; ///< StructuralHash of the grown P_R
+  uint32_t local_evidence = 0;  ///< surviving parent centers at the proposer
+  Gpar rule;                    ///< the grown rule, materialized worker-side
+};
+
+/// Coordinator half of the contract, step 2a: collapses per-worker proposal
+/// vectors into one stream with cross-fragment duplicates (equal
+/// (parent, ext_ordinal) AND equal structural checksum) merged — first
+/// proposer's rule kept, evidence summed, `stats->cross_fragment_merged`
+/// incremented — ordered by (parent, ext_ordinal) ascending, i.e. exactly
+/// the order the centralized generator would emit. Exposed for tests.
+std::vector<CandidateProposal> MergeProposals(
+    std::vector<std::vector<CandidateProposal>> per_worker, DmineStats* stats);
 
 /// Generates the round-r candidate extensions of `antecedent` (designated
 /// x, y; `q_label` consequent) from the seed-edge alphabet: new edges whose
@@ -100,16 +181,17 @@ std::vector<Gpar> GenerateExtensions(const Pattern& antecedent,
                                      uint32_t max_edges,
                                      const std::vector<EdgePatternStat>& seeds);
 
-/// Deduplicates `fresh` against itself and `seen_buckets` (bucket keys, then
-/// optionally bisimulation-prefiltered designated isomorphism), keeping at
-/// most `max_keep` candidates. The cap is applied *before* a pattern is
+/// Deduplicates `fresh` against itself and `seen_buckets` (buckets keyed by
+/// the isomorphism-invariant `IsomorphismBucketHash`, then optionally
+/// bisimulation-prefiltered designated isomorphism), keeping at most
+/// `max_keep` candidates. The cap is applied *before* a pattern is
 /// registered in `seen_buckets`: a candidate dropped by the cap is not
 /// poisoned as "seen" and may re-enter in a later round (the pre-cap
 /// registration bug silently deduped such candidates forever). Returns the
 /// kept candidates' indices into `fresh`, ascending. Exposed for tests.
 std::vector<size_t> DedupCandidates(
     const std::vector<Gpar>& fresh, size_t max_keep,
-    std::map<std::string, std::vector<Pattern>>* seen_buckets,
+    std::unordered_map<uint64_t, std::vector<Pattern>>* seen_buckets,
     bool bisim_prefilter, DmineStats* stats);
 
 }  // namespace gpar

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -42,6 +44,27 @@ class BspRuntime {
   /// Runs fn(worker_id) for all workers; the barrier is implicit (returns
   /// when all are done). Adds max-over-workers CPU time to the makespan.
   void RunRound(const std::function<void(uint32_t)>& fn);
+
+  /// Gather overload: runs fn(worker_id) for all workers and returns the
+  /// per-worker payloads indexed by worker id — the BSP "messages to the
+  /// coordinator" of a round, without caller-side mutex plumbing. Each
+  /// worker writes only its own slot, so the result is deterministic
+  /// regardless of scheduling. T must be default-constructible and
+  /// move-assignable. Timing is identical to the void overload: producing
+  /// the payload counts toward the round's makespan, not the coordinator.
+  template <typename Fn, typename T = std::invoke_result_t<Fn&, uint32_t>,
+            typename = std::enable_if_t<!std::is_void_v<T>>>
+  std::vector<T> RunRound(Fn&& fn) {
+    // vector<bool> packs bits: concurrent out[i] writes from different
+    // workers would race on shared words. Return a wider type (or a struct).
+    static_assert(!std::is_same_v<T, bool>,
+                  "bool payloads race in std::vector<bool>; gather a wider "
+                  "type instead");
+    std::vector<T> out(num_workers_);
+    RunRound(std::function<void(uint32_t)>(
+        [&out, &fn](uint32_t i) { out[i] = fn(i); }));
+    return out;
+  }
 
   /// Runs (and times) a coordinator section on the calling thread.
   void RunCoordinator(const std::function<void()>& fn);

@@ -61,4 +61,49 @@ std::string IsomorphismBucketKey(const Pattern& p) {
   return os.str();
 }
 
+uint64_t IsomorphismBucketHash(const Pattern& p) {
+  // Per-node invariant: (label, multiplicity, out-degree, in-degree) folded
+  // into one 64-bit value. Isomorphism permutes nodes, so only the *multiset*
+  // of these values (plus x's and y's own values) may be mixed in — sort
+  // before folding.
+  std::vector<uint64_t> node_inv(p.num_nodes());
+  for (PNodeId u = 0; u < p.num_nodes(); ++u) {
+    uint64_t out_deg = 0, in_deg = 0;
+    for (const PatternAdj& e : p.adj(u)) {
+      if (e.out) ++out_deg; else ++in_deg;
+    }
+    uint64_t h = kFnvOffsetBasis;
+    h = FnvMix(h, p.node(u).label);
+    h = FnvMix(h, p.node(u).multiplicity);
+    h = FnvMix(h, out_deg);
+    h = FnvMix(h, in_deg);
+    node_inv[u] = h;
+  }
+
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMix(h, p.num_nodes());
+  h = FnvMix(h, p.num_edges());
+  h = FnvMix(h, node_inv[p.x()]);
+  h = FnvMix(h, p.has_y() ? 1 : 0);
+  if (p.has_y()) h = FnvMix(h, node_inv[p.y()]);
+
+  std::vector<uint64_t> sorted_nodes = node_inv;
+  std::sort(sorted_nodes.begin(), sorted_nodes.end());
+  for (uint64_t v : sorted_nodes) h = FnvMix(h, v);
+
+  // Edge invariant: the (src-label, edge-label, dst-label) triple multiset.
+  std::vector<uint64_t> edge_inv;
+  edge_inv.reserve(p.num_edges());
+  for (const PatternEdge& e : p.edges()) {
+    uint64_t eh = kFnvOffsetBasis;
+    eh = FnvMix(eh, p.node(e.src).label);
+    eh = FnvMix(eh, e.label);
+    eh = FnvMix(eh, p.node(e.dst).label);
+    edge_inv.push_back(eh);
+  }
+  std::sort(edge_inv.begin(), edge_inv.end());
+  for (uint64_t v : edge_inv) h = FnvMix(h, v);
+  return h;
+}
+
 }  // namespace gpar

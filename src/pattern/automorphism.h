@@ -19,8 +19,19 @@ bool AreIsomorphic(const Pattern& a, const Pattern& b,
 
 /// A cheap grouping key: patterns that are isomorphic (designated-preserving)
 /// always share the same key. Used to bucket candidates before pairwise
-/// bisimulation / isomorphism tests.
+/// bisimulation / isomorphism tests, and by tests as a human-readable rule
+/// fingerprint.
 std::string IsomorphismBucketKey(const Pattern& p);
+
+/// 64-bit counterpart of IsomorphismBucketKey over the same invariants
+/// (per-node label/multiplicity/degree multiset, edge label-triple multiset,
+/// the invariants of x and y): isomorphic (designated-preserving) patterns
+/// always hash equal, with no string materialization. Hash collisions
+/// between non-isomorphic patterns merely co-bucket them — consumers run
+/// the exact bisimulation/isomorphism tests within a bucket, so collisions
+/// cost time, never correctness. This keys the DMine coordinator's
+/// cross-fragment dedup buckets (`DedupCandidates`).
+uint64_t IsomorphismBucketHash(const Pattern& p);
 
 }  // namespace gpar
 

@@ -38,22 +38,18 @@ bool IsConnected(const Pattern& p) {
 }
 
 uint64_t StructuralHash(const Pattern& p) {
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&](uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
+  uint64_t h = kFnvOffsetBasis;
   for (PNodeId u = 0; u < p.num_nodes(); ++u) {
-    mix(p.node(u).label);
-    mix(p.node(u).multiplicity);
+    h = FnvMix(h, p.node(u).label);
+    h = FnvMix(h, p.node(u).multiplicity);
   }
   for (const PatternEdge& e : p.edges()) {
-    mix(e.src);
-    mix(e.dst);
-    mix(e.label);
+    h = FnvMix(h, e.src);
+    h = FnvMix(h, e.dst);
+    h = FnvMix(h, e.label);
   }
-  mix(p.x());
-  mix(p.y());
+  h = FnvMix(h, p.x());
+  h = FnvMix(h, p.y());
   return h;
 }
 

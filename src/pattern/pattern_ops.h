@@ -21,10 +21,20 @@ uint32_t Radius(const Pattern& p, PNodeId from);
 /// True iff the pattern is connected (undirected reachability).
 bool IsConnected(const Pattern& p);
 
+/// FNV-1a mixing primitives shared by the pattern hashes (StructuralHash
+/// here, IsomorphismBucketHash in automorphism.h) and by callers that fold
+/// several pattern hashes into one key.
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+inline uint64_t FnvMix(uint64_t h, uint64_t v) { return (h ^ v) * kFnvPrime; }
+
 /// Structural FNV-1a hash over nodes, edges, and designated nodes. Equal
 /// patterns (operator==) hash equal; collisions must be resolved by exact
 /// equality in the consuming cache bucket. Shared by the matchers' pattern
-/// caches (guided sketches, search plans).
+/// caches (guided sketches, search plans) and by DMine's worker candidate
+/// proposals (the per-extension checksum in CandidateProposal). Not
+/// isomorphism-invariant — node ids participate; use IsomorphismBucketHash
+/// for iso-stable bucketing.
 uint64_t StructuralHash(const Pattern& p);
 
 /// True iff there is an injective, label- and edge-preserving embedding of

@@ -4,8 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <string>
+#include <unordered_map>
 
 #include "graph/generator.h"
 #include "graph/graph_builder.h"
@@ -13,7 +13,9 @@
 #include "match/matcher.h"
 #include "mine/naive_miner.h"
 #include "pattern/automorphism.h"
+#include "pattern/pattern_ops.h"
 #include "rule/metrics.h"
+#include "test_util.h"
 
 namespace gpar {
 namespace {
@@ -243,7 +245,7 @@ TEST(DmineTest, CandidateCapDoesNotPoisonDedupState) {
   auto fresh = GenerateExtensions(base, labels.Lookup("visit"), 2, 4, seeds);
 
   // Two non-equivalent candidates, found via an uncapped side dedup.
-  std::map<std::string, std::vector<Pattern>> probe;
+  std::unordered_map<uint64_t, std::vector<Pattern>> probe;
   DmineStats probe_stats;
   auto distinct = DedupCandidates(fresh, fresh.size(), &probe, false,
                                   &probe_stats);
@@ -251,7 +253,7 @@ TEST(DmineTest, CandidateCapDoesNotPoisonDedupState) {
   std::vector<Gpar> round_a{fresh[distinct[0]], fresh[distinct[1]]};
 
   // Round A with cap 1: only the first candidate is kept and registered.
-  std::map<std::string, std::vector<Pattern>> seen;
+  std::unordered_map<uint64_t, std::vector<Pattern>> seen;
   DmineStats stats;
   auto kept = DedupCandidates(round_a, 1, &seen, false, &stats);
   ASSERT_EQ(kept.size(), 1u);
@@ -334,6 +336,195 @@ TEST(DmineTest, ParentPruneSkipsCentersAndPreservesResults) {
     EXPECT_DOUBLE_EQ(a->conf, b2->conf);
     EXPECT_EQ(a->matches, b2->matches);
   }
+}
+
+/// Builds a designated-preserving isomorphic copy of `r` by reversing the
+/// antecedent's node declaration order — a distinct Gpar object that DMine's
+/// automorphism dedup must collapse with the original.
+Gpar IsomorphicCopy(const Gpar& r) {
+  auto result = Gpar::Create(test::ReversedIsomorphicCopy(r.antecedent()),
+                             r.q_label());
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+CandidateProposal MakeProposal(size_t parent, uint32_t ordinal,
+                               uint32_t evidence, Gpar rule) {
+  CandidateProposal p;
+  p.parent = parent;
+  p.ext_ordinal = ordinal;
+  p.structural_hash = StructuralHash(rule.pr());
+  p.local_evidence = evidence;
+  p.rule = std::move(rule);
+  return p;
+}
+
+TEST(DmineTest, MergeProposalsCollapsesCrossFragmentDuplicates) {
+  // Two fragments where the same parent survives propose its extension set
+  // independently; the coordinator must keep one copy per (parent, ordinal),
+  // sum the support evidence, and emit the stream in centralized order
+  // (parent ascending, then generation ordinal) regardless of which worker
+  // proposed what.
+  PaperG1 g1 = MakePaperG1();
+  const Interner& labels = g1.graph.labels();
+  Pattern base;
+  base.set_x(base.AddNode(labels.Lookup("cust")));
+  base.set_y(base.AddNode(labels.Lookup("French_restaurant")));
+  auto seeds = FrequentEdgePatterns(g1.graph, 8);
+  auto fresh = GenerateExtensions(base, labels.Lookup("visit"), 2, 4, seeds);
+  ASSERT_GE(fresh.size(), 2u);
+
+  std::vector<std::vector<CandidateProposal>> per_worker(3);
+  // Worker 0: parent 1's extension 0.
+  per_worker[0].push_back(MakeProposal(1, 0, 3, fresh[0]));
+  // Worker 1: parent 0's extensions 1 then 0 (proposal order within a worker
+  // does not matter), plus the duplicate of parent 1's extension 0.
+  per_worker[1].push_back(MakeProposal(0, 1, 2, fresh[1]));
+  per_worker[1].push_back(MakeProposal(0, 0, 2, fresh[0]));
+  per_worker[1].push_back(MakeProposal(1, 0, 4, fresh[0]));
+  // Worker 2: another duplicate of parent 0's extension 1, plus a
+  // *checksum-mismatched* proposal under parent 1's key 0 (a different
+  // grown pattern claiming an already-used ordinal — an ownership bug the
+  // merge must not paper over by dropping a rule).
+  ASSERT_NE(StructuralHash(fresh[0].pr()), StructuralHash(fresh[1].pr()));
+  per_worker[2].push_back(MakeProposal(0, 1, 5, fresh[1]));
+  per_worker[2].push_back(MakeProposal(1, 0, 9, fresh[1]));
+
+  DmineStats stats;
+  auto merged = MergeProposals(std::move(per_worker), &stats);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(stats.cross_fragment_merged, 2u);
+  EXPECT_EQ(merged[0].parent, 0u);
+  EXPECT_EQ(merged[0].ext_ordinal, 0u);
+  EXPECT_EQ(merged[0].local_evidence, 2u);
+  EXPECT_EQ(merged[1].parent, 0u);
+  EXPECT_EQ(merged[1].ext_ordinal, 1u);
+  EXPECT_EQ(merged[1].local_evidence, 7u);  // 2 + 5, summed across proposers
+  // The (1, 0) pair: the two checksum-agreeing proposals merged (3 + 4),
+  // the mismatched one survived as its own candidate for the exact
+  // automorphism tests downstream. Their relative order follows the
+  // checksum tiebreaker, so identify them by payload.
+  ASSERT_EQ(merged[2].parent, 1u);
+  ASSERT_EQ(merged[2].ext_ordinal, 0u);
+  ASSERT_EQ(merged[3].parent, 1u);
+  ASSERT_EQ(merged[3].ext_ordinal, 0u);
+  const CandidateProposal& dup =
+      merged[2].local_evidence == 7u ? merged[2] : merged[3];
+  const CandidateProposal& odd =
+      merged[2].local_evidence == 7u ? merged[3] : merged[2];
+  EXPECT_EQ(dup.local_evidence, 7u);
+  EXPECT_EQ(dup.structural_hash, StructuralHash(fresh[0].pr()));
+  EXPECT_EQ(odd.local_evidence, 9u);
+  EXPECT_EQ(odd.structural_hash, StructuralHash(fresh[1].pr()));
+}
+
+TEST(DmineTest, CrossFragmentAutomorphicProposalsMergeWithoutPoisoning) {
+  // Extends PR 2's cap regression to the decentralized path: two workers
+  // proposing *automorphic* (not byte-equal) extensions of the same parent
+  // under different ordinals survive the (parent, ordinal) merge, must then
+  // be collapsed by the automorphism dedup with `automorphic_merged`
+  // incremented — and a candidate dropped by the per-round cap must not be
+  // poisoned as "seen" by its automorphic twin's rejection.
+  PaperG1 g1 = MakePaperG1();
+  const Interner& labels = g1.graph.labels();
+  Pattern base;
+  base.set_x(base.AddNode(labels.Lookup("cust")));
+  base.set_y(base.AddNode(labels.Lookup("French_restaurant")));
+  auto seeds = FrequentEdgePatterns(g1.graph, 8);
+  auto fresh = GenerateExtensions(base, labels.Lookup("visit"), 2, 4, seeds);
+
+  std::unordered_map<uint64_t, std::vector<Pattern>> probe;
+  DmineStats probe_stats;
+  auto distinct =
+      DedupCandidates(fresh, fresh.size(), &probe, false, &probe_stats);
+  ASSERT_GE(distinct.size(), 3u);
+  const Gpar& a = fresh[distinct[0]];
+  const Gpar& b = fresh[distinct[1]];
+  const Gpar& c = fresh[distinct[2]];
+  Gpar a_twin = IsomorphicCopy(a);
+  ASSERT_TRUE(AreIsomorphic(a.pr(), a_twin.pr(), /*preserve_designated=*/true));
+
+  // Workers 0 and 1 propose automorphic copies of the same parent's
+  // extension under different ordinals; worker 1 also proposes b and c.
+  std::vector<std::vector<CandidateProposal>> per_worker(2);
+  per_worker[0].push_back(MakeProposal(0, 0, 1, a));
+  per_worker[1].push_back(MakeProposal(0, 1, 1, a_twin));
+  per_worker[1].push_back(MakeProposal(0, 2, 1, b));
+  per_worker[1].push_back(MakeProposal(0, 3, 1, c));
+
+  DmineStats stats;
+  auto merged = MergeProposals(std::move(per_worker), &stats);
+  ASSERT_EQ(merged.size(), 4u);  // different ordinals: not ordinal-duplicates
+  EXPECT_EQ(stats.cross_fragment_merged, 0u);
+
+  std::vector<Gpar> stream;
+  for (auto& p : merged) stream.push_back(std::move(p.rule));
+
+  // Cap 2: `a` is kept; its automorphic twin is merged (a merge does not
+  // consume cap budget — `b` still enters); `c` is dropped by the cap and
+  // must NOT be registered as seen.
+  std::unordered_map<uint64_t, std::vector<Pattern>> seen;
+  auto kept = DedupCandidates(stream, 2, &seen, false, &stats);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 0u);  // a
+  EXPECT_EQ(kept[1], 2u);  // b — the twin at index 1 was merged away
+  EXPECT_EQ(stats.automorphic_merged, 1u);
+
+  // A later round re-proposes c: it must re-enter...
+  std::vector<Gpar> round_b{c};
+  EXPECT_EQ(DedupCandidates(round_b, 10, &seen, false, &stats).size(), 1u);
+  EXPECT_EQ(stats.automorphic_merged, 1u);
+  // ...while re-proposals of a (or its twin) stay merged.
+  std::vector<Gpar> round_c{IsomorphicCopy(a)};
+  EXPECT_TRUE(DedupCandidates(round_c, 10, &seen, false, &stats).empty());
+  EXPECT_EQ(stats.automorphic_merged, 2u);
+}
+
+TEST(DmineTest, WorkerGenProposalStatsAreConsistent) {
+  // End-to-end bookkeeping on a multi-fragment run: every worker reports
+  // its proposal volume, single-owner assignment spreads generation across
+  // several workers without ever double-proposing a (parent, extension)
+  // key, and raw volume = unique candidates + cross-fragment duplicates.
+  Graph g = MakeSynthetic(400, 1200, 20, 5);
+  auto freq = FrequentEdgePatterns(g, 1);
+  ASSERT_FALSE(freq.empty());
+  Predicate q{freq[0].src_label, freq[0].edge_label, freq[0].dst_label};
+  DmineOptions opt = SmallOptions();
+  opt.num_workers = 4;
+  opt.sigma = 2;
+
+  auto result = Dmine(g, q, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->stats.proposals_per_worker.size(), 4u);
+  uint64_t raw = 0;
+  uint32_t proposing_workers = 0;
+  for (uint64_t p : result->stats.proposals_per_worker) {
+    raw += p;
+    if (p > 0) ++proposing_workers;
+  }
+  EXPECT_GT(raw, 0u);
+  // Ownership round-robins over surviving fragments: generation work lands
+  // on more than one worker...
+  EXPECT_GT(proposing_workers, 1u);
+  // ...and never duplicates a proposal across fragments.
+  EXPECT_EQ(result->stats.cross_fragment_merged, 0u);
+  EXPECT_EQ(raw, result->stats.candidates_generated +
+                     result->stats.cross_fragment_merged);
+
+  // The centralized path generates the identical unique stream and reports
+  // no proposal traffic.
+  DmineOptions central = opt;
+  central.enable_worker_gen = false;
+  auto central_run = Dmine(g, q, central);
+  ASSERT_TRUE(central_run.ok());
+  EXPECT_TRUE(central_run->stats.proposals_per_worker.empty());
+  EXPECT_EQ(central_run->stats.cross_fragment_merged, 0u);
+  EXPECT_EQ(central_run->stats.candidates_generated,
+            result->stats.candidates_generated);
+  EXPECT_EQ(central_run->stats.candidates_verified,
+            result->stats.candidates_verified);
+  EXPECT_EQ(central_run->stats.automorphic_merged,
+            result->stats.automorphic_merged);
 }
 
 TEST(DmineTest, WorksOnSyntheticGraph) {

@@ -74,6 +74,43 @@ TEST(BspTest, RoundsAndMakespan) {
                    t.makespan_seconds + t.coordinator_seconds);
 }
 
+TEST(BspTest, GatherRoundReturnsPerWorkerPayloads) {
+  // The gather overload returns each worker's payload in its own slot —
+  // worker-id-indexed, independent of scheduling — and is timed like a
+  // normal round (counts as a round, contributes to the makespan).
+  BspRuntime bsp(4);
+  std::vector<std::vector<uint32_t>> payloads =
+      bsp.RunRound([](uint32_t i) {
+        std::vector<uint32_t> mine;
+        for (uint32_t k = 0; k <= i; ++k) mine.push_back(i * 10 + k);
+        return mine;
+      });
+  ASSERT_EQ(payloads.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(payloads[i].size(), i + 1) << "worker " << i;
+    for (uint32_t k = 0; k <= i; ++k) EXPECT_EQ(payloads[i][k], i * 10 + k);
+  }
+
+  // A void lambda still resolves to the non-gather overload.
+  std::atomic<int> hits{0};
+  bsp.RunRound([&](uint32_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+
+  ParallelTimes t = bsp.FinishTiming();
+  EXPECT_EQ(t.rounds, 2u);
+}
+
+TEST(BspTest, GatherRoundIsDeterministicAcrossRuns) {
+  // Scheduling invariance: repeated gathers produce identical payload
+  // vectors (each worker owns exactly its slot).
+  auto run = [] {
+    BspRuntime bsp(8);
+    return bsp.RunRound([](uint32_t i) { return i * i + 1; });
+  };
+  std::vector<uint32_t> a = run();
+  for (int rep = 0; rep < 3; ++rep) EXPECT_EQ(run(), a);
+}
+
 TEST(BspTest, MakespanShrinksWithMoreWorkers) {
   // Fixed total work divided over n workers: makespan must not grow with n
   // (the essence of the parallel-scalability measurements).

@@ -19,6 +19,8 @@
 #include "pattern/automorphism.h"
 #include "pattern/bisimulation.h"
 #include "pattern/pattern_generator.h"
+#include "pattern/pattern_ops.h"
+#include "test_util.h"
 #include "rule/diversity.h"
 #include "rule/metrics.h"
 
@@ -196,22 +198,12 @@ TEST_P(SeededProperty, IsomorphicPatternsAreBisimilarAndShareBuckets) {
   Scenario s = MakeScenario(GetParam());
   for (const Gpar& r : s.rules) {
     const Pattern& p = r.pr();
-    Pattern copy;
-    std::vector<PNodeId> remap(p.num_nodes());
-    for (PNodeId u = 0; u < p.num_nodes(); ++u) {
-      PNodeId orig = static_cast<PNodeId>(p.num_nodes() - 1 - u);
-      remap[orig] = copy.AddNode(p.node(orig).label,
-                                 p.node(orig).multiplicity);
-    }
-    for (const PatternEdge& e : p.edges()) {
-      copy.AddEdge(remap[e.src], e.label, remap[e.dst]);
-    }
-    copy.set_x(remap[p.x()]);
-    if (p.has_y()) copy.set_y(remap[p.y()]);
+    Pattern copy = test::ReversedIsomorphicCopy(p);
 
     EXPECT_TRUE(AreIsomorphic(p, copy, /*preserve_designated=*/true));
     EXPECT_TRUE(AreBisimilarDesignated(p, copy));
     EXPECT_EQ(IsomorphismBucketKey(p), IsomorphismBucketKey(copy));
+    EXPECT_EQ(IsomorphismBucketHash(p), IsomorphismBucketHash(copy));
   }
 }
 
@@ -285,6 +277,95 @@ TEST_P(SeededProperty, JaccardIsAMetricOnMatchSets) {
   }
 }
 
+/// Full-result fingerprint: every stat a result-identity claim covers, plus
+/// the top-k *in order* with per-rule structure (StructuralHash), supports,
+/// confidence, and match sets. Two runs with equal fingerprints are
+/// indistinguishable to a caller.
+std::string ResultFingerprint(const DmineResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "gen=" << r.stats.candidates_generated
+     << ";ver=" << r.stats.candidates_verified
+     << ";acc=" << r.stats.accepted
+     << ";auto=" << r.stats.automorphic_merged
+     << ";triv=" << r.stats.trivial_discarded
+     << ";obj=" << r.objective << ";topk=[";
+  for (const auto& rule : r.topk) {
+    os << "{h=" << StructuralHash(rule->rule.pr()) << ";s=" << rule->supp
+       << ";n=" << rule->supp_qqbar << ";c=" << rule->conf << ";m=";
+    for (NodeId v : rule->matches) os << v << ',';
+    os << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+TEST_P(SeededProperty, WorkerGenEquivalence) {
+  // Decentralized candidate generation is a relocation of work, not an
+  // approximation: across worker counts, the worker-proposed path and the
+  // centralized path must produce identical candidate pools (by structural
+  // hash), supports, confidences, and diversified top-k — the mirror of
+  // ParentPruneEquivalence for PR 2's lineage pruning.
+  Scenario s = MakeScenario(GetParam());
+  DmineOptions opt;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    opt.num_workers = n;
+    opt.enable_worker_gen = true;
+    auto decentralized = Dmine(s.graph, s.q, opt);
+    opt.enable_worker_gen = false;
+    auto centralized = Dmine(s.graph, s.q, opt);
+    ASSERT_TRUE(decentralized.ok()) << decentralized.status();
+    ASSERT_TRUE(centralized.ok()) << centralized.status();
+
+    EXPECT_EQ(ResultFingerprint(*decentralized),
+              ResultFingerprint(*centralized))
+        << "worker-gen result diverged at seed " << GetParam() << " n=" << n;
+    // The evaluation half is untouched by where generation runs: the two
+    // paths issue the exact same worker probes.
+    EXPECT_EQ(decentralized->stats.exists_calls,
+              centralized->stats.exists_calls);
+    EXPECT_EQ(decentralized->stats.centers_skipped_by_parent,
+              centralized->stats.centers_skipped_by_parent);
+    // Proposal bookkeeping balances: raw = unique + merged duplicates.
+    uint64_t raw = 0;
+    for (uint64_t p : decentralized->stats.proposals_per_worker) raw += p;
+    EXPECT_EQ(raw, decentralized->stats.candidates_generated +
+                       decentralized->stats.cross_fragment_merged);
+  }
+}
+
+TEST_P(SeededProperty, WorkerGenEquivalenceComposesWithParentPruneOff) {
+  // The two ablation axes are independent: without parent lineage the
+  // ownership predicate degrades from "fragments where the parent
+  // survives" to "fragments with a non-empty q-pool" (still one
+  // deterministic owner per parent) — results still match the centralized
+  // no-prune run.
+  Scenario s = MakeScenario(GetParam());
+  DmineOptions opt;
+  opt.num_workers = 4;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+  opt.enable_parent_prune = false;
+
+  opt.enable_worker_gen = true;
+  auto decentralized = Dmine(s.graph, s.q, opt);
+  opt.enable_worker_gen = false;
+  auto centralized = Dmine(s.graph, s.q, opt);
+  ASSERT_TRUE(decentralized.ok());
+  ASSERT_TRUE(centralized.ok());
+  EXPECT_EQ(ResultFingerprint(*decentralized), ResultFingerprint(*centralized))
+      << "no-prune worker-gen diverged at seed " << GetParam();
+}
+
 class WorkerCountProperty : public ::testing::TestWithParam<uint32_t> {};
 
 INSTANTIATE_TEST_SUITE_P(Workers, WorkerCountProperty,
@@ -313,6 +394,50 @@ TEST_P(WorkerCountProperty, DmineAcceptedPoolInvariant) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->stats.accepted, reference->stats.accepted);
   EXPECT_NEAR(result->objective, reference->objective, 1e-9);
+}
+
+TEST(WorkerGenDeterminism, ResultsInvariantToWorkersSchedulingAndPath) {
+  // Full determinism, top-k order included: DMine's result must not depend
+  // on the worker count, on thread scheduling (repeat runs race workers
+  // differently), or on which side generates candidates. Run under ASan as
+  // part of the sanitizer suite, the repeat-run check doubles as a data-race
+  // stability probe on the proposal gather.
+  Graph g = MakeSynthetic(600, 1800, 25, 11);
+  auto freq = FrequentEdgePatterns(g, 1);
+  Predicate q{freq[0].src_label, freq[0].edge_label, freq[0].dst_label};
+  DmineOptions opt;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+
+  std::string reference;
+  for (bool worker_gen : {true, false}) {
+    opt.enable_worker_gen = worker_gen;
+    for (uint32_t n : {1u, 2u, 4u, 8u}) {
+      opt.num_workers = n;
+      auto result = Dmine(g, q, opt);
+      ASSERT_TRUE(result.ok()) << result.status();
+      std::string fp = ResultFingerprint(*result);
+      if (reference.empty()) {
+        reference = fp;
+        EXPECT_FALSE(result->topk.empty());
+      } else {
+        EXPECT_EQ(fp, reference)
+            << "divergence at n=" << n << " worker_gen=" << worker_gen;
+      }
+    }
+    // Repeat-run stability at the widest fan-out: same fingerprint when the
+    // same configuration races its workers a second and third time.
+    opt.num_workers = 8;
+    for (int rep = 0; rep < 2; ++rep) {
+      auto result = Dmine(g, q, opt);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(ResultFingerprint(*result), reference)
+          << "repeat-run divergence, worker_gen=" << worker_gen;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,31 @@
+#ifndef GPAR_TESTS_TEST_UTIL_H_
+#define GPAR_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace gpar::test {
+
+/// A designated-preserving isomorphic copy of `p`, built by reversing the
+/// node declaration order: a structurally distinct object (different node
+/// ids, hence a different StructuralHash in general) denoting the same
+/// pattern. Exercises the automorphism/bisimulation merge paths.
+inline Pattern ReversedIsomorphicCopy(const Pattern& p) {
+  Pattern copy;
+  std::vector<PNodeId> remap(p.num_nodes());
+  for (PNodeId u = 0; u < p.num_nodes(); ++u) {
+    PNodeId orig = static_cast<PNodeId>(p.num_nodes() - 1 - u);
+    remap[orig] = copy.AddNode(p.node(orig).label, p.node(orig).multiplicity);
+  }
+  for (const PatternEdge& e : p.edges()) {
+    copy.AddEdge(remap[e.src], e.label, remap[e.dst]);
+  }
+  copy.set_x(remap[p.x()]);
+  if (p.has_y()) copy.set_y(remap[p.y()]);
+  return copy;
+}
+
+}  // namespace gpar::test
+
+#endif  // GPAR_TESTS_TEST_UTIL_H_

@@ -3,8 +3,11 @@
 # merges their JSON reports into one machine-readable file that seeds the
 # perf trajectory across PRs. Additionally runs a CI-sized
 # exp1_dmine_vary_size sweep into a second JSON report (DMINE_JSON) so
-# DMine-level speedups — including the parent-prune ablation, whose
-# "noprune" column is the in-run baseline — are tracked PR-over-PR.
+# DMine-level speedups are tracked PR-over-PR with in-run baselines: the
+# parent-prune ablation ("noprune_s") and the WorkerGen ablation
+# ("central_s" = coordinator-side candidate generation, plus the
+# coordinator-share columns that show generation moving off the
+# coordinator's critical path).
 #
 # Usage:
 #   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON]
