@@ -70,11 +70,17 @@ void BM_PartitionGraph(benchmark::State& state) {
     PartitionOptions opt;
     opt.num_fragments = static_cast<uint32_t>(state.range(0));
     opt.d = 2;
+    // range(1): 0 = zero-copy views (default), 1 = copied induced CSRs.
+    opt.use_fragment_copies = state.range(1) != 0;
     auto parts = PartitionGraph(g, centers, opt);
     benchmark::DoNotOptimize(parts.ok());
   }
 }
-BENCHMARK(BM_PartitionGraph)->Arg(4)->Arg(16);
+BENCHMARK(BM_PartitionGraph)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1});
 
 }  // namespace
 

@@ -1,0 +1,72 @@
+#include "graph/graph_view.h"
+
+namespace gpar {
+
+GraphView::GraphView(const Graph& parent, std::vector<NodeId> members)
+    : parent_(&parent), members_(std::move(members)) {
+  bitmap_.assign((parent.num_nodes() + 63) / 64, 0);
+  for (NodeId v : members_) bitmap_[v >> 6] |= uint64_t{1} << (v & 63);
+
+  // Label index: one counting pass sizes the per-label ranges, one fill
+  // pass places the (already ascending) member ids, so each label's slice
+  // comes out sorted without a comparison sort.
+  std::unordered_map<LabelId, uint32_t> counts;
+  counts.reserve(members_.size());
+  for (NodeId v : members_) ++counts[parent.node_label(v)];
+  label_ranges_.reserve(counts.size());
+  uint32_t offset = 0;
+  for (const auto& [label, count] : counts) {
+    label_ranges_.emplace(label, std::make_pair(offset, offset));
+    offset += count;
+  }
+  by_label_.resize(members_.size());
+  for (NodeId v : members_) {
+    auto& range = label_ranges_[parent.node_label(v)];
+    by_label_[range.second++] = v;  // second doubles as the fill cursor
+  }
+}
+
+size_t GraphView::num_edges() const {
+  size_t cached = induced_edges_.value.load(std::memory_order_relaxed);
+  if (cached != CachedCount::kUnknown) return cached;
+  // Induced edge count: every parent out-edge between two members — the
+  // |E_f| of the equivalent copied fragment (skew/size parity). One
+  // filtered adjacency sweep, deferred off the partition-build path.
+  size_t count = 0;
+  for (NodeId v : members_) {
+    for (const AdjEntry& e : parent_->out_edges(v)) {
+      if (contains(e.other)) ++count;
+    }
+  }
+  induced_edges_.value.store(count, std::memory_order_relaxed);
+  return count;
+}
+
+std::span<const NodeId> GraphView::nodes_with_label(LabelId label) const {
+  auto it = label_ranges_.find(label);
+  if (it == label_ranges_.end()) return {};
+  return {by_label_.data() + it->second.first,
+          it->second.second - it->second.first};
+}
+
+bool GraphView::HasOutLabel(NodeId v, LabelId elabel) const {
+  for (const AdjEntry& e : parent_->out_edges_labeled(v, elabel)) {
+    if (contains(e.other)) return true;
+  }
+  return false;
+}
+
+size_t GraphView::MemoryBytes() const {
+  size_t bytes = members_.capacity() * sizeof(NodeId) +
+                 by_label_.capacity() * sizeof(NodeId) +
+                 bitmap_.capacity() * sizeof(uint64_t);
+  // Node-based unordered_map estimate: per-node payload + two pointers,
+  // plus the bucket array.
+  bytes += label_ranges_.size() *
+           (sizeof(std::pair<const LabelId, std::pair<uint32_t, uint32_t>>) +
+            2 * sizeof(void*));
+  bytes += label_ranges_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace gpar

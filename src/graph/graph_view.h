@@ -1,0 +1,97 @@
+#ifndef GPAR_GRAPH_GRAPH_VIEW_H_
+#define GPAR_GRAPH_GRAPH_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gpar {
+
+/// A zero-copy induced-subgraph view over a parent `Graph` CSR.
+///
+/// Where `BuildInducedSubgraph` materializes a fragment as a fresh CSR with
+/// a local↔global id remap, a view stores only *membership*: a sorted
+/// global-id node list, a dense bitmap over the parent's id space, and a
+/// per-label grouping of the members. The subgraph it denotes is the one
+/// induced by the member set — every parent edge whose endpoints are both
+/// members — and all ids are parent (global) ids, so evidence produced by
+/// matching against a view needs no translation layer.
+///
+/// Memory is O(|members|) id-lists plus |V_parent|/8 bitmap bytes, versus
+/// O(|V_f| + |E_f|) CSR copies per fragment; construction is one pass over
+/// the members' adjacency (for the induced edge count) instead of a full
+/// CSR rebuild. A constructed view is immutable and safe for concurrent
+/// reads; it borrows the parent graph, which must outlive it.
+class GraphView {
+ public:
+  GraphView() = default;
+  /// `members` must be sorted ascending and duplicate-free parent node ids.
+  GraphView(const Graph& parent, std::vector<NodeId> members);
+
+  bool valid() const { return parent_ != nullptr; }
+  const Graph& parent() const { return *parent_; }
+
+  /// True iff `v` is a member (O(1) bitmap probe).
+  bool contains(NodeId v) const {
+    const size_t w = v >> 6;
+    return w < bitmap_.size() && ((bitmap_[w] >> (v & 63)) & 1) != 0;
+  }
+
+  /// Member ids, sorted ascending.
+  const std::vector<NodeId>& nodes() const { return members_; }
+  NodeId num_nodes() const { return static_cast<NodeId>(members_.size()); }
+  /// Number of induced edges (both endpoints members). Computed lazily on
+  /// first call — one filtered adjacency sweep — and cached, so views that
+  /// only ever match (DMine's hot path) never pay for it at build time.
+  size_t num_edges() const;
+  /// |V_f| + |E_f|, matching `Graph::size()` of the copied fragment.
+  size_t size() const { return members_.size() + num_edges(); }
+
+  LabelId node_label(NodeId v) const { return parent_->node_label(v); }
+
+  /// Members whose label is `label`, sorted ascending (empty if none).
+  std::span<const NodeId> nodes_with_label(LabelId label) const;
+  size_t label_count(LabelId label) const {
+    return nodes_with_label(label).size();
+  }
+
+  /// True iff `v` has an outgoing `elabel` edge to another member.
+  bool HasOutLabel(NodeId v, LabelId elabel) const;
+
+  /// Bytes held by the view's own containers (node lists, bitmap, label
+  /// index) — the quantity the Exp-4 fragment-memory column reports.
+  size_t MemoryBytes() const;
+
+ private:
+  /// Copyable atomic cell for the lazy edge count (idempotent to race:
+  /// concurrent first calls compute the same value).
+  struct CachedCount {
+    static constexpr size_t kUnknown = static_cast<size_t>(-1);
+    std::atomic<size_t> value{kUnknown};
+    CachedCount() = default;
+    CachedCount(const CachedCount& o)
+        : value(o.value.load(std::memory_order_relaxed)) {}
+    CachedCount& operator=(const CachedCount& o) {
+      value.store(o.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  const Graph* parent_ = nullptr;
+  std::vector<NodeId> members_;    // sorted global ids
+  std::vector<uint64_t> bitmap_;   // membership bits over parent ids
+  std::vector<NodeId> by_label_;   // members grouped by label, ids ascending
+  // label -> [begin, end) into by_label_
+  std::unordered_map<LabelId, std::pair<uint32_t, uint32_t>> label_ranges_;
+  mutable CachedCount induced_edges_;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_GRAPH_VIEW_H_

@@ -49,7 +49,13 @@ std::pair<bool, int64_t> CompareDistributions(const HopDistribution& graph_d,
 
 }  // namespace
 
-KHopSketch ComputeSketch(const Graph& g, NodeId v, uint32_t k) {
+namespace {
+
+/// Shared truncated-BFS core: `admit(w)` gates which neighbors the sketch
+/// may traverse (always-true for whole graphs, membership for views).
+template <typename Admit>
+KHopSketch ComputeSketchFiltered(const Graph& g, NodeId v, uint32_t k,
+                                 const Admit& admit) {
   KHopSketch sk;
   sk.hops.resize(k);
   std::unordered_map<NodeId, uint32_t> dist;
@@ -61,6 +67,7 @@ KHopSketch ComputeSketch(const Graph& g, NodeId v, uint32_t k) {
     uint32_t du = dist[u];
     if (du == k) continue;
     auto visit = [&](NodeId w) {
+      if (!admit(w)) return;
       if (dist.emplace(w, du + 1).second) frontier.push_back(w);
     };
     for (const AdjEntry& e : g.out_edges(u)) visit(e.other);
@@ -76,6 +83,17 @@ KHopSketch ComputeSketch(const Graph& g, NodeId v, uint32_t k) {
     std::sort(sk.hops[i].begin(), sk.hops[i].end());
   }
   return sk;
+}
+
+}  // namespace
+
+KHopSketch ComputeSketch(const Graph& g, NodeId v, uint32_t k) {
+  return ComputeSketchFiltered(g, v, k, [](NodeId) { return true; });
+}
+
+KHopSketch ComputeSketch(const GraphView& view, NodeId v, uint32_t k) {
+  return ComputeSketchFiltered(view.parent(), v, k,
+                               [&](NodeId w) { return view.contains(w); });
 }
 
 SketchIndex SketchIndex::Build(const Graph& g, uint32_t k) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace gpar {
 
@@ -44,6 +45,12 @@ class SketchIndex {
 /// Computes the sketch of a single node (used for pattern nodes, where the
 /// "graph" is the pattern itself).
 KHopSketch ComputeSketch(const Graph& g, NodeId v, uint32_t k);
+
+/// As above, with the BFS restricted to `view` members: the sketch of `v`
+/// in the subgraph the view induces — identical to the sketch a copied
+/// fragment would produce, so view-backed guided matching filters and
+/// orders candidates exactly like the copy-backed baseline.
+KHopSketch ComputeSketch(const GraphView& view, NodeId v, uint32_t k);
 
 /// True iff `graph_side` dominates `pattern_side`: for every hop i <= k and
 /// every label, the graph node has at least as many occurrences as the

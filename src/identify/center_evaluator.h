@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "rule/gpar.h"
 
 namespace gpar {
@@ -43,28 +44,35 @@ class CenterEvaluator {
 /// x-component (exactly localizable within eval_radius hops); `other_ok[i]`
 /// says whether rule i's remaining antecedent components (which may match
 /// anywhere in G) were found globally — when false, Q matches nobody.
+///
+/// Every factory takes the fragment as (graph, view): `view == nullptr`
+/// means `frag_graph` is the fragment itself (a copied induced subgraph, or
+/// the whole graph), non-null restricts matching to the zero-copy fragment
+/// view — candidates and evidence are then parent-global ids.
 
 /// Matchc (Section 5.1): one pattern check per candidate via the minimal
 /// policy, but membership decided by *enumerating* matches (no early
 /// termination), with plain VF2.
 std::unique_ptr<CenterEvaluator> MakeMatchcEvaluator(
-    const Graph& frag_graph, const std::vector<Gpar>& sigma,
-    const std::vector<char>& other_ok, uint64_t cap);
+    const Graph& frag_graph, const GraphView* view,
+    const std::vector<Gpar>& sigma, const std::vector<char>& other_ok,
+    uint64_t cap);
 
 /// Match (Section 5.2): early termination (exists-queries), sketch-guided
 /// candidate ordering, and multi-pattern sharing across Σ. The last two
 /// are individually toggleable for ablation (early termination is the
 /// definitional difference to Matchc and always on).
 std::unique_ptr<CenterEvaluator> MakeMatchEvaluator(
-    const Graph& frag_graph, const std::vector<Gpar>& sigma,
-    const std::vector<char>& other_ok, uint32_t sketch_hops,
-    bool use_guided_search, bool share_multi_patterns);
+    const Graph& frag_graph, const GraphView* view,
+    const std::vector<Gpar>& sigma, const std::vector<char>& other_ok,
+    uint32_t sketch_hops, bool use_guided_search, bool share_multi_patterns);
 
 /// disVF2 (Section 6 baseline): enumerates embeddings of BOTH P_R and Q at
 /// every candidate — two isomorphism checks per candidate.
 std::unique_ptr<CenterEvaluator> MakeDisVf2Evaluator(
-    const Graph& frag_graph, const std::vector<Gpar>& sigma,
-    const std::vector<char>& other_ok, uint64_t cap);
+    const Graph& frag_graph, const GraphView* view,
+    const std::vector<Gpar>& sigma, const std::vector<char>& other_ok,
+    uint64_t cap);
 
 }  // namespace gpar
 

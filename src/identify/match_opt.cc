@@ -17,12 +17,14 @@ namespace {
 ///  * other centers: antecedents only.
 class MatchEvaluator : public CenterEvaluator {
  public:
-  MatchEvaluator(const Graph& g, const std::vector<Gpar>& sigma,
+  MatchEvaluator(const Graph& g, const GraphView* view,
+                 const std::vector<Gpar>& sigma,
                  const std::vector<char>& other_ok, uint32_t sketch_hops,
                  bool use_guided, bool share)
-      : guided_(use_guided ? std::make_unique<GuidedMatcher>(g, sketch_hops)
-                           : nullptr),
-        vf2_(use_guided ? nullptr : std::make_unique<VF2Matcher>(g)),
+      : guided_(use_guided
+                    ? std::make_unique<GuidedMatcher>(g, view, sketch_hops)
+                    : nullptr),
+        vf2_(use_guided ? nullptr : std::make_unique<VF2Matcher>(g, view)),
         sigma_(sigma),
         other_ok_(other_ok) {
     for (const Gpar& r : sigma_) {
@@ -101,10 +103,10 @@ class MatchEvaluator : public CenterEvaluator {
 }  // namespace
 
 std::unique_ptr<CenterEvaluator> MakeMatchEvaluator(
-    const Graph& frag_graph, const std::vector<Gpar>& sigma,
-    const std::vector<char>& other_ok, uint32_t sketch_hops,
-    bool use_guided_search, bool share_multi_patterns) {
-  return std::make_unique<MatchEvaluator>(frag_graph, sigma, other_ok,
+    const Graph& frag_graph, const GraphView* view,
+    const std::vector<Gpar>& sigma, const std::vector<char>& other_ok,
+    uint32_t sketch_hops, bool use_guided_search, bool share_multi_patterns) {
+  return std::make_unique<MatchEvaluator>(frag_graph, view, sigma, other_ok,
                                           sketch_hops, use_guided_search,
                                           share_multi_patterns);
 }

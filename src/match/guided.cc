@@ -39,9 +39,10 @@ const KHopSketch& GuidedMatcher::SketchOf(NodeId v) {
   auto it = cache_.find(v);
   if (it == cache_.end()) {
     // Stored pre-accumulated: comparisons on the hot loop are then pure
-    // linear merges.
-    it = cache_.emplace(v, AccumulateSketch(ComputeSketch(graph(), v, k_)))
-             .first;
+    // linear merges. Fragment views sketch the induced subgraph.
+    KHopSketch raw = view() != nullptr ? ComputeSketch(*view(), v, k_)
+                                       : ComputeSketch(graph(), v, k_);
+    it = cache_.emplace(v, AccumulateSketch(raw)).first;
   }
   return it->second;
 }

@@ -23,11 +23,17 @@ namespace gpar {
 /// Graph-side sketches are computed lazily, one truncated BFS per *visited*
 /// node, and memoized for the matcher's lifetime — nodes the search never
 /// touches never pay for a sketch (crucial on large fragments, where an
-/// eager index would dwarf the matching work itself).
+/// eager index would dwarf the matching work itself). View-backed matchers
+/// sketch the view-induced subgraph (BFS restricted to members), so
+/// filtering and ordering match the copied-fragment baseline exactly.
 class GuidedMatcher : public Matcher {
  public:
   explicit GuidedMatcher(const Graph& g, uint32_t k = 2)
       : Matcher(g), k_(k) {}
+  explicit GuidedMatcher(const GraphView& view, uint32_t k = 2)
+      : Matcher(view), k_(k) {}
+  GuidedMatcher(const Graph& g, const GraphView* view, uint32_t k = 2)
+      : Matcher(g, view), k_(k) {}
 
   /// Number of node sketches materialized so far (for tests/benches).
   size_t sketches_built() const { return cache_.size(); }

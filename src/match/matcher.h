@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "pattern/pattern.h"
 
 namespace gpar {
@@ -22,7 +23,72 @@ struct Anchor {
 /// to pattern node `u`. Return false to stop the enumeration.
 using EmbeddingCallback = std::function<bool(std::span<const NodeId>)>;
 
-/// Subgraph-isomorphism engine bound to one graph.
+/// A cached match order for one (expanded pattern, anchored-node set):
+/// anchored nodes first, then BFS over pattern adjacency. Only the node
+/// *set* of the anchors matters — anchor values are per-call state.
+struct SearchPlan {
+  std::vector<PNodeId> anchored;  ///< sorted, deduplicated key
+  std::vector<PNodeId> order;
+};
+
+/// Everything derived from one pattern, cached across searches: the
+/// multiplicity expansion and the search plans seen so far (typically one,
+/// anchored at x). Keyed by StructuralHash with exact-equality buckets.
+struct PatternPlanEntry {
+  Pattern pattern;  ///< original, exact-equality key
+  Pattern expanded;
+  std::vector<PNodeId> first_copy;  ///< original node -> first expanded copy
+  std::vector<SearchPlan> plans;
+};
+
+/// Builds the match order for `expanded` with the given anchored node set
+/// (expanded-pattern ids; consumed, sorted, deduplicated). `label_count`
+/// supplies per-label candidate counts for rooting disconnected remainder
+/// components at the rarest label. Any order is correct; the heuristic only
+/// steers search cost.
+SearchPlan BuildSearchPlan(const Pattern& expanded,
+                           std::vector<PNodeId> anchored,
+                           const std::function<size_t(LabelId)>& label_count);
+
+/// Read-only-shared search-plan store (the ROADMAP "plan-cache sharing
+/// across workers" item): patterns are identical across fragments, so the
+/// coordinator plans each round's patterns once via `Prepare` and every
+/// worker matcher consults the store before planning privately.
+///
+/// Concurrency contract: `Prepare` is single-threaded (call it from
+/// coordinator sections, between worker rounds); `Find` is lock-free and
+/// safe from any number of threads once preparation for the round is done.
+class SearchPlanStore {
+ public:
+  /// `g` supplies the label counts the planner roots disconnected
+  /// components with (global counts — a better selectivity signal than any
+  /// one fragment's, and identical across workers by construction).
+  explicit SearchPlanStore(const Graph& g) : g_(g) {}
+
+  SearchPlanStore(const SearchPlanStore&) = delete;
+  SearchPlanStore& operator=(const SearchPlanStore&) = delete;
+
+  /// Plans `p` anchored at `anchored` (original-pattern node ids; mapped
+  /// through the multiplicity expansion internally). Idempotent.
+  void Prepare(const Pattern& p, std::span<const PNodeId> anchored);
+
+  /// The prepared entry for `p`, or nullptr if never prepared.
+  const PatternPlanEntry* Find(const Pattern& p) const;
+
+  /// Number of distinct patterns prepared (for tests/stats).
+  size_t patterns_planned() const { return planned_; }
+
+ private:
+  const Graph& g_;
+  size_t planned_ = 0;
+  std::unordered_map<uint64_t, std::vector<PatternPlanEntry>> cache_;
+};
+
+/// Subgraph-isomorphism engine bound to one graph — or to a zero-copy
+/// `GraphView` fragment of it, in which case every candidate is filtered by
+/// membership and all ids (anchors, embeddings) are parent-global ids. A
+/// view-backed matcher answers exactly like a matcher over the equivalent
+/// copied induced subgraph, without the CSR copy or the id translation.
 ///
 /// Semantics (Section 2.1): a match is an injective mapping of pattern
 /// nodes to graph nodes such that node labels agree and every pattern edge
@@ -42,7 +108,11 @@ using EmbeddingCallback = std::function<bool(std::span<const NodeId>)>;
 /// synchronization (DMine gives each worker its own matcher).
 class Matcher {
  public:
-  explicit Matcher(const Graph& g) : g_(g) {}
+  explicit Matcher(const Graph& g) : g_(g), view_(nullptr) {}
+  explicit Matcher(const GraphView& view)
+      : g_(view.parent()), view_(&view) {}
+  Matcher(const Graph& g, const GraphView* view)
+      : g_(view != nullptr ? view->parent() : g), view_(view) {}
   virtual ~Matcher() = default;
 
   Matcher(const Matcher&) = delete;
@@ -72,6 +142,14 @@ class Matcher {
 
   const Graph& graph() const { return g_; }
 
+  /// Attaches a shared read-only plan store. Probes consult it before the
+  /// private plan cache; a hit skips both the multiplicity expansion and
+  /// the plan construction for that pattern.
+  void set_plan_store(const SearchPlanStore* store) { plan_store_ = store; }
+
+  /// Number of probes whose plan came from the shared store.
+  uint64_t plan_store_hits() const { return plan_store_hits_; }
+
   /// Number of search-tree nodes visited since construction (for benches).
   uint64_t nodes_visited() const { return nodes_visited_; }
 
@@ -95,26 +173,11 @@ class Matcher {
   /// Invoked once per search so policies can precompute per-pattern state.
   virtual void PrepareForPattern(const Pattern& p) { (void)p; }
 
+  /// The fragment view this matcher is restricted to, or nullptr for a
+  /// whole-graph matcher (policy hooks use it to mirror the restriction).
+  const GraphView* view() const { return view_; }
+
  private:
-  /// A cached match order for one (expanded pattern, anchored-node set):
-  /// anchored nodes first, then BFS over pattern adjacency. Only the node
-  /// *set* of the anchors matters — anchor values are per-call state held in
-  /// `Scratch::anchor_of`.
-  struct SearchPlan {
-    std::vector<PNodeId> anchored;  ///< sorted, deduplicated key
-    std::vector<PNodeId> order;
-  };
-
-  /// Everything derived from one pattern, cached across calls: the
-  /// multiplicity expansion and the search plans seen so far (typically one,
-  /// anchored at x). Keyed by StructuralHash with exact-equality buckets.
-  struct PlanCacheEntry {
-    Pattern pattern;  ///< original, exact-equality key
-    Pattern expanded;
-    std::vector<PNodeId> first_copy;  ///< original node -> first expanded copy
-    std::vector<SearchPlan> plans;
-  };
-
   /// Reusable per-search state: `ExistsAt` is called once per candidate
   /// center on the mining hot path, so the search must not pay a heap
   /// allocation per level per call.
@@ -123,18 +186,24 @@ class Matcher {
     std::vector<NodeId> mapping;   ///< per expanded pattern node
     std::vector<NodeId> anchor_of; ///< per expanded pattern node, or invalid
     std::vector<std::vector<NodeId>> cand_bufs;  ///< per search level
+    std::vector<PNodeId> anchored;      ///< per-call mapped anchors
+    std::vector<PNodeId> anchored_key;  ///< canonical form of `anchored`
   };
 
   bool Extend(const Pattern& p, const SearchPlan& plan, size_t level,
               const EmbeddingCallback& cb, uint64_t limit, uint64_t* count);
-  PlanCacheEntry& CacheEntryFor(const Pattern& p);
-  const SearchPlan& PlanFor(PlanCacheEntry& entry,
-                            std::vector<PNodeId> anchored);
+  PatternPlanEntry& CacheEntryFor(const Pattern& p);
+  /// `anchored_key` must already be sorted and deduplicated.
+  const SearchPlan& PlanFor(PatternPlanEntry& entry,
+                            const std::vector<PNodeId>& anchored_key);
 
   const Graph& g_;
+  const GraphView* view_;
+  const SearchPlanStore* plan_store_ = nullptr;
+  uint64_t plan_store_hits_ = 0;
   uint64_t nodes_visited_ = 0;
   size_t plans_cached_ = 0;
-  std::unordered_map<uint64_t, std::vector<PlanCacheEntry>> plan_cache_;
+  std::unordered_map<uint64_t, std::vector<PatternPlanEntry>> plan_cache_;
   Scratch scratch_;
 };
 
@@ -142,6 +211,8 @@ class Matcher {
 class VF2Matcher : public Matcher {
  public:
   explicit VF2Matcher(const Graph& g) : Matcher(g) {}
+  explicit VF2Matcher(const GraphView& view) : Matcher(view) {}
+  VF2Matcher(const Graph& g, const GraphView* view) : Matcher(g, view) {}
 };
 
 }  // namespace gpar

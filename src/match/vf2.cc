@@ -14,35 +14,29 @@ namespace {
 // memory ceiling.
 constexpr size_t kMaxCachedPatterns = 1 << 14;
 
-}  // namespace
-
-Matcher::PlanCacheEntry& Matcher::CacheEntryFor(const Pattern& p) {
-  if (plans_cached_ > kMaxCachedPatterns) {
-    plan_cache_.clear();
-    plans_cached_ = 0;
-  }
-  auto& bucket = plan_cache_[StructuralHash(p)];
-  for (PlanCacheEntry& entry : bucket) {
-    if (entry.pattern == p) return entry;
-  }
-  PlanCacheEntry entry;
-  entry.pattern = p;
-  entry.expanded = p.ExpandMultiplicities(&entry.first_copy);
-  bucket.push_back(std::move(entry));
-  ++plans_cached_;
-  return bucket.back();
+/// Sorts and deduplicates an anchored-node set into its plan-cache key form.
+void CanonicalizeAnchored(std::vector<PNodeId>* anchored) {
+  std::sort(anchored->begin(), anchored->end());
+  anchored->erase(std::unique(anchored->begin(), anchored->end()),
+                  anchored->end());
 }
 
-const Matcher::SearchPlan& Matcher::PlanFor(PlanCacheEntry& entry,
-                                            std::vector<PNodeId> anchored) {
-  std::sort(anchored.begin(), anchored.end());
-  anchored.erase(std::unique(anchored.begin(), anchored.end()),
-                 anchored.end());
+/// The plan matching an anchored set in an already-built entry, or nullptr.
+const SearchPlan* FindPlanIn(const PatternPlanEntry& entry,
+                             const std::vector<PNodeId>& anchored) {
   for (const SearchPlan& plan : entry.plans) {
-    if (plan.anchored == anchored) return plan;
+    if (plan.anchored == anchored) return &plan;
   }
+  return nullptr;
+}
 
-  const Pattern& p = entry.expanded;
+}  // namespace
+
+SearchPlan BuildSearchPlan(
+    const Pattern& expanded, std::vector<PNodeId> anchored,
+    const std::function<size_t(LabelId)>& label_count) {
+  CanonicalizeAnchored(&anchored);
+  const Pattern& p = expanded;
   SearchPlan plan;
   plan.anchored = std::move(anchored);
 
@@ -73,7 +67,7 @@ const Matcher::SearchPlan& Matcher::PlanFor(PlanCacheEntry& entry,
     size_t best_count = 0;
     for (PNodeId u = 0; u < p.num_nodes(); ++u) {
       if (placed[u]) continue;
-      size_t c = g_.label_count(p.node(u).label);
+      size_t c = label_count(p.node(u).label);
       if (best == kNoPatternNode || c < best_count) {
         best = u;
         best_count = c;
@@ -83,7 +77,79 @@ const Matcher::SearchPlan& Matcher::PlanFor(PlanCacheEntry& entry,
     place(best);
     drain();
   }
-  entry.plans.push_back(std::move(plan));
+  return plan;
+}
+
+void SearchPlanStore::Prepare(const Pattern& p,
+                              std::span<const PNodeId> anchored) {
+  // Same memory ceiling as the private plan cache: a workload exceeding
+  // the bounded mined-pattern universe trades a re-plan (consumers fall
+  // back to their private caches) for bounded store growth.
+  if (planned_ > kMaxCachedPatterns) {
+    cache_.clear();
+    planned_ = 0;
+  }
+  auto& bucket = cache_[StructuralHash(p)];
+  PatternPlanEntry* entry = nullptr;
+  for (PatternPlanEntry& e : bucket) {
+    if (e.pattern == p) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    PatternPlanEntry fresh;
+    fresh.pattern = p;
+    fresh.expanded = p.ExpandMultiplicities(&fresh.first_copy);
+    bucket.push_back(std::move(fresh));
+    entry = &bucket.back();
+    ++planned_;
+  }
+  std::vector<PNodeId> mapped;
+  mapped.reserve(anchored.size());
+  for (PNodeId u : anchored) mapped.push_back(entry->first_copy[u]);
+  CanonicalizeAnchored(&mapped);
+  if (FindPlanIn(*entry, mapped) != nullptr) return;  // idempotent
+  entry->plans.push_back(BuildSearchPlan(
+      entry->expanded, std::move(mapped),
+      [this](LabelId l) { return g_.label_count(l); }));
+}
+
+const PatternPlanEntry* SearchPlanStore::Find(const Pattern& p) const {
+  auto it = cache_.find(StructuralHash(p));
+  if (it == cache_.end()) return nullptr;
+  for (const PatternPlanEntry& entry : it->second) {
+    if (entry.pattern == p) return &entry;
+  }
+  return nullptr;
+}
+
+PatternPlanEntry& Matcher::CacheEntryFor(const Pattern& p) {
+  if (plans_cached_ > kMaxCachedPatterns) {
+    plan_cache_.clear();
+    plans_cached_ = 0;
+  }
+  auto& bucket = plan_cache_[StructuralHash(p)];
+  for (PatternPlanEntry& entry : bucket) {
+    if (entry.pattern == p) return entry;
+  }
+  PatternPlanEntry entry;
+  entry.pattern = p;
+  entry.expanded = p.ExpandMultiplicities(&entry.first_copy);
+  bucket.push_back(std::move(entry));
+  ++plans_cached_;
+  return bucket.back();
+}
+
+const SearchPlan& Matcher::PlanFor(PatternPlanEntry& entry,
+                                   const std::vector<PNodeId>& anchored_key) {
+  if (const SearchPlan* plan = FindPlanIn(entry, anchored_key)) return *plan;
+  // The copy into BuildSearchPlan happens once per (pattern, anchor set),
+  // not per probe.
+  entry.plans.push_back(BuildSearchPlan(
+      entry.expanded, anchored_key, [this](LabelId l) {
+        return view_ != nullptr ? view_->label_count(l) : g_.label_count(l);
+      }));
   return entry.plans.back();
 }
 
@@ -102,11 +168,16 @@ bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
 
   // Candidate source: anchored value, or neighbors of the pivot (the mapped
   // neighbor whose labeled adjacency list is smallest), or the label index.
+  // View-backed matchers admit only member candidates, which is the entire
+  // fragment restriction: mapped endpoints are then always members, so the
+  // edge checks below can run on the parent CSR unfiltered (an induced
+  // subgraph has every parent edge between member pairs).
   // The per-level buffer is owned by the scratch and reused across calls.
   std::vector<NodeId>& cands = scratch_.cand_bufs[level];
   cands.clear();
   if (scratch_.anchor_of[u] != kInvalidNode) {
-    cands.push_back(scratch_.anchor_of[u]);
+    const NodeId anchor = scratch_.anchor_of[u];
+    if (view_ == nullptr || view_->contains(anchor)) cands.push_back(anchor);
   } else {
     std::span<const AdjEntry> best_slice;
     bool have_pivot = false;
@@ -124,9 +195,16 @@ bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
     }
     if (have_pivot) {
       cands.reserve(best_slice.size());
-      for (const AdjEntry& e : best_slice) cands.push_back(e.other);
+      if (view_ == nullptr) {
+        for (const AdjEntry& e : best_slice) cands.push_back(e.other);
+      } else {
+        for (const AdjEntry& e : best_slice) {
+          if (view_->contains(e.other)) cands.push_back(e.other);
+        }
+      }
     } else {
-      auto all = g_.nodes_with_label(want);
+      auto all = view_ != nullptr ? view_->nodes_with_label(want)
+                                  : g_.nodes_with_label(want);
       cands.assign(all.begin(), all.end());
     }
   }
@@ -173,14 +251,42 @@ bool Matcher::Extend(const Pattern& p, const SearchPlan& plan, size_t level,
 
 uint64_t Matcher::Enumerate(const Pattern& p, std::span<const Anchor> anchors,
                             const EmbeddingCallback& cb, uint64_t limit) {
-  PlanCacheEntry& entry = CacheEntryFor(p);
-  const Pattern& expanded = entry.expanded;
-
-  std::vector<PNodeId> anchored_nodes;
-  anchored_nodes.reserve(anchors.size());
-  for (const Anchor& a : anchors) {
-    anchored_nodes.push_back(entry.first_copy[a.u]);
+  // Resolve the pattern's expansion and plan: the shared store first (a hit
+  // costs one hash lookup and skips expansion + planning entirely), the
+  // private cache otherwise. The mapped-anchor and key buffers live in the
+  // scratch so the probe hot path stays allocation-free after warmup; the
+  // single-anchor case (every ExistsAt) is its own canonical key.
+  const PatternPlanEntry* entry = nullptr;
+  const SearchPlan* plan = nullptr;
+  std::vector<PNodeId>& anchored_nodes = scratch_.anchored;
+  auto map_anchors = [&](const std::vector<PNodeId>& first_copy) {
+    anchored_nodes.clear();
+    for (const Anchor& a : anchors) anchored_nodes.push_back(first_copy[a.u]);
+  };
+  auto canonical_key = [&]() -> const std::vector<PNodeId>& {
+    if (anchored_nodes.size() <= 1) return anchored_nodes;
+    scratch_.anchored_key.assign(anchored_nodes.begin(), anchored_nodes.end());
+    CanonicalizeAnchored(&scratch_.anchored_key);
+    return scratch_.anchored_key;
+  };
+  if (plan_store_ != nullptr) {
+    if (const PatternPlanEntry* shared = plan_store_->Find(p)) {
+      map_anchors(shared->first_copy);
+      if (const SearchPlan* shared_plan = FindPlanIn(*shared, canonical_key())) {
+        entry = shared;
+        plan = shared_plan;
+        ++plan_store_hits_;
+      }
+    }
   }
+  if (entry == nullptr) {
+    PatternPlanEntry& own = CacheEntryFor(p);
+    map_anchors(own.first_copy);
+    plan = &PlanFor(own, canonical_key());
+    entry = &own;
+  }
+  const Pattern& expanded = entry->expanded;
+
   // Anchor values are per-call: (re)build the anchor_of table in scratch.
   scratch_.anchor_of.assign(expanded.num_nodes(), kInvalidNode);
   for (size_t i = 0; i < anchors.size(); ++i) {
@@ -188,13 +294,12 @@ uint64_t Matcher::Enumerate(const Pattern& p, std::span<const Anchor> anchors,
   }
 
   PrepareForPattern(expanded);
-  const SearchPlan& plan = PlanFor(entry, std::move(anchored_nodes));
 
   if (scratch_.used.size() < g_.num_nodes()) {
     scratch_.used.assign(g_.num_nodes(), 0);
   }
-  if (scratch_.cand_bufs.size() < plan.order.size()) {
-    scratch_.cand_bufs.resize(plan.order.size());
+  if (scratch_.cand_bufs.size() < plan->order.size()) {
+    scratch_.cand_bufs.resize(plan->order.size());
   }
   // A previous search that unwound abnormally (an embedding callback threw)
   // skipped Extend's symmetric clears; sweep the stale path out of `used`
@@ -205,7 +310,7 @@ uint64_t Matcher::Enumerate(const Pattern& p, std::span<const Anchor> anchors,
   scratch_.mapping.assign(expanded.num_nodes(), kInvalidNode);
 
   uint64_t count = 0;
-  Extend(expanded, plan, 0, cb, limit, &count);
+  Extend(expanded, *plan, 0, cb, limit, &count);
   return count;
 }
 
@@ -217,7 +322,9 @@ bool Matcher::Exists(const Pattern& p, std::span<const Anchor> anchors) {
 
 std::vector<NodeId> Matcher::Images(const Pattern& p, PNodeId u) {
   std::vector<NodeId> out;
-  for (NodeId v : g_.nodes_with_label(p.node(u).label)) {
+  auto cands = view_ != nullptr ? view_->nodes_with_label(p.node(u).label)
+                                : g_.nodes_with_label(p.node(u).label);
+  for (NodeId v : cands) {
     Anchor a{u, v};
     if (Exists(p, {&a, 1})) out.push_back(v);
   }

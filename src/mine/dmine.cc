@@ -230,6 +230,7 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   PartitionOptions popt;
   popt.num_fragments = options.num_workers;
   popt.d = options.d;
+  popt.use_fragment_copies = options.use_fragment_copies;
   GPAR_ASSIGN_OR_RETURN(Partitioning parts, PartitionGraph(g, centers, popt));
 
   std::vector<EdgePatternStat> seeds =
@@ -238,21 +239,37 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   std::vector<WorkerState> workers(options.num_workers);
   const Pattern pq = q.ToPattern();
 
+  // Shared search-plan store: the coordinator plans each round's patterns
+  // once; worker matchers consult it read-only during rounds (patterns are
+  // identical across fragments, so per-worker planning is pure redundancy).
+  SearchPlanStore plan_store(g);
+  if (options.enable_shared_plans) {
+    bsp.RunCoordinator([&] {
+      PNodeId px = pq.x();
+      plan_store.Prepare(pq, {&px, 1});
+    });
+  }
+
   // Round 0: per-fragment matcher construction and the q / ~q sets, which
-  // "never change and hence are derived once for all".
+  // "never change and hence are derived once for all". View-backed
+  // fragments match directly on global ids over the parent CSR; the copied
+  // path (ablation) translates through MatchId.
   bsp.RunRound([&](uint32_t i) {
     WorkerState& w = workers[i];
     w.frag = &parts.fragments[i];
-    const Graph& fg = w.frag->sub.graph;
-    w.matcher = std::make_unique<VF2Matcher>(fg);
+    w.matcher = w.frag->uses_copy()
+                    ? std::make_unique<VF2Matcher>(w.frag->copy->graph)
+                    : std::make_unique<VF2Matcher>(w.frag->view);
+    if (options.enable_shared_plans) w.matcher->set_plan_store(&plan_store);
     const size_t nc = w.frag->centers.size();
     for (size_t c = 0; c < nc; ++c) {
-      NodeId local = w.frag->centers[c];
+      const NodeId global = w.frag->centers[c];
+      const NodeId probe = w.frag->MatchId(global);
       ++w.exists_calls;
-      if (w.matcher->ExistsAt(pq, local)) {
+      if (w.matcher->ExistsAt(pq, probe)) {
         w.q_centers.push_back(static_cast<uint32_t>(c));
         ++w.supp_q_local;
-      } else if (fg.HasOutLabel(local, q.edge_label)) {
+      } else if (w.frag->HasOutLabelAt(global, q.edge_label)) {
         w.qbar_centers.push_back(static_cast<uint32_t>(c));
         ++w.supp_qbar_local;
       }
@@ -277,7 +294,9 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   if (supp_q == 0 || supp_qbar == 0) {
     for (const WorkerState& w : workers) {
       result.stats.exists_calls += w.exists_calls;
+      result.stats.plans_shared_hits += w.matcher->plan_store_hits();
     }
+    result.stats.plans_prepared = plan_store.patterns_planned();
     result.times = bsp.FinishTiming();
     return result;
   }
@@ -313,6 +332,7 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   // full round-0 pools — the pre-lineage cost structure.
   const bool prune = options.enable_parent_prune;
   const bool worker_gen = options.enable_worker_gen;
+  const bool usupp_tight = options.enable_prune_aware_usupp;
 
   // Each round grows antecedents by one edge (radius capped at d by the
   // generator), up to max_pattern_edges edges — the levelwise structure of
@@ -490,6 +510,21 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
         bsp.times().coordinator_seconds - merge_start;
     if (candidates.empty()) break;
 
+    // Plan this round's patterns once into the shared store (outside the
+    // merge-seconds window: planning is not part of the generation-path
+    // A/B the WorkerGen ablation measures). Workers then probe P_R and the
+    // antecedent's x-component anchored at x with store-served plans.
+    if (options.enable_shared_plans) {
+      bsp.RunCoordinator([&] {
+        for (const Gpar& r : candidates) {
+          PNodeId prx = r.pr().x();
+          plan_store.Prepare(r.pr(), {&prx, 1});
+          PNodeId qx = r.x_component().x();
+          plan_store.Prepare(r.x_component(), {&qx, 1});
+        }
+      });
+    }
+
     // --- Workers: local support counting over owned centers. -------------
     std::vector<std::vector<LocalStats>> local(options.num_workers);
     bsp.RunRound([&](uint32_t i) {
@@ -509,14 +544,18 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
                    : std::span<const uint32_t>(w.q_centers);
         w.centers_skipped += w.q_centers.size() - pr_pool.size();
         for (uint32_t c : pr_pool) {
-          NodeId local_id = w.frag->centers[c];
+          const NodeId global = w.frag->centers[c];
           ++w.exists_calls;
-          if (w.matcher->ExistsAt(r.pr(), local_id)) {
+          if (w.matcher->ExistsAt(r.pr(), w.frag->MatchId(global))) {
             ++ls.supp_r;
-            ls.matches_global.push_back(w.frag->sub.to_global[local_id]);
-            // Anti-monotonicity makes supp_r itself the sound Usupp
-            // bound: any extension matches a subset of these centers.
-            ++ls.usupp;
+            ls.matches_global.push_back(global);
+            // Anti-monotonicity makes supp_r a sound Usupp bound: any
+            // extension matches a subset of these centers. The prune-aware
+            // tightening (flagged) additionally requires the center's N_d
+            // to still have room to grow.
+            if (!usupp_tight || w.frag->center_hops_available[c] > 0) {
+              ++ls.usupp;
+            }
             ls.extendable = true;
             if (prune) ls.pr_centers.push_back(c);
           }
@@ -529,9 +568,9 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
                    : std::span<const uint32_t>(w.qbar_centers);
         w.centers_skipped += w.qbar_centers.size() - ant_pool.size();
         for (uint32_t c : ant_pool) {
-          NodeId local_id = w.frag->centers[c];
+          const NodeId probe = w.frag->MatchId(w.frag->centers[c]);
           ++w.exists_calls;
-          if (w.matcher->ExistsAt(r.x_component(), local_id)) {
+          if (w.matcher->ExistsAt(r.x_component(), probe)) {
             ++ls.supp_qqbar;
             if (prune) ls.ant_centers.push_back(c);
           }
@@ -643,7 +682,9 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
   for (const WorkerState& w : workers) {
     result.stats.exists_calls += w.exists_calls;
     result.stats.centers_skipped_by_parent += w.centers_skipped;
+    result.stats.plans_shared_hits += w.matcher->plan_store_hits();
   }
+  result.stats.plans_prepared = plan_store.patterns_planned();
   result.times = bsp.FinishTiming();
   return result;
 }

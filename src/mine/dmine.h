@@ -50,6 +50,31 @@ struct DmineOptions {
   /// confidences, and diversified top-k (enforced by the
   /// WorkerGenEquivalence property test).
   bool enable_worker_gen = true;
+  /// Materialize fragments as copied induced subgraphs (the pre-view
+  /// representation) instead of zero-copy `GraphView`s over the parent
+  /// CSR. Off = views (default): fragment memory is O(node-id lists), the
+  /// partition build skips the per-fragment CSR rebuild, and worker match
+  /// evidence is globally addressed by construction. Kept as the A/B
+  /// baseline for the Exp-4 bench; both settings produce byte-identical
+  /// results (ViewCopyEquivalence property battery).
+  bool use_fragment_copies = false;
+  /// Share one read-only `SearchPlanStore` across workers: patterns are
+  /// identical across fragments, so the coordinator plans each round's
+  /// candidates once and worker matchers consult the store instead of
+  /// re-planning per worker. Result-identical either way; the
+  /// `plans_shared_hits` stat counts store-served probes.
+  bool enable_shared_plans = true;
+  /// Prune-aware Usupp (Lemma 3 tightening): count toward Usupp only the
+  /// matched centers whose d-neighborhood can still grow
+  /// (`center_hops_available > 0`) instead of all of supp_r. HEURISTIC,
+  /// not a proven bound: a saturated-N_d center can still match an
+  /// extension — backward extensions add no node, and even a forward
+  /// extension's new node may map to an unused node already inside N_d —
+  /// so the tightened Usupp can undercount and, in principle, over-prune.
+  /// It therefore ships off by default; the PruneAwareUsuppEquivalence
+  /// property battery asserts it never changes the reduced output on the
+  /// tested configurations.
+  bool enable_prune_aware_usupp = false;
 };
 
 /// Returns `base` with every optimization disabled (the paper's DMineno).
@@ -94,6 +119,12 @@ struct DmineStats {
   /// `ParallelTimes::coordinator_seconds` shrinks when generation moves to
   /// the workers).
   double coordinator_merge_seconds = 0;
+  /// Worker probes whose search plan came from the shared read-only plan
+  /// store (0 when `enable_shared_plans` is off): each hit is a per-worker
+  /// pattern expansion + plan construction that was not repeated.
+  uint64_t plans_shared_hits = 0;
+  /// Distinct patterns the coordinator planned into the shared store.
+  size_t plans_prepared = 0;
 };
 
 /// Output of Dmine: the diversified top-k, its objective value F(L_k), and

@@ -537,6 +537,12 @@ TEST(DmineTest, WorksOnSyntheticGraph) {
   auto result = Dmine(g, q, opt);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_GT(result->stats.candidates_verified, 0u);
+  // The shared plan store (on by default) plans each round's patterns once
+  // and serves every worker probe from the same read-only entries.
+  EXPECT_GT(result->stats.plans_prepared, 0u);
+  // Every worker-loop probe (round-0 P_q plus each candidate's P_R and
+  // x-component, all anchored at x) is served by the store.
+  EXPECT_EQ(result->stats.plans_shared_hits, result->stats.exists_calls);
 }
 
 }  // namespace

@@ -223,12 +223,11 @@ TEST_P(SeededProperty, PartitionInvariants) {
     size_t owned = 0;
     for (const Fragment& f : parts->fragments) owned += f.centers.size();
     EXPECT_EQ(owned, centers.size());
-    // Locality spot-check.
+    // Locality spot-check on the view membership.
     for (const Fragment& f : parts->fragments) {
-      for (NodeId local : f.centers) {
-        NodeId global = f.sub.to_global[local];
+      for (NodeId global : f.centers) {
         for (NodeId w : NodesWithinRadius(s.graph, global, opt.d)) {
-          EXPECT_TRUE(f.sub.to_local.count(w) > 0);
+          EXPECT_TRUE(f.ContainsGlobal(w));
         }
         break;  // one center per fragment suffices
       }
@@ -364,6 +363,101 @@ TEST_P(SeededProperty, WorkerGenEquivalenceComposesWithParentPruneOff) {
   ASSERT_TRUE(centralized.ok());
   EXPECT_EQ(ResultFingerprint(*decentralized), ResultFingerprint(*centralized))
       << "no-prune worker-gen diverged at seed " << GetParam();
+}
+
+TEST_P(SeededProperty, ViewCopyEquivalence) {
+  // Zero-copy fragment views are a representation change, not a semantic
+  // one: view-backed and copy-backed DMine must produce byte-identical
+  // results — candidate pools, supports, confidences, match sets, and the
+  // diversified top-k — at every worker count, and the evaluation halves
+  // must issue the exact same probes.
+  Scenario s = MakeScenario(GetParam());
+  DmineOptions opt;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    opt.num_workers = n;
+    opt.use_fragment_copies = false;
+    auto viewed = Dmine(s.graph, s.q, opt);
+    opt.use_fragment_copies = true;
+    auto copied = Dmine(s.graph, s.q, opt);
+    ASSERT_TRUE(viewed.ok()) << viewed.status();
+    ASSERT_TRUE(copied.ok()) << copied.status();
+
+    EXPECT_EQ(ResultFingerprint(*viewed), ResultFingerprint(*copied))
+        << "view/copy result diverged at seed " << GetParam() << " n=" << n;
+    EXPECT_EQ(viewed->stats.exists_calls, copied->stats.exists_calls);
+    EXPECT_EQ(viewed->stats.centers_skipped_by_parent,
+              copied->stats.centers_skipped_by_parent);
+  }
+}
+
+TEST_P(SeededProperty, SharedPlanStoreEquivalence) {
+  // The shared plan store relocates planning work, never results: store-on
+  // and store-off runs must be fingerprint-identical, and on a multi-worker
+  // run the store must actually serve worker probes.
+  Scenario s = MakeScenario(GetParam());
+  DmineOptions opt;
+  opt.num_workers = 4;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+
+  opt.enable_shared_plans = true;
+  auto shared = Dmine(s.graph, s.q, opt);
+  opt.enable_shared_plans = false;
+  auto private_plans = Dmine(s.graph, s.q, opt);
+  ASSERT_TRUE(shared.ok()) << shared.status();
+  ASSERT_TRUE(private_plans.ok()) << private_plans.status();
+
+  EXPECT_EQ(ResultFingerprint(*shared), ResultFingerprint(*private_plans))
+      << "plan-store result diverged at seed " << GetParam();
+  EXPECT_GT(shared->stats.plans_shared_hits, 0u);
+  EXPECT_GT(shared->stats.plans_prepared, 0u);
+  EXPECT_EQ(private_plans->stats.plans_shared_hits, 0u);
+  EXPECT_EQ(private_plans->stats.plans_prepared, 0u);
+}
+
+TEST_P(SeededProperty, PruneAwareUsuppEquivalence) {
+  // The flagged Lemma-3 tightening (Usupp counts only matched centers with
+  // hops available) must never change the reduced output: identical top-k,
+  // supports, confidences, and objective with the flag on and off.
+  Scenario s = MakeScenario(GetParam());
+  DmineOptions opt;
+  opt.num_workers = 3;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+
+  opt.enable_prune_aware_usupp = false;
+  auto loose = Dmine(s.graph, s.q, opt);
+  opt.enable_prune_aware_usupp = true;
+  auto tight = Dmine(s.graph, s.q, opt);
+  ASSERT_TRUE(loose.ok()) << loose.status();
+  ASSERT_TRUE(tight.ok()) << tight.status();
+
+  EXPECT_NEAR(loose->objective, tight->objective, 1e-12);
+  ASSERT_EQ(loose->topk.size(), tight->topk.size());
+  for (size_t i = 0; i < loose->topk.size(); ++i) {
+    const auto& a = loose->topk[i];
+    const auto& b = tight->topk[i];
+    EXPECT_EQ(StructuralHash(a->rule.pr()), StructuralHash(b->rule.pr()))
+        << "top-k rule " << i << " diverged at seed " << GetParam();
+    EXPECT_EQ(a->supp, b->supp);
+    EXPECT_EQ(a->supp_qqbar, b->supp_qqbar);
+    EXPECT_DOUBLE_EQ(a->conf, b->conf);
+    EXPECT_EQ(a->matches, b->matches);
+    // The tightened per-rule bound never exceeds the loose one.
+    EXPECT_LE(b->usupp, a->usupp);
+  }
 }
 
 class WorkerCountProperty : public ::testing::TestWithParam<uint32_t> {};

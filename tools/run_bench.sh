@@ -9,8 +9,12 @@
 # coordinator-share columns that show generation moving off the
 # coordinator's critical path).
 #
+# A third JSON report (PARTITION_JSON) comes from a CI-sized
+# exp4_partition_skew run: partition build time and fragment memory for
+# zero-copy GraphView fragments vs the use_fragment_copies baseline.
+#
 # Usage:
-#   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON]
+#   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON] [PARTITION_JSON]
 #
 # Environment:
 #   GPAR_BENCH_BIN_DIR   directory holding the bench binaries
@@ -25,6 +29,7 @@ set -euo pipefail
 
 out="${1:-BENCH_micro.json}"
 dmine_out="${2:-BENCH_dmine.json}"
+partition_out="${3:-BENCH_partition.json}"
 bin_dir="${GPAR_BENCH_BIN_DIR:-build/release/bench}"
 
 if [[ ! -d "${bin_dir}" ]]; then
@@ -42,6 +47,16 @@ if [[ -x "${dmine_bin}" ]]; then
     "${dmine_bin}"
 else
   echo "warning: ${dmine_bin} not built; skipping ${dmine_out}" >&2
+fi
+
+# Partition representation sweep (view vs copied fragments).
+partition_bin="${bin_dir}/exp4_partition_skew"
+if [[ -x "${partition_bin}" ]]; then
+  echo "== exp4_partition_skew -> ${partition_out}" >&2
+  GPAR_BENCH_SMALL="${GPAR_BENCH_SMALL:-1}" GPAR_BENCH_JSON="${partition_out}" \
+    "${partition_bin}"
+else
+  echo "warning: ${partition_bin} not built; skipping ${partition_out}" >&2
 fi
 
 shopt -s nullglob
