@@ -1,6 +1,10 @@
 // End-to-end social-media-marketing pipeline, the paper's headline use
-// case: (1) mine diversified GPARs for an event q(x, y) with DMine, then
-// (2) apply them with Match to identify potential customers (EIP).
+// case, split the way Section 5 frames it — offline mining, online
+// serving:
+//   (1) mine diversified GPARs for an event q(x, y) with DMine;
+//   (2) persist the graph and the mined rules as binary snapshots;
+//   (3) load them into a long-lived RuleServer and answer identify
+//       requests as they "arrive" — including after live edge updates.
 //
 //   ./build/examples/social_marketing_pipeline
 //
@@ -8,11 +12,17 @@
 // book / hobby preferences with planted community structure).
 
 #include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
 
 #include "graph/generator.h"
+#include "graph/graph_delta.h"
+#include "graph/graph_snapshot.h"
 #include "graph/stats.h"
-#include "identify/eip.h"
 #include "mine/dmine.h"
+#include "rule/rule_snapshot.h"
+#include "serve/rule_server.h"
 
 int main() {
   using namespace gpar;
@@ -35,7 +45,7 @@ int main() {
   std::printf("target event q(x, y) = like_music(user, %s)\n\n",
               g.labels().Name(q.y_label).c_str());
 
-  // --- Stage 1: discover diversified GPARs (DMP). --------------------------
+  // --- Stage 1 (offline): discover diversified GPARs (DMP). ----------------
   DmineOptions mine_opt;
   mine_opt.num_workers = 4;
   mine_opt.k = 4;
@@ -54,40 +64,106 @@ int main() {
               "(F = %.4f), %.2fs simulated parallel time\n",
               mined->stats.accepted, mine_opt.k, mined->objective,
               mined->times.SimulatedParallelSeconds());
-  std::vector<Gpar> sigma;
+  std::vector<RuleRecord> records;
   for (const auto& r : mined->topk) {
     std::printf("--- conf %.3f, supp %llu ---\n%s", r->conf,
                 static_cast<unsigned long long>(r->supp),
                 r->rule.ToString(g.labels()).c_str());
-    sigma.push_back(r->rule);
+    records.push_back({r->rule, r->supp, r->conf});
   }
-  if (sigma.empty()) {
+  if (records.empty()) {
     std::printf("no rules found — raise scale or lower sigma\n");
     return 0;
   }
 
-  // --- Stage 2: identify potential customers (EIP). ------------------------
-  EipOptions eip_opt;
-  eip_opt.algorithm = EipAlgorithm::kMatch;
-  eip_opt.num_workers = 4;
-  eip_opt.eta = 1.0;  // demand rules at least as predictive as independence
-  auto found = IdentifyEntities(g, sigma, eip_opt);
-  if (!found.ok()) {
-    std::fprintf(stderr, "EIP failed: %s\n",
-                 found.status().ToString().c_str());
+  // --- Stage 2: persist the snapshot pair. ---------------------------------
+  const std::string graph_snap = "social_graph.snap";
+  const std::string rules_snap = "social_rules.snap";
+  if (!WriteGraphSnapshotFile(g, graph_snap).ok() ||
+      !WriteRuleSetSnapshotFile(records, g.labels(), rules_snap).ok()) {
+    std::fprintf(stderr, "snapshot write failed\n");
     return 1;
   }
-  std::printf("\nMatch: %zu potential customers at eta=%.1f "
-              "(%.2fs simulated parallel time)\n",
-              found->entities.size(), eip_opt.eta,
-              found->times.SimulatedParallelSeconds());
+  std::printf("\nwrote %s + %s (binary, checksummed)\n", graph_snap.c_str(),
+              rules_snap.c_str());
+
+  // --- Stage 3 (online): load the pair into a serving session. -------------
+  RuleServerOptions serve_opt;
+  serve_opt.num_workers = 4;
+  auto server = RuleServer::Load(graph_snap, rules_snap, serve_opt);
+  if (!server.ok()) {
+    std::fprintf(stderr, "RuleServer load failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  RuleServer& s = **server;
+  std::printf("RuleServer up: %zu rules, %zu candidate users, "
+              "%zu plans + %zu sketches precomputed\n",
+              s.rules().size(), s.candidates().size(), s.plans_prepared(),
+              s.sketches_precomputed());
+
+  // A full identification — the campaign audience at eta = 1.0.
+  ServeStats all_stats;
+  auto audience = s.IdentifyAll(/*eta=*/1.0, false, &all_stats);
+  if (!audience.ok()) {
+    std::fprintf(stderr, "IdentifyAll failed: %s\n",
+                 audience.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nfull identification: %zu potential customers at eta=1.0 "
+              "(%.1f ms cold)\n",
+              audience->entities.size(), all_stats.latency_seconds * 1e3);
+
+  // Online requests: batches of users "arriving" at the service.
+  std::mt19937_64 rng(7);
+  for (int batch = 0; batch < 3; ++batch) {
+    ServeRequest req;
+    for (int i = 0; i < 32; ++i) {
+      req.centers.push_back(
+          s.candidates()[rng() % s.candidates().size()]);
+    }
+    auto reply = s.Serve(req);
+    if (!reply.ok()) return 1;
+    std::printf("request %d: %zu/%zu users matched >=1 rule "
+                "[%llu hits, %llu probes, %.2f ms]\n",
+                batch, reply->entities.size(), req.centers.size(),
+                static_cast<unsigned long long>(reply->stats.cache_hits),
+                static_cast<unsigned long long>(reply->stats.cache_probes),
+                reply->stats.latency_seconds * 1e3);
+  }
+
+  // The graph is alive: new follow edges arrive; only nearby cached
+  // answers are invalidated.
+  LabelId follows = s.InternLabel("follows");
+  std::vector<EdgeInsert> delta;
+  for (int i = 0; i < 5; ++i) {
+    delta.push_back({static_cast<NodeId>(rng() % s.graph().num_nodes()),
+                     follows,
+                     static_cast<NodeId>(rng() % s.graph().num_nodes())});
+  }
+  auto ds = s.ApplyDelta(delta);
+  if (!ds.ok()) return 1;
+  std::printf("\ndelta: +%zu follow edges -> %llu memberships invalidated, "
+              "%llu sketches refreshed (%.2f ms)\n",
+              ds->edges_inserted,
+              static_cast<unsigned long long>(ds->memberships_invalidated),
+              static_cast<unsigned long long>(ds->sketches_refreshed),
+              ds->seconds * 1e3);
+
+  ServeStats fresh_stats;
+  auto refreshed = s.IdentifyAll(/*eta=*/1.0, false, &fresh_stats);
+  if (!refreshed.ok()) return 1;
+  std::printf("re-identification after delta: %zu customers "
+              "(%.1f ms, %llu re-probes — the locality win)\n",
+              refreshed->entities.size(), fresh_stats.latency_seconds * 1e3,
+              static_cast<unsigned long long>(fresh_stats.cache_probes));
 
   // How many are *new* prospects (no like_music edge to the target yet)?
   size_t fresh = 0;
-  for (NodeId v : found->entities) {
+  for (NodeId v : refreshed->entities) {
     bool has = false;
-    for (const AdjEntry& e : g.out_edges_labeled(v, q.edge_label)) {
-      if (g.node_label(e.other) == q.y_label) {
+    for (const AdjEntry& e : s.graph().out_edges_labeled(v, q.edge_label)) {
+      if (s.graph().node_label(e.other) == q.y_label) {
         has = true;
         break;
       }
@@ -96,5 +172,7 @@ int main() {
   }
   std::printf("of which %zu have not liked the target genre yet — the "
               "campaign audience.\n", fresh);
+  std::remove(graph_snap.c_str());
+  std::remove(rules_snap.c_str());
   return 0;
 }

@@ -1,0 +1,141 @@
+#ifndef GPAR_COMMON_BINARY_IO_H_
+#define GPAR_COMMON_BINARY_IO_H_
+
+#include "common/require_cxx20.h"  // IWYU pragma: keep
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gpar {
+
+/// Little-endian binary encoding helpers shared by the snapshot codecs
+/// (graph and rule-set snapshots). Writers append fixed-width fields to a
+/// payload string; `ByteReader` decodes with bounds checks so truncated or
+/// corrupt payloads fail cleanly instead of reading out of range.
+///
+/// All multi-byte integers are little-endian regardless of host order, so
+/// snapshot files are portable across machines.
+
+inline void PutU32(std::string* buf, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf->append(b, 4);
+}
+
+inline void PutU64(std::string* buf, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf->append(b, 8);
+}
+
+/// Doubles are serialized as their IEEE-754 bit pattern: round-trips are
+/// byte-exact, including NaN payloads and signed zeros.
+inline void PutF64(std::string* buf, double v) {
+  PutU64(buf, std::bit_cast<uint64_t>(v));
+}
+
+inline void PutString(std::string* buf, std::string_view s) {
+  PutU32(buf, static_cast<uint32_t>(s.size()));
+  buf->append(s.data(), s.size());
+}
+
+/// Sequential decoder over a byte buffer. Every Read* returns false once
+/// the buffer is exhausted; callers translate that into a Corruption status.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (data_.size() - pos_ < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (data_.size() - pos_ < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    *v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint32_t len;
+    if (!ReadU32(&len)) return false;
+    if (data_.size() - pos_ < len) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Reads exactly `declared_size` bytes from `is` into `*out`, in bounded
+/// chunks: the size comes from an untrusted header, so allocation must
+/// track the bytes actually present — a corrupt size field then yields a
+/// clean Corruption status instead of a multi-gigabyte allocation.
+inline Status ReadSizedPayload(std::istream& is, uint64_t declared_size,
+                               const char* what, std::string* out) {
+  constexpr uint64_t kChunk = uint64_t{1} << 20;
+  out->clear();
+  out->reserve(static_cast<size_t>(std::min(declared_size, kChunk)));
+  char buf[4096];
+  uint64_t left = declared_size;
+  while (left > 0) {
+    const std::streamsize want =
+        static_cast<std::streamsize>(std::min<uint64_t>(left, sizeof(buf)));
+    is.read(buf, want);
+    const std::streamsize got = is.gcount();
+    if (got <= 0) {
+      return Status::Corruption(std::string(what) + ": truncated payload");
+    }
+    out->append(buf, static_cast<size_t>(got));
+    left -= static_cast<uint64_t>(got);
+  }
+  return Status::OK();
+}
+
+/// FNV-1a 64-bit — the snapshot payload checksum. Not cryptographic; it
+/// guards against truncation and bit rot, not adversaries.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace gpar
+
+#endif  // GPAR_COMMON_BINARY_IO_H_

@@ -1,0 +1,24 @@
+#ifndef GPAR_COMMON_FLAGS_H_
+#define GPAR_COMMON_FLAGS_H_
+
+#include "common/require_cxx20.h"  // IWYU pragma: keep
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace gpar {
+
+/// Parsed `--flag value` pairs, keyed by flag name without the `--` prefix.
+using FlagMap = std::map<std::string, std::string>;
+
+/// Parses a strict `--flag value` argument list: every token at an even
+/// offset from `first` must start with `--` and be followed by a value
+/// token. Returns InvalidArgument for a non-flag token, a trailing flag
+/// with no value (previously dropped silently), or a repeated flag.
+Result<FlagMap> ParseFlagArgs(int argc, const char* const* argv, int first);
+
+}  // namespace gpar
+
+#endif  // GPAR_COMMON_FLAGS_H_

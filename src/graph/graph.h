@@ -97,6 +97,10 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  // Internal accessor for the binary snapshot codec and the edge-delta
+  // patcher (graph_raw_access.h): both assemble a Graph directly from CSR
+  // arrays instead of replaying edge triples through the builder.
+  friend struct GraphRawAccess;
 
   std::shared_ptr<Interner> labels_;
   std::vector<LabelId> node_labels_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "graph/graph_raw_access.h"
+
 namespace gpar {
 
 Status GraphBuilder::AddEdge(NodeId src, LabelId label, NodeId dst) {
@@ -11,6 +13,36 @@ Status GraphBuilder::AddEdge(NodeId src, LabelId label, NodeId dst) {
   }
   edges_.push_back({src, label, dst});
   return Status::OK();
+}
+
+void GraphRawAccess::FinishFromOutCsr(Graph& g) {
+  const NodeId n = g.num_nodes();
+  const auto& out_adj = g.out_adj_;
+  const auto& out_offsets = g.out_offsets_;
+
+  // In-CSR: counting sort by dst, then per-node sort by (label, src).
+  g.in_offsets_.assign(n + 1, 0);
+  for (const AdjEntry& e : out_adj) g.in_offsets_[e.other + 1]++;
+  for (NodeId v = 0; v < n; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
+  g.in_adj_.assign(out_adj.size(), AdjEntry{});
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (NodeId src = 0; src < n; ++src) {
+      for (size_t i = out_offsets[src]; i < out_offsets[src + 1]; ++i) {
+        g.in_adj_[cursor[out_adj[i].other]++] = {out_adj[i].label, src};
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      std::sort(g.in_adj_.begin() + g.in_offsets_[v],
+                g.in_adj_.begin() + g.in_offsets_[v + 1]);
+    }
+  }
+
+  // Label inverted index (node ids ascend naturally).
+  g.label_index_.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    g.label_index_[g.node_labels_[v]].push_back(v);
+  }
 }
 
 Graph GraphBuilder::Build() && {
@@ -45,27 +77,7 @@ Graph GraphBuilder::Build() && {
     }
   }
 
-  // In-CSR: counting sort by dst, then per-node sort by (label, src).
-  g.in_offsets_.assign(n + 1, 0);
-  for (const PendingEdge& e : edges_) g.in_offsets_[e.dst + 1]++;
-  for (NodeId v = 0; v < n; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
-  g.in_adj_.resize(edges_.size());
-  {
-    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
-    for (const PendingEdge& e : edges_) {
-      g.in_adj_[cursor[e.dst]++] = {e.label, e.src};
-    }
-    for (NodeId v = 0; v < n; ++v) {
-      std::sort(g.in_adj_.begin() + g.in_offsets_[v],
-                g.in_adj_.begin() + g.in_offsets_[v + 1]);
-    }
-  }
-
-  // Label inverted index (node ids ascend naturally).
-  for (NodeId v = 0; v < n; ++v) {
-    g.label_index_[g.node_labels_[v]].push_back(v);
-  }
-
+  GraphRawAccess::FinishFromOutCsr(g);
   edges_.clear();
   return g;
 }

@@ -1,0 +1,107 @@
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/graph_raw_access.h"
+
+namespace gpar {
+
+Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
+                                         std::span<const EdgeInsert> inserts) {
+  const NodeId n = g.num_nodes();
+  for (const EdgeInsert& e : inserts) {
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument("edge insert endpoint out of range");
+    }
+    if (e.label >= g.labels().size()) {
+      return Status::InvalidArgument("edge insert label not interned");
+    }
+  }
+
+  // Sort + dedup the batch, then drop inserts already present: the merge
+  // below can then assume every surviving insert is new and unique.
+  std::vector<EdgeInsert> fresh(inserts.begin(), inserts.end());
+  std::sort(fresh.begin(), fresh.end(),
+            [](const EdgeInsert& a, const EdgeInsert& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.label != b.label) return a.label < b.label;
+              return a.dst < b.dst;
+            });
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  std::erase_if(fresh, [&g](const EdgeInsert& e) {
+    return g.HasEdge(e.src, e.label, e.dst);
+  });
+
+  GraphPatch patch;
+  patch.duplicates = inserts.size() - fresh.size();
+  patch.edges_inserted = fresh.size();
+
+  const auto& old_offsets = GraphRawAccess::out_offsets(g);
+  const auto& old_adj = GraphRawAccess::out_adj(g);
+
+  Graph out;
+  GraphRawAccess::labels(out) = g.labels_ptr();
+  GraphRawAccess::node_labels(out) = GraphRawAccess::node_labels(g);
+  auto& offsets = GraphRawAccess::out_offsets(out);
+  auto& adj = GraphRawAccess::out_adj(out);
+  offsets.assign(n + 1, 0);
+  adj.reserve(old_adj.size() + fresh.size());
+
+  // Single merge pass: per node, splice the (sorted) inserts for that node
+  // into its existing (label, other)-sorted slice.
+  size_t next = 0;  // cursor into `fresh`, which is sorted by src
+  for (NodeId v = 0; v < n; ++v) {
+    size_t lo = old_offsets[v], hi = old_offsets[v + 1];
+    while (lo < hi || (next < fresh.size() && fresh[next].src == v)) {
+      const bool has_insert = next < fresh.size() && fresh[next].src == v;
+      if (!has_insert) {
+        adj.push_back(old_adj[lo++]);
+      } else {
+        AdjEntry ins{fresh[next].label, fresh[next].dst};
+        if (lo < hi && old_adj[lo] < ins) {
+          adj.push_back(old_adj[lo++]);
+        } else {
+          adj.push_back(ins);
+          ++next;
+        }
+      }
+    }
+    offsets[v + 1] = adj.size();
+  }
+  GraphRawAccess::FinishFromOutCsr(out);
+  patch.graph = std::move(out);
+  patch.applied = std::move(fresh);
+  return patch;
+}
+
+std::vector<std::pair<NodeId, uint32_t>> NodesWithinRadiusOfAny(
+    const Graph& g, std::span<const NodeId> sources, uint32_t radius) {
+  std::vector<std::pair<NodeId, uint32_t>> out;
+  std::vector<uint32_t> dist(g.num_nodes(), static_cast<uint32_t>(-1));
+  std::deque<NodeId> frontier;
+  for (NodeId s : sources) {
+    if (s < g.num_nodes() && dist[s] == static_cast<uint32_t>(-1)) {
+      dist[s] = 0;
+      frontier.push_back(s);
+      out.emplace_back(s, 0);
+    }
+  }
+  while (!frontier.empty()) {
+    NodeId v = frontier.front();
+    frontier.pop_front();
+    if (dist[v] == radius) continue;
+    auto visit = [&](NodeId w) {
+      if (dist[w] == static_cast<uint32_t>(-1)) {
+        dist[w] = dist[v] + 1;
+        frontier.push_back(w);
+        out.emplace_back(w, dist[w]);
+      }
+    };
+    for (const AdjEntry& e : g.out_edges(v)) visit(e.other);
+    for (const AdjEntry& e : g.in_edges(v)) visit(e.other);
+  }
+  return out;
+}
+
+}  // namespace gpar

@@ -1,0 +1,57 @@
+#ifndef GPAR_GRAPH_GRAPH_DELTA_H_
+#define GPAR_GRAPH_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace gpar {
+
+/// One edge insertion src --label--> dst. Endpoints must already exist in
+/// the graph (deltas add edges, not nodes); the label must be interned
+/// through the graph's dictionary.
+struct EdgeInsert {
+  NodeId src;
+  LabelId label;
+  NodeId dst;
+
+  friend bool operator==(const EdgeInsert&, const EdgeInsert&) = default;
+};
+
+/// Result of `PatchGraphWithInserts`.
+struct GraphPatch {
+  Graph graph;                ///< the patched graph (shares the interner)
+  size_t edges_inserted = 0;  ///< new edges actually added
+  size_t duplicates = 0;      ///< inserts already present (or repeated)
+  /// The inserts that actually changed the graph (sorted, deduplicated,
+  /// pre-existing edges removed) — the set delta invalidation starts from.
+  std::vector<EdgeInsert> applied;
+};
+
+/// Applies edge inserts to an immutable CSR graph, producing a new `Graph`
+/// that is bit-identical to rebuilding from scratch with the extended edge
+/// list (guarded by the delta tests via snapshot-byte comparison).
+///
+/// Cost is O(|V| + |E| + k log k) for k inserts: the inserts are sorted and
+/// merged into the out-CSR in one pass — no global edge re-sort — and the
+/// in-CSR and label index are re-derived by the shared assembly routine.
+/// The paper's serving scenario applies small deltas to large graphs, where
+/// the merge is dominated by the memcpy of the untouched adjacency.
+Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
+                                         std::span<const EdgeInsert> inserts);
+
+/// Distance-bounded invalidation support: for every node within undirected
+/// distance `radius` of any source, its distance to the nearest source.
+/// One multi-source BFS; pairs are returned in BFS order (sources first).
+/// The serving layer uses this on the *patched* graph to find the cache
+/// entries an edge delta can affect (locality, Section 5.1: membership of
+/// v depends only on G_d(v)).
+std::vector<std::pair<NodeId, uint32_t>> NodesWithinRadiusOfAny(
+    const Graph& g, std::span<const NodeId> sources, uint32_t radius);
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_GRAPH_DELTA_H_

@@ -1,0 +1,180 @@
+#include "graph/graph_snapshot.h"
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/binary_io.h"
+#include "graph/graph_raw_access.h"
+
+namespace gpar {
+
+namespace {
+
+// "GPARGRPH", little-endian.
+constexpr uint64_t kGraphMagic = 0x4850524741525047ull;
+constexpr uint32_t kGraphVersion = 1;
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+std::string EncodePayload(const Graph& g) {
+  std::string p;
+  const Interner& labels = g.labels();
+  PutU32(&p, static_cast<uint32_t>(labels.size()));
+  for (LabelId id = 0; id < labels.size(); ++id) {
+    PutString(&p, labels.Name(id));
+  }
+  const NodeId n = g.num_nodes();
+  PutU32(&p, n);
+  for (NodeId v = 0; v < n; ++v) PutU32(&p, g.node_label(v));
+  PutU64(&p, g.num_edges());
+  const auto& offsets = GraphRawAccess::out_offsets(g);
+  for (size_t off : offsets) PutU64(&p, off);
+  for (const AdjEntry& e : GraphRawAccess::out_adj(g)) {
+    PutU32(&p, e.label);
+    PutU32(&p, e.other);
+  }
+  return p;
+}
+
+}  // namespace
+
+Status WriteGraphSnapshot(const Graph& g, std::ostream& os) {
+  std::string payload = EncodePayload(g);
+  std::string header;
+  PutU64(&header, kGraphMagic);
+  PutU32(&header, kGraphVersion);
+  PutU64(&header, payload.size());
+  PutU64(&header, Fnv1a64(payload));
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!os) return Status::IoError("graph snapshot write failed");
+  return Status::OK();
+}
+
+Status WriteGraphSnapshotFile(const Graph& g, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open " + path);
+  return WriteGraphSnapshot(g, os);
+}
+
+Result<Graph> ReadGraphSnapshot(std::istream& is) {
+  std::string header(kHeaderBytes, '\0');
+  is.read(header.data(), static_cast<std::streamsize>(kHeaderBytes));
+  if (is.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    return Status::Corruption("graph snapshot: truncated header");
+  }
+  ByteReader hr(header);
+  uint64_t magic = 0, payload_size = 0, checksum = 0;
+  uint32_t version = 0;
+  if (!hr.ReadU64(&magic) || !hr.ReadU32(&version) ||
+      !hr.ReadU64(&payload_size) || !hr.ReadU64(&checksum)) {
+    return Status::Corruption("graph snapshot: truncated header");
+  }
+  if (magic != kGraphMagic) {
+    return Status::Corruption("graph snapshot: bad magic");
+  }
+  if (version != kGraphVersion) {
+    return Status::Corruption("graph snapshot: unsupported version " +
+                              std::to_string(version));
+  }
+
+  // The declared size is untrusted: read in bounded chunks so a corrupt
+  // header cannot make us allocate gigabytes before noticing truncation.
+  std::string payload;
+  GPAR_RETURN_NOT_OK(
+      ReadSizedPayload(is, payload_size, "graph snapshot", &payload));
+  if (Fnv1a64(payload) != checksum) {
+    return Status::Corruption("graph snapshot: checksum mismatch");
+  }
+
+  ByteReader r(payload);
+  uint32_t label_count;
+  if (!r.ReadU32(&label_count)) {
+    return Status::Corruption("graph snapshot: bad label table");
+  }
+  auto interner = std::make_shared<Interner>();
+  for (uint32_t i = 0; i < label_count; ++i) {
+    std::string name;
+    if (!r.ReadString(&name)) {
+      return Status::Corruption("graph snapshot: bad label table");
+    }
+    if (interner->Intern(name) != i) {
+      return Status::Corruption("graph snapshot: duplicate label in table");
+    }
+  }
+
+  uint32_t num_nodes;
+  if (!r.ReadU32(&num_nodes)) {
+    return Status::Corruption("graph snapshot: bad node section");
+  }
+  // Element counts are untrusted until checked against the bytes actually
+  // present; never size a container from the count alone.
+  if (uint64_t{num_nodes} * 4 > r.remaining()) {
+    return Status::Corruption("graph snapshot: bad node section");
+  }
+  std::vector<LabelId> node_labels(num_nodes);
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    if (!r.ReadU32(&node_labels[v]) || node_labels[v] >= label_count) {
+      return Status::Corruption("graph snapshot: bad node label");
+    }
+  }
+
+  uint64_t num_edges;
+  if (!r.ReadU64(&num_edges)) {
+    return Status::Corruption("graph snapshot: bad edge section");
+  }
+  if ((uint64_t{num_nodes} + 1) * 8 > r.remaining() ||
+      num_edges > (r.remaining() - (uint64_t{num_nodes} + 1) * 8) / 8) {
+    return Status::Corruption("graph snapshot: bad edge section");
+  }
+  std::vector<size_t> offsets(static_cast<size_t>(num_nodes) + 1);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    uint64_t off;
+    if (!r.ReadU64(&off) || off < prev || off > num_edges) {
+      return Status::Corruption("graph snapshot: bad CSR offsets");
+    }
+    offsets[i] = static_cast<size_t>(off);
+    prev = off;
+  }
+  if (offsets.front() != 0 || offsets.back() != num_edges) {
+    return Status::Corruption("graph snapshot: bad CSR offsets");
+  }
+  std::vector<AdjEntry> adj(static_cast<size_t>(num_edges));
+  for (auto& e : adj) {
+    if (!r.ReadU32(&e.label) || !r.ReadU32(&e.other) ||
+        e.label >= label_count || e.other >= num_nodes) {
+      return Status::Corruption("graph snapshot: bad adjacency entry");
+    }
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("graph snapshot: trailing bytes in payload");
+  }
+  // Per-node slices must be sorted by (label, other): binary-searched edge
+  // membership and labeled-slice lookups rely on it.
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    for (size_t i = offsets[v] + 1; i < offsets[v + 1]; ++i) {
+      if (!(adj[i - 1] < adj[i])) {
+        return Status::Corruption("graph snapshot: unsorted adjacency");
+      }
+    }
+  }
+
+  Graph g;
+  GraphRawAccess::labels(g) = std::move(interner);
+  GraphRawAccess::node_labels(g) = std::move(node_labels);
+  GraphRawAccess::out_offsets(g) = std::move(offsets);
+  GraphRawAccess::out_adj(g) = std::move(adj);
+  GraphRawAccess::FinishFromOutCsr(g);
+  return g;
+}
+
+Result<Graph> ReadGraphSnapshotFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+  return ReadGraphSnapshot(is);
+}
+
+}  // namespace gpar

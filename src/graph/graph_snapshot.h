@@ -1,0 +1,41 @@
+#ifndef GPAR_GRAPH_GRAPH_SNAPSHOT_H_
+#define GPAR_GRAPH_GRAPH_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gpar {
+
+/// Versioned, checksummed binary snapshot of a `Graph` — the serving
+/// subsystem's at-rest format. Unlike the `v/e` text format (graph_io.h),
+/// a snapshot is a direct dump of the out-CSR plus the interner's label
+/// table, so loading skips tokenizing, label hashing, and the edge sort:
+/// the reader memcpy-decodes the arrays and derives the in-CSR and label
+/// index with the same assembly routine `GraphBuilder::Build` uses.
+///
+/// Layout (all integers little-endian; see README "Serving" for the spec):
+/// ```
+/// u64 magic "GPARGRPH"   u32 version=1   u64 payload_size   u64 fnv1a64
+/// payload:
+///   u32 label_count, label_count x { u32 len, bytes }   // interner, id order
+///   u32 num_nodes,  num_nodes x u32 node_label
+///   u64 num_edges,  (num_nodes+1) x u64 out_offset
+///   num_edges x { u32 edge_label, u32 dst }             // CSR dump order
+/// ```
+/// The writer is deterministic, so write -> read -> write is byte-identical
+/// (guarded by the snapshot tests). Readers reject wrong magic/version,
+/// size mismatches, checksum failures, and any structural inconsistency
+/// (non-monotone offsets, out-of-range ids, unsorted adjacency).
+Status WriteGraphSnapshot(const Graph& g, std::ostream& os);
+Status WriteGraphSnapshotFile(const Graph& g, const std::string& path);
+
+Result<Graph> ReadGraphSnapshot(std::istream& is);
+Result<Graph> ReadGraphSnapshotFile(const std::string& path);
+
+}  // namespace gpar
+
+#endif  // GPAR_GRAPH_GRAPH_SNAPSHOT_H_

@@ -171,4 +171,25 @@ int64_t SketchScoreAccumulated(const KHopSketch& graph_acc,
   return total;
 }
 
+void SketchStore::Add(const Graph& g, NodeId v) {
+  if (sketches_.count(v) > 0) return;
+  sketches_.emplace(v, AccumulateSketch(ComputeSketch(g, v, k_)));
+}
+
+const KHopSketch* SketchStore::Find(NodeId v) const {
+  auto it = sketches_.find(v);
+  return it == sketches_.end() ? nullptr : &it->second;
+}
+
+size_t SketchStore::Refresh(const Graph& g, std::span<const NodeId> nodes) {
+  size_t refreshed = 0;
+  for (NodeId v : nodes) {
+    auto it = sketches_.find(v);
+    if (it == sketches_.end()) continue;
+    it->second = AccumulateSketch(ComputeSketch(g, v, k_));
+    ++refreshed;
+  }
+  return refreshed;
+}
+
 }  // namespace gpar

@@ -2,6 +2,8 @@
 #define GPAR_GRAPH_SKETCH_H_
 
 #include <cstdint>
+#include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -40,6 +42,41 @@ class SketchIndex {
  private:
   uint32_t k_ = 0;
   std::vector<KHopSketch> sketches_;
+};
+
+/// Read-only shared store of *accumulated* node sketches — the serving
+/// counterpart of `SearchPlanStore`: a `RuleServer` precomputes sketches
+/// for the nodes rule patterns can touch once at load, and every worker's
+/// `GuidedMatcher` consults the store before paying for a private BFS
+/// (`GuidedMatcher::set_sketch_store`).
+///
+/// Concurrency contract: `Add`/`Refresh` are single-threaded (load time or
+/// between requests); `Find` is lock-free and safe from any number of
+/// threads once population is done. Under edge deltas, stored sketches of
+/// nodes within k hops of an inserted edge's endpoints go stale and MUST be
+/// refreshed — a stale sketch under-counts and would wrongly prune a
+/// now-valid candidate.
+class SketchStore {
+ public:
+  explicit SketchStore(uint32_t k) : k_(k) {}
+
+  /// Computes and stores the sketch of `v` over `g` (idempotent).
+  void Add(const Graph& g, NodeId v);
+
+  /// The stored accumulated sketch of `v`, or nullptr if never added.
+  const KHopSketch* Find(NodeId v) const;
+
+  /// Recomputes the stored sketches among `nodes` over (the current state
+  /// of) `g`; nodes not in the store are ignored. Returns the number of
+  /// sketches recomputed — the delta-maintenance cost counter.
+  size_t Refresh(const Graph& g, std::span<const NodeId> nodes);
+
+  uint32_t k() const { return k_; }
+  size_t size() const { return sketches_.size(); }
+
+ private:
+  uint32_t k_;
+  std::unordered_map<NodeId, KHopSketch> sketches_;
 };
 
 /// Computes the sketch of a single node (used for pattern nodes, where the

@@ -7,6 +7,8 @@
 
 #include "graph/graph.h"
 #include "graph/graph_view.h"
+#include "graph/sketch.h"
+#include "match/matcher.h"
 #include "rule/gpar.h"
 
 namespace gpar {
@@ -62,10 +64,17 @@ std::unique_ptr<CenterEvaluator> MakeMatchcEvaluator(
 /// candidate ordering, and multi-pattern sharing across Σ. The last two
 /// are individually toggleable for ablation (early termination is the
 /// definitional difference to Matchc and always on).
+///
+/// `plan_store` / `sketch_store` optionally attach shared read-only
+/// precomputed state (the serving session's reuse hooks): search plans and
+/// node sketches are then consulted there before being derived privately.
+/// Both may be nullptr (batch identification passes neither).
 std::unique_ptr<CenterEvaluator> MakeMatchEvaluator(
     const Graph& frag_graph, const GraphView* view,
     const std::vector<Gpar>& sigma, const std::vector<char>& other_ok,
-    uint32_t sketch_hops, bool use_guided_search, bool share_multi_patterns);
+    uint32_t sketch_hops, bool use_guided_search, bool share_multi_patterns,
+    const SearchPlanStore* plan_store = nullptr,
+    const SketchStore* sketch_store = nullptr);
 
 /// disVF2 (Section 6 baseline): enumerates embeddings of BOTH P_R and Q at
 /// every candidate — two isomorphism checks per candidate.

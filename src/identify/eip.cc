@@ -45,22 +45,44 @@ Result<EipResult> IdentifySequential(const Graph& g,
 
 }  // namespace
 
-Result<EipResult> IdentifyEntities(const Graph& g,
-                                   const std::vector<Gpar>& sigma,
-                                   const EipOptions& options) {
+Result<SigmaInfo> ValidateSigma(const std::vector<Gpar>& sigma) {
   if (sigma.empty()) {
     return Status::InvalidArgument("empty GPAR set");
   }
-  const Predicate q = sigma.front().predicate();
-  uint32_t d = 0;
+  SigmaInfo info;
+  info.q = sigma.front().predicate();
   for (const Gpar& r : sigma) {
-    if (!(r.predicate() == q)) {
+    if (!(r.predicate() == info.q)) {
       return Status::InvalidArgument(
           "all GPARs in Sigma must pertain to the same q(x, y)");
     }
     // eval_radius covers both P_R and fragment-local antecedent matching.
-    d = std::max(d, r.eval_radius());
+    info.d = std::max(info.d, r.eval_radius());
   }
+  return info;
+}
+
+std::vector<char> OtherComponentsOk(const Graph& g,
+                                    const std::vector<Gpar>& sigma) {
+  std::vector<char> other_ok(sigma.size(), 1);
+  VF2Matcher global_matcher(g);
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    for (const Pattern& comp : sigma[i].other_components()) {
+      if (!global_matcher.Exists(comp)) {
+        other_ok[i] = 0;
+        break;
+      }
+    }
+  }
+  return other_ok;
+}
+
+Result<EipResult> IdentifyEntities(const Graph& g,
+                                   const std::vector<Gpar>& sigma,
+                                   const EipOptions& options) {
+  GPAR_ASSIGN_OR_RETURN(SigmaInfo sigma_info, ValidateSigma(sigma));
+  const Predicate q = sigma_info.q;
+  const uint32_t d = sigma_info.d;
   if (options.eta <= 0) {
     return Status::InvalidArgument("eta must be positive");
   }
@@ -84,21 +106,9 @@ Result<EipResult> IdentifyEntities(const Graph& g,
   popt.use_fragment_copies = options.use_fragment_copies;
   GPAR_ASSIGN_OR_RETURN(Partitioning parts, PartitionGraph(g, centers, popt));
 
-  // Satisfiability of antecedent components not containing x: they can
-  // match anywhere in G, so one global check per rule replaces per-center
-  // work (empty for connected antecedents).
-  std::vector<char> other_ok(sigma.size(), 1);
-  {
-    VF2Matcher global_matcher(g);
-    for (size_t i = 0; i < sigma.size(); ++i) {
-      for (const Pattern& comp : sigma[i].other_components()) {
-        if (!global_matcher.Exists(comp)) {
-          other_ok[i] = 0;
-          break;
-        }
-      }
-    }
-  }
+  // Satisfiability of antecedent components not containing x (empty for
+  // connected antecedents).
+  std::vector<char> other_ok = OtherComponentsOk(g, sigma);
 
   // (2) Matching: all workers evaluate their owned candidates in parallel.
   struct WorkerOut {

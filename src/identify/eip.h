@@ -69,6 +69,26 @@ struct EipResult {
   uint64_t embeddings_enumerated = 0; ///< total embeddings visited
 };
 
+/// Validated per-Σ setup shared by batch identification and the serving
+/// session (serve/rule_server.h): the common predicate and the locality
+/// radius d = max over Σ of `eval_radius()`.
+struct SigmaInfo {
+  Predicate q;
+  uint32_t d = 0;
+};
+
+/// Checks that `sigma` is nonempty and uniform in q(x, y); returns the
+/// predicate and the partitioning/invalidation radius.
+Result<SigmaInfo> ValidateSigma(const std::vector<Gpar>& sigma);
+
+/// Satisfiability of antecedent components not containing x: such
+/// components can match anywhere in G, so one global check per rule
+/// replaces per-center work (all-ones for connected antecedents). Entry i
+/// is 0 iff some component of rule i's antecedent has no match in `g` —
+/// then Q matches nobody regardless of the center.
+std::vector<char> OtherComponentsOk(const Graph& g,
+                                    const std::vector<Gpar>& sigma);
+
 /// Computes Σ(x, G, η) = { v_x ∈ Q(x, G) | Q => q ∈ Σ, conf(R, G) >= η }
 /// for a set `sigma` of GPARs pertaining to one predicate q(x, y).
 ///

@@ -38,6 +38,16 @@ class GuidedMatcher : public Matcher {
   /// Number of node sketches materialized so far (for tests/benches).
   size_t sketches_built() const { return cache_.size(); }
 
+  /// Attaches a shared read-only sketch store (serving: precomputed once
+  /// per session, refreshed under deltas). `SketchOf` consults it before
+  /// paying for a private BFS; the store is only used when its k matches
+  /// this matcher's and the matcher is not view-restricted (stored sketches
+  /// are whole-graph; a view-induced sketch differs).
+  void set_sketch_store(const SketchStore* store) { sketch_store_ = store; }
+
+  /// Number of sketch lookups answered by the shared store.
+  uint64_t sketch_store_hits() const { return sketch_store_hits_; }
+
  protected:
   void PrepareForPattern(const Pattern& p) override;
   bool FilterCandidate(const Pattern& p, PNodeId u, NodeId v) override;
@@ -60,6 +70,8 @@ class GuidedMatcher : public Matcher {
   };
 
   uint32_t k_;
+  const SketchStore* sketch_store_ = nullptr;
+  uint64_t sketch_store_hits_ = 0;
   std::unordered_map<NodeId, KHopSketch> cache_;
   std::unordered_map<uint64_t, std::vector<PatternSketches>> pattern_cache_;
   const std::vector<KHopSketch>* pattern_sketches_ = nullptr;  // current

@@ -1,0 +1,111 @@
+#include "rule/rule_snapshot.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/binary_io.h"
+
+namespace gpar {
+
+namespace {
+
+// "GPARRULE", little-endian.
+constexpr uint64_t kRuleMagic = 0x454c555241525047ull;
+constexpr uint32_t kRuleVersion = 1;
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+}  // namespace
+
+Status WriteRuleSetSnapshot(const std::vector<RuleRecord>& rules,
+                            const Interner& labels, std::ostream& os) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(rules.size()));
+  for (const RuleRecord& r : rules) {
+    PutU64(&payload, r.supp);
+    PutF64(&payload, r.conf);
+    PutString(&payload, r.rule.Serialize(labels));
+  }
+  std::string header;
+  PutU64(&header, kRuleMagic);
+  PutU32(&header, kRuleVersion);
+  PutU64(&header, payload.size());
+  PutU64(&header, Fnv1a64(payload));
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!os) return Status::IoError("rule snapshot write failed");
+  return Status::OK();
+}
+
+Status WriteRuleSetSnapshotFile(const std::vector<RuleRecord>& rules,
+                                const Interner& labels,
+                                const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open " + path);
+  return WriteRuleSetSnapshot(rules, labels, os);
+}
+
+Result<std::vector<RuleRecord>> ReadRuleSetSnapshot(std::istream& is,
+                                                    Interner* labels) {
+  std::string header(kHeaderBytes, '\0');
+  is.read(header.data(), static_cast<std::streamsize>(kHeaderBytes));
+  if (is.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    return Status::Corruption("rule snapshot: truncated header");
+  }
+  ByteReader hr(header);
+  uint64_t magic = 0, payload_size = 0, checksum = 0;
+  uint32_t version = 0;
+  if (!hr.ReadU64(&magic) || !hr.ReadU32(&version) ||
+      !hr.ReadU64(&payload_size) || !hr.ReadU64(&checksum)) {
+    return Status::Corruption("rule snapshot: truncated header");
+  }
+  if (magic != kRuleMagic) {
+    return Status::Corruption("rule snapshot: bad magic");
+  }
+  if (version != kRuleVersion) {
+    return Status::Corruption("rule snapshot: unsupported version " +
+                              std::to_string(version));
+  }
+  // Untrusted sizes: bounded-chunk payload read, and no container sized
+  // from the record count alone (each record is at least 20 bytes).
+  std::string payload;
+  GPAR_RETURN_NOT_OK(
+      ReadSizedPayload(is, payload_size, "rule snapshot", &payload));
+  if (Fnv1a64(payload) != checksum) {
+    return Status::Corruption("rule snapshot: checksum mismatch");
+  }
+
+  ByteReader r(payload);
+  uint32_t count;
+  if (!r.ReadU32(&count)) {
+    return Status::Corruption("rule snapshot: bad rule count");
+  }
+  if (uint64_t{count} * 20 > r.remaining()) {
+    return Status::Corruption("rule snapshot: bad rule count");
+  }
+  std::vector<RuleRecord> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RuleRecord rec;
+    std::string text;
+    if (!r.ReadU64(&rec.supp) || !r.ReadF64(&rec.conf) ||
+        !r.ReadString(&text)) {
+      return Status::Corruption("rule snapshot: truncated rule record");
+    }
+    GPAR_ASSIGN_OR_RETURN(rec.rule, Gpar::Parse(text, labels));
+    out.push_back(std::move(rec));
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("rule snapshot: trailing bytes in payload");
+  }
+  return out;
+}
+
+Result<std::vector<RuleRecord>> ReadRuleSetSnapshotFile(
+    const std::string& path, Interner* labels) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+  return ReadRuleSetSnapshot(is, labels);
+}
+
+}  // namespace gpar

@@ -1,0 +1,58 @@
+#ifndef GPAR_RULE_RULE_SNAPSHOT_H_
+#define GPAR_RULE_RULE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rule/gpar.h"
+
+namespace gpar {
+
+/// One stored rule: the GPAR plus the mining metadata a server needs to
+/// rank/filter without re-evaluating (supp(R, G) and the BF/LCWA confidence
+/// at mining time). Metadata is advisory — live confidences on a patched
+/// graph come from `RuleServer::IdentifyAll`.
+struct RuleRecord {
+  Gpar rule;
+  uint64_t supp = 0;
+  double conf = 0;
+
+  friend bool operator==(const RuleRecord&, const RuleRecord&) = default;
+};
+
+/// Versioned, checksummed binary snapshot of a mined rule set — the second
+/// half of the serving subsystem's at-rest format (graph_snapshot.h holds
+/// the graph half and the framing conventions).
+///
+/// Layout (little-endian):
+/// ```
+/// u64 magic "GPARRULE"   u32 version=1   u64 payload_size   u64 fnv1a64
+/// payload:
+///   u32 rule_count, rule_count x {
+///     u64 supp, f64 conf (IEEE-754 bits),
+///     u32 text_len, bytes   // Gpar::Serialize — the pattern codec block
+///   }
+/// ```
+/// Patterns ride in the pattern codec's text form, so records are
+/// self-describing (label *names*, not dictionary ids) and a rule snapshot
+/// can be loaded against any graph: `ReadRuleSetSnapshot` interns the names
+/// through the target graph's dictionary. Write -> read -> write is
+/// byte-identical (the codec's text form is canonical for a given rule).
+Status WriteRuleSetSnapshot(const std::vector<RuleRecord>& rules,
+                            const Interner& labels, std::ostream& os);
+Status WriteRuleSetSnapshotFile(const std::vector<RuleRecord>& rules,
+                                const Interner& labels,
+                                const std::string& path);
+
+Result<std::vector<RuleRecord>> ReadRuleSetSnapshot(std::istream& is,
+                                                    Interner* labels);
+Result<std::vector<RuleRecord>> ReadRuleSetSnapshotFile(
+    const std::string& path, Interner* labels);
+
+}  // namespace gpar
+
+#endif  // GPAR_RULE_RULE_SNAPSHOT_H_

@@ -1,0 +1,488 @@
+#include "serve/rule_server.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "common/timer.h"
+#include "graph/graph_snapshot.h"
+#include "match/guided.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+
+namespace {
+
+constexpr uint8_t kQKnown = 1;
+constexpr uint8_t kQIsQ = 2;
+constexpr uint8_t kQIsQbar = 4;
+
+bool GetBit(const std::vector<uint64_t>& words, size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+void SetBit(std::vector<uint64_t>* words, size_t i) {
+  (*words)[i >> 6] |= uint64_t{1} << (i & 63);
+}
+void ClearBit(std::vector<uint64_t>* words, size_t i) {
+  (*words)[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+void Accumulate(ServeStats* into, const ServeStats& s) {
+  into->requests += s.requests;
+  into->cache_hits += s.cache_hits;
+  into->cache_probes += s.cache_probes;
+  into->centers_evaluated += s.centers_evaluated;
+  into->latency_seconds += s.latency_seconds;
+}
+
+}  // namespace
+
+RuleServer::RuleServer(Graph g, std::vector<RuleRecord> rules,
+                       const RuleServerOptions& options)
+    : options_(options),
+      graph_(std::move(g)),
+      records_(std::move(rules)),
+      pool_(std::max(1u, options.num_workers)),
+      sketch_store_(options.sketch_hops) {
+  options_.num_workers = pool_.num_threads();
+}
+
+Result<std::unique_ptr<RuleServer>> RuleServer::Load(
+    const std::string& graph_snapshot_path,
+    const std::string& rules_snapshot_path, const RuleServerOptions& options) {
+  auto g = ReadGraphSnapshotFile(graph_snapshot_path);
+  if (!g.ok()) return g.status();
+  auto rules =
+      ReadRuleSetSnapshotFile(rules_snapshot_path, g->mutable_labels());
+  if (!rules.ok()) return rules.status();
+  return Create(std::move(g).value(), std::move(rules).value(), options);
+}
+
+Result<std::unique_ptr<RuleServer>> RuleServer::Create(
+    Graph g, std::vector<RuleRecord> rules, const RuleServerOptions& options) {
+  std::unique_ptr<RuleServer> server(
+      new RuleServer(std::move(g), std::move(rules), options));
+  if (Status st = server->Init(); !st.ok()) return st;
+  return server;
+}
+
+Status RuleServer::Init() {
+  sigma_.reserve(records_.size());
+  for (const RuleRecord& r : records_) sigma_.push_back(r.rule);
+  auto info = ValidateSigma(sigma_);
+  if (!info.ok()) return info.status();
+  q_ = info->q;
+  max_d_ = std::max<uint32_t>(info->d, 1);
+  pq_ = q_.ToPattern();
+  all_ok_.assign(sigma_.size(), 1);
+  other_ok_ = OtherComponentsOk(graph_, sigma_);
+  for (const Gpar& r : sigma_) {
+    if (!r.other_components().empty()) has_other_components_ = true;
+  }
+  {
+    auto span = graph_.nodes_with_label(q_.x_label);
+    candidates_.assign(span.begin(), span.end());
+  }
+
+  // Per-rule precompute (1): search plans, planned once and shared by every
+  // worker matcher — anchored at x, the only anchor serving ever uses.
+  plan_store_ = std::make_unique<SearchPlanStore>(graph_);
+  auto prepare_at_x = [this](const Pattern& p) {
+    PNodeId x = p.x();
+    plan_store_->Prepare(p, std::span<const PNodeId>(&x, 1));
+  };
+  prepare_at_x(pq_);
+  for (const Gpar& r : sigma_) {
+    prepare_at_x(r.pr());
+    prepare_at_x(r.x_component());
+    for (const Pattern& comp : r.other_components()) {
+      plan_store_->Prepare(comp, {});
+    }
+  }
+
+  // Per-rule precompute (2): shared k-hop sketches for every node guided
+  // search can possibly score (nodes whose label occurs in a rule pattern).
+  if (options_.precompute_sketches && options_.use_guided_search) {
+    PrecomputeSketches();
+  }
+
+  BuildWorkers();
+  return Status::OK();
+}
+
+void RuleServer::PrecomputeSketches() {
+  std::set<LabelId> labels;
+  auto collect = [&labels](const Pattern& p) {
+    for (PNodeId u = 0; u < p.num_nodes(); ++u) labels.insert(p.node(u).label);
+  };
+  for (const Gpar& r : sigma_) {
+    collect(r.pr());
+    for (const Pattern& comp : r.other_components()) collect(comp);
+  }
+  for (LabelId l : labels) {
+    if (l >= graph_.labels().size()) continue;  // wildcard / unset labels
+    for (NodeId v : graph_.nodes_with_label(l)) {
+      if (sketch_store_.size() >= options_.max_precomputed_sketches) return;
+      sketch_store_.Add(graph_, v);
+    }
+  }
+}
+
+void RuleServer::BuildWorkers() {
+  const SketchStore* sketches =
+      sketch_store_.size() > 0 ? &sketch_store_ : nullptr;
+  workers_.clear();
+  workers_.resize(options_.num_workers);
+  for (WorkerCtx& w : workers_) {
+    w.evaluator = MakeMatchEvaluator(
+        graph_, nullptr, sigma_, all_ok_, options_.sketch_hops,
+        options_.use_guided_search, options_.share_multi_patterns,
+        plan_store_.get(), sketches);
+    w.pq_matcher = std::make_unique<VF2Matcher>(graph_);
+    w.pq_matcher->set_plan_store(plan_store_.get());
+    if (options_.use_guided_search) {
+      auto gm = std::make_unique<GuidedMatcher>(graph_, nullptr,
+                                                options_.sketch_hops);
+      gm->set_sketch_store(sketches);
+      gm->set_plan_store(plan_store_.get());
+      w.probe_matcher = std::move(gm);
+    } else {
+      auto m = std::make_unique<VF2Matcher>(graph_);
+      m->set_plan_store(plan_store_.get());
+      w.probe_matcher = std::move(m);
+    }
+  }
+}
+
+size_t RuleServer::max_cached_centers() const {
+  size_t per_center = std::max<size_t>(sigma_.size(), 1);
+  return std::max<size_t>(options_.cache_capacity / per_center, 1);
+}
+
+void RuleServer::TouchLru(CenterEntry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+void RuleServer::EvictToCapacity() {
+  const size_t cap = max_cached_centers();
+  while (cache_.size() > cap) {
+    NodeId victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+}
+
+void RuleServer::EvaluateItem(WorkerCtx& ctx, WorkItem& item) {
+  const NodeId v = item.center;
+  uint8_t qc = item.qclass_in;
+  if ((qc & kQKnown) == 0) {
+    bool is_q = ctx.pq_matcher->ExistsAt(pq_, v);
+    bool is_qbar = !is_q && graph_.HasOutLabel(v, q_.edge_label);
+    qc = kQKnown | (is_q ? kQIsQ : 0) | (is_qbar ? kQIsQbar : 0);
+  }
+  item.qclass_out = qc;
+  const bool is_q = (qc & kQIsQ) != 0;
+  const bool is_qbar = (qc & kQIsQbar) != 0;
+  if (item.full) {
+    std::vector<char> in_pr, in_q;
+    ctx.evaluator->Evaluate(v, is_q, is_qbar, /*need_q_membership=*/true,
+                            &in_pr, &in_q);
+    for (size_t i = 0; i < sigma_.size(); ++i) {
+      SetBit(&item.probed, i);
+      if (in_q[i]) SetBit(&item.in_q, i);
+      if (in_pr[i]) SetBit(&item.in_pr, i);
+    }
+  } else {
+    for (uint32_t ri : item.rules) {
+      const Gpar& r = sigma_[ri];
+      // P_R contains the consequent edge, so only q-match centers can hold
+      // it; a P_R match implies antecedent membership (its restriction to
+      // Q's nodes is a Q-match), saving the second probe.
+      bool pr = is_q && ctx.probe_matcher->ExistsAt(r.pr(), v);
+      bool qm = pr || ctx.probe_matcher->ExistsAt(r.x_component(), v);
+      SetBit(&item.probed, ri);
+      if (qm) SetBit(&item.in_q, ri);
+      if (pr) SetBit(&item.in_pr, ri);
+    }
+  }
+}
+
+Status RuleServer::EnsureRows(std::span<const NodeId> centers,
+                              const std::vector<uint32_t>& selected,
+                              std::unordered_map<NodeId, Row>* rows,
+                              ServeStats* stats) {
+  const size_t words = rule_words();
+  std::vector<WorkItem> items;
+
+  for (NodeId c : centers) {
+    if (c >= graph_.num_nodes()) {
+      return Status::InvalidArgument("center id " + std::to_string(c) +
+                                     " out of range");
+    }
+    if (rows->count(c) > 0) continue;  // duplicate within this request
+    Row& row = (*rows)[c];
+    row.in_q.assign(words, 0);
+    row.in_pr.assign(words, 0);
+
+    std::vector<uint32_t> missing;
+    uint8_t qclass = 0;
+    auto cit = cache_.find(c);
+    if (cit != cache_.end()) {
+      CenterEntry& e = cit->second;
+      qclass = e.qclass;
+      for (uint32_t ri : selected) {
+        if (GetBit(e.known, ri)) {
+          ++stats->cache_hits;
+          if (GetBit(e.in_q, ri)) SetBit(&row.in_q, ri);
+          if (GetBit(e.in_pr, ri)) SetBit(&row.in_pr, ri);
+        } else {
+          missing.push_back(ri);
+        }
+      }
+      TouchLru(e);
+    } else {
+      missing = selected;
+    }
+    row.qclass = qclass;
+    if (missing.empty() && (qclass & kQKnown) != 0) continue;
+
+    WorkItem item;
+    item.center = c;
+    item.qclass_in = qclass;
+    item.full = missing.size() == sigma_.size();
+    if (!item.full) item.rules = std::move(missing);
+    item.in_q.assign(words, 0);
+    item.in_pr.assign(words, 0);
+    item.probed.assign(words, 0);
+    items.push_back(std::move(item));
+  }
+
+  if (!items.empty()) {
+    stats->centers_evaluated += items.size();
+    const uint32_t n = options_.num_workers;
+    ParallelFor(pool_, n, [this, &items, n](uint32_t w) {
+      const size_t begin = items.size() * w / n;
+      const size_t end = items.size() * (w + 1) / n;
+      for (size_t i = begin; i < end; ++i) {
+        EvaluateItem(workers_[w], items[i]);
+      }
+    });
+  }
+
+  for (WorkItem& item : items) {
+    Row& row = (*rows)[item.center];
+    row.qclass = item.qclass_out;
+    for (size_t w = 0; w < words; ++w) {
+      row.in_q[w] |= item.in_q[w];
+      row.in_pr[w] |= item.in_pr[w];
+      stats->cache_probes += std::popcount(item.probed[w]);
+    }
+    auto [cit, inserted] = cache_.try_emplace(item.center);
+    CenterEntry& e = cit->second;
+    if (inserted) {
+      e.known.assign(words, 0);
+      e.in_q.assign(words, 0);
+      e.in_pr.assign(words, 0);
+      lru_.push_front(item.center);
+      e.lru_it = lru_.begin();
+    }
+    e.qclass = item.qclass_out;
+    for (size_t w = 0; w < words; ++w) {
+      // Probed bits overwrite (an invalidated bit may hold a stale value);
+      // the rest keep their cached values.
+      e.in_q[w] = (e.in_q[w] & ~item.probed[w]) | item.in_q[w];
+      e.in_pr[w] = (e.in_pr[w] & ~item.probed[w]) | item.in_pr[w];
+      e.known[w] |= item.probed[w];
+    }
+    TouchLru(e);
+  }
+  EvictToCapacity();
+  return Status::OK();
+}
+
+Result<ServeReply> RuleServer::Serve(const ServeRequest& request) {
+  Timer timer;
+  std::vector<uint32_t> selected = request.rules;
+  if (selected.empty()) {
+    selected.resize(sigma_.size());
+    std::iota(selected.begin(), selected.end(), 0);
+  } else {
+    std::sort(selected.begin(), selected.end());
+    selected.erase(std::unique(selected.begin(), selected.end()),
+                   selected.end());
+    if (!selected.empty() && selected.back() >= sigma_.size()) {
+      return Status::InvalidArgument("rule index out of range");
+    }
+  }
+
+  ServeReply reply;
+  ServeStats stats;
+  stats.requests = 1;
+  std::unordered_map<NodeId, Row> rows;
+  GPAR_RETURN_NOT_OK(EnsureRows(request.centers, selected, &rows, &stats));
+
+  reply.matched.reserve(request.centers.size());
+  for (NodeId c : request.centers) {
+    const Row& row = rows.at(c);
+    std::vector<uint32_t> m;
+    for (uint32_t ri : selected) {
+      bool hit = request.require_consequent
+                     ? GetBit(row.in_pr, ri)
+                     : (GetBit(row.in_q, ri) && other_ok_[ri] != 0);
+      if (hit) m.push_back(ri);
+    }
+    if (!m.empty()) reply.entities.push_back(c);
+    reply.matched.push_back(std::move(m));
+  }
+  std::sort(reply.entities.begin(), reply.entities.end());
+  reply.entities.erase(
+      std::unique(reply.entities.begin(), reply.entities.end()),
+      reply.entities.end());
+
+  stats.latency_seconds = timer.Seconds();
+  Accumulate(&lifetime_stats_, stats);
+  reply.stats = stats;
+  return reply;
+}
+
+Result<EipResult> RuleServer::IdentifyAll(double eta, bool require_consequent,
+                                          ServeStats* request_stats) {
+  if (eta <= 0) {
+    return Status::InvalidArgument("eta must be positive");
+  }
+  Timer timer;
+  ServeStats stats;
+  stats.requests = 1;
+  std::vector<uint32_t> selected(sigma_.size());
+  std::iota(selected.begin(), selected.end(), 0);
+
+  std::unordered_map<NodeId, Row> rows;
+  GPAR_RETURN_NOT_OK(EnsureRows(candidates_, selected, &rows, &stats));
+
+  // Candidate-major assembly: one row lookup per center, all rule bits
+  // read inline (the warm path is lookup-bound, not match-bound).
+  EipResult result;
+  result.rule_evals.assign(sigma_.size(), {});
+  for (NodeId c : candidates_) {
+    const Row& row = rows.at(c);
+    if (row.qclass & kQIsQ) ++result.supp_q;
+    const bool is_qbar = (row.qclass & kQIsQbar) != 0;
+    if (is_qbar) ++result.supp_qbar;
+    for (size_t ri = 0; ri < sigma_.size(); ++ri) {
+      EipRuleEval& ev = result.rule_evals[ri];
+      if (GetBit(row.in_pr, ri)) ++ev.supp_r;
+      if (is_qbar && GetBit(row.in_q, ri) && other_ok_[ri] != 0) {
+        ++ev.supp_qqbar;
+      }
+    }
+  }
+  for (EipRuleEval& ev : result.rule_evals) {
+    ev.conf = BayesFactorConf(ev.supp_r, result.supp_qbar, ev.supp_qqbar,
+                              result.supp_q);
+  }
+
+  std::vector<uint32_t> qualified;
+  for (size_t ri = 0; ri < sigma_.size(); ++ri) {
+    if (result.rule_evals[ri].conf >= eta) {
+      qualified.push_back(static_cast<uint32_t>(ri));
+    }
+  }
+  for (NodeId c : candidates_) {  // sorted, so entities come out sorted
+    const Row& row = rows.at(c);
+    for (uint32_t ri : qualified) {
+      bool member = require_consequent
+                        ? GetBit(row.in_pr, ri)
+                        : (GetBit(row.in_q, ri) && other_ok_[ri] != 0);
+      if (member) {
+        result.entities.push_back(c);
+        break;
+      }
+    }
+  }
+
+  stats.latency_seconds = timer.Seconds();
+  Accumulate(&lifetime_stats_, stats);
+  if (request_stats != nullptr) *request_stats = stats;
+  return result;
+}
+
+Result<DeltaStats> RuleServer::ApplyDelta(std::span<const EdgeInsert> inserts) {
+  Timer timer;
+  DeltaStats ds;
+  GPAR_ASSIGN_OR_RETURN(GraphPatch patch,
+                        PatchGraphWithInserts(graph_, inserts));
+  ds.edges_inserted = patch.edges_inserted;
+  ds.duplicates_ignored = patch.duplicates;
+  graph_ = std::move(patch.graph);
+  if (patch.applied.empty()) {
+    // No structural change: every cached answer and sketch stays valid.
+    ds.seconds = timer.Seconds();
+    return ds;
+  }
+
+  std::vector<NodeId> endpoints;
+  std::unordered_set<NodeId> sources;
+  for (const EdgeInsert& e : patch.applied) {
+    endpoints.push_back(e.src);
+    endpoints.push_back(e.dst);
+    sources.insert(e.src);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+
+  // One multi-source BFS (on the patched graph) to the largest radius any
+  // cached state can reach: rule memberships go stale within d(R) hops,
+  // stored sketches within k hops.
+  uint32_t rmax = max_d_;
+  if (sketch_store_.size() > 0) {
+    rmax = std::max(rmax, options_.sketch_hops);
+  }
+  auto touched = NodesWithinRadiusOfAny(graph_, endpoints, rmax);
+
+  std::vector<NodeId> sketch_refresh;
+  for (const auto& [v, dist] : touched) {
+    if (sketch_store_.size() > 0 && dist <= options_.sketch_hops) {
+      sketch_refresh.push_back(v);
+    }
+    auto cit = cache_.find(v);
+    if (cit == cache_.end()) continue;
+    CenterEntry& e = cit->second;
+    for (size_t ri = 0; ri < sigma_.size(); ++ri) {
+      if (dist <= sigma_[ri].eval_radius() && GetBit(e.known, ri)) {
+        ClearBit(&e.known, ri);
+        ++ds.memberships_invalidated;
+      }
+    }
+    // q-class depends only on v's own out-edges: only insert sources move.
+    if ((e.qclass & kQKnown) != 0 && sources.count(v) > 0) {
+      e.qclass = 0;
+      ++ds.qclass_invalidated;
+    }
+    bool any_known = (e.qclass & kQKnown) != 0;
+    for (uint64_t w : e.known) any_known = any_known || w != 0;
+    if (!any_known) {
+      lru_.erase(e.lru_it);
+      cache_.erase(cit);
+    }
+  }
+  ds.sketches_refreshed = sketch_store_.Refresh(graph_, sketch_refresh);
+
+  // Components not containing x can match anywhere, so an insert can flip
+  // their satisfiability globally (monotonely, for insert-only deltas); the
+  // raw cached antecedent bits deliberately exclude this factor.
+  if (has_other_components_) {
+    other_ok_ = OtherComponentsOk(graph_, sigma_);
+  }
+
+  // Worker matchers memoize per-node sketches of the pre-delta graph;
+  // rebuild them (shared plans and the refreshed sketch store stay).
+  BuildWorkers();
+  ds.seconds = timer.Seconds();
+  return ds;
+}
+
+}  // namespace gpar

@@ -1,0 +1,229 @@
+#ifndef GPAR_SERVE_RULE_SERVER_H_
+#define GPAR_SERVE_RULE_SERVER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "graph/sketch.h"
+#include "identify/center_evaluator.h"
+#include "identify/eip.h"
+#include "match/matcher.h"
+#include "parallel/thread_pool.h"
+#include "rule/rule_snapshot.h"
+
+namespace gpar {
+
+/// Options for `RuleServer`.
+struct RuleServerOptions {
+  uint32_t num_workers = 4;
+  /// k for the guided matcher's k-hop sketches (see EipOptions::sketch_hops).
+  uint32_t sketch_hops = 1;
+  bool use_guided_search = true;
+  bool share_multi_patterns = true;
+  /// Capacity of the (rule, center) match cache, counted in (rule, center)
+  /// memberships. Centers are the physical eviction unit: one cached center
+  /// holds one membership slot per loaded rule.
+  size_t cache_capacity = size_t{1} << 20;
+  /// Precompute a shared sketch store at load for nodes whose label occurs
+  /// in a loaded rule pattern (the only nodes guided search can ever
+  /// sketch), capped below. Off: sketches are built lazily per worker.
+  bool precompute_sketches = true;
+  size_t max_precomputed_sketches = size_t{1} << 17;
+};
+
+/// A batched identify request: which centers to classify against which of
+/// the loaded rules. Empty `rules` selects every loaded rule. Centers need
+/// not satisfy x's label — such centers simply match nothing.
+struct ServeRequest {
+  std::vector<NodeId> centers;
+  std::vector<uint32_t> rules;
+  /// False (default): a rule matches a center when its antecedent Q does
+  /// (the formal Σ(x, G, η) semantics). True: require the full P_R.
+  bool require_consequent = false;
+};
+
+/// Per-request (and accumulated lifetime) serving statistics.
+struct ServeStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;    ///< (rule, center) memberships answered from cache
+  uint64_t cache_probes = 0;  ///< memberships computed by pattern matching
+  uint64_t centers_evaluated = 0;  ///< centers that needed any matching work
+  double latency_seconds = 0;
+};
+
+/// Reply to a `ServeRequest`.
+struct ServeReply {
+  /// Parallel to `request.centers`: the selected rule indices whose
+  /// consequent fires at that center (sorted ascending).
+  std::vector<std::vector<uint32_t>> matched;
+  /// Distinct centers with at least one matched rule, sorted.
+  std::vector<NodeId> entities;
+  ServeStats stats;
+};
+
+/// Cost accounting for one `ApplyDelta` call.
+struct DeltaStats {
+  size_t edges_inserted = 0;
+  size_t duplicates_ignored = 0;
+  uint64_t memberships_invalidated = 0;  ///< known (rule, center) bits cleared
+  uint64_t qclass_invalidated = 0;
+  uint64_t sketches_refreshed = 0;
+  double seconds = 0;
+};
+
+/// The online half of GPAR mining (Section 5 framing): rules are mined
+/// offline into snapshots; a long-lived `RuleServer` session loads one
+/// (graph, rule set) snapshot pair, precomputes per-rule state once —
+/// search plans in a shared `SearchPlanStore`, k-hop sketches in a shared
+/// `SketchStore`, the per-label candidate index, global satisfiability of
+/// antecedent components not containing x — and then answers batched
+/// identify requests on a persistent `ThreadPool`, far cheaper than one
+/// batch `IdentifyEntities` run per request.
+///
+/// Memberships are memoized in an LRU (rule, center) match cache. Edge
+/// deltas (`ApplyDelta`) patch the CSR and, by the paper's locality
+/// property (membership of v depends only on G_d(v)), invalidate only the
+/// cached memberships within d(R) hops of a touched endpoint — everything
+/// else stays warm. `IdentifyAll` answers exactly like a fresh batch
+/// `IdentifyEntities` on the equivalent graph (the ServeEquivalence tests).
+///
+/// Thread-safety: one request at a time (calls use the pool internally);
+/// external synchronization is required for concurrent callers.
+class RuleServer {
+ public:
+  /// Loads a snapshot pair produced by `WriteGraphSnapshot[File]` and
+  /// `WriteRuleSetSnapshot[File]`.
+  static Result<std::unique_ptr<RuleServer>> Load(
+      const std::string& graph_snapshot_path,
+      const std::string& rules_snapshot_path,
+      const RuleServerOptions& options = {});
+
+  /// Builds a session from in-memory state (tests, single-process use).
+  static Result<std::unique_ptr<RuleServer>> Create(
+      Graph g, std::vector<RuleRecord> rules,
+      const RuleServerOptions& options = {});
+
+  RuleServer(const RuleServer&) = delete;
+  RuleServer& operator=(const RuleServer&) = delete;
+
+  /// Classifies `request.centers` against the selected rules.
+  Result<ServeReply> Serve(const ServeRequest& request);
+
+  /// Full entity identification over all candidates — the batch-equivalent
+  /// answer Σ(x, G, η), with live supports/confidences on the current
+  /// (possibly delta-patched) graph. Warm caches make repeats cheap.
+  Result<EipResult> IdentifyAll(double eta, bool require_consequent = false,
+                                ServeStats* request_stats = nullptr);
+
+  /// Applies edge inserts: patches the CSR, refreshes stale shared
+  /// sketches, and invalidates cached memberships within d(R) hops of the
+  /// inserted edges' endpoints (per rule R).
+  Result<DeltaStats> ApplyDelta(std::span<const EdgeInsert> inserts);
+
+  const Graph& graph() const { return graph_; }
+  /// Interns an edge-label name through the session's dictionary — for
+  /// building `EdgeInsert` batches from textual input (ids are append-only,
+  /// so existing patterns and cached state are unaffected).
+  LabelId InternLabel(std::string_view name) {
+    return graph_.mutable_labels()->Intern(name);
+  }
+  const std::vector<RuleRecord>& rules() const { return records_; }
+  const Predicate& predicate() const { return q_; }
+  /// All candidate centers (nodes satisfying x's label), sorted.
+  const std::vector<NodeId>& candidates() const { return candidates_; }
+  uint32_t max_rule_radius() const { return max_d_; }
+
+  const ServeStats& lifetime_stats() const { return lifetime_stats_; }
+  size_t cached_centers() const { return cache_.size(); }
+  size_t sketches_precomputed() const { return sketch_store_.size(); }
+  size_t plans_prepared() const { return plan_store_->patterns_planned(); }
+
+ private:
+  /// One worker's private matching state (matchers are not thread-safe).
+  struct WorkerCtx {
+    std::unique_ptr<CenterEvaluator> evaluator;
+    std::unique_ptr<VF2Matcher> pq_matcher;
+    std::unique_ptr<Matcher> probe_matcher;
+  };
+
+  /// Cached per-center state; rule memberships are bitsets over the loaded
+  /// rule set (in_q is RAW antecedent membership — other-component
+  /// satisfiability is applied at read time, so a flip never invalidates).
+  struct CenterEntry {
+    uint8_t qclass = 0;  // bit0 known, bit1 is_q, bit2 is_qbar
+    std::vector<uint64_t> known, in_q, in_pr;
+    std::list<NodeId>::iterator lru_it;
+  };
+
+  /// Resolved memberships for one request center.
+  struct Row {
+    uint8_t qclass = 0;
+    std::vector<uint64_t> in_q, in_pr;
+  };
+
+  /// A unit of matching work for one center.
+  struct WorkItem {
+    NodeId center = kInvalidNode;
+    bool full = false;               ///< evaluate all rules via the evaluator
+    std::vector<uint32_t> rules;     ///< rules to probe when !full
+    uint8_t qclass_in = 0;           ///< known q-class, or 0 to compute
+    // Outputs (written by exactly one worker):
+    uint8_t qclass_out = 0;
+    std::vector<uint64_t> in_q, in_pr, probed;
+  };
+
+  RuleServer(Graph g, std::vector<RuleRecord> rules,
+             const RuleServerOptions& options);
+
+  Status Init();
+  void BuildWorkers();
+  void PrecomputeSketches();
+
+  size_t rule_words() const { return (sigma_.size() + 63) / 64; }
+  size_t max_cached_centers() const;
+
+  /// Ensures memberships of `selected` rules for every center in `centers`
+  /// (deduplicated internally), filling `rows` keyed by center. Updates the
+  /// cache/LRU and accumulates stats.
+  Status EnsureRows(std::span<const NodeId> centers,
+                    const std::vector<uint32_t>& selected,
+                    std::unordered_map<NodeId, Row>* rows, ServeStats* stats);
+
+  void EvaluateItem(WorkerCtx& ctx, WorkItem& item);
+  void TouchLru(CenterEntry& entry);
+  void EvictToCapacity();
+
+  RuleServerOptions options_;
+  Graph graph_;
+  std::vector<RuleRecord> records_;
+  std::vector<Gpar> sigma_;  ///< records_[i].rule, stable storage for evaluators
+  Predicate q_{};
+  Pattern pq_;
+  uint32_t max_d_ = 0;
+  std::vector<char> other_ok_;  ///< live per-rule other-component check
+  std::vector<char> all_ok_;    ///< constant 1s handed to evaluators
+  std::vector<NodeId> candidates_;
+  bool has_other_components_ = false;
+
+  ThreadPool pool_;
+  std::unique_ptr<SearchPlanStore> plan_store_;
+  SketchStore sketch_store_;
+  std::vector<WorkerCtx> workers_;
+
+  std::unordered_map<NodeId, CenterEntry> cache_;
+  std::list<NodeId> lru_;  ///< front = most recently used
+  ServeStats lifetime_stats_;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_SERVE_RULE_SERVER_H_

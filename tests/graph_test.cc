@@ -130,6 +130,69 @@ TEST(GraphIoTest, RejectsCorruptInput) {
   EXPECT_FALSE(ReadGraphText(bad3).ok());
 }
 
+TEST(GraphIoTest, RejectsDuplicateVertexId) {
+  std::istringstream dup("v 0 a\nv 0 b\n");
+  auto r = ReadGraphText(dup);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsEdgeToUndeclaredVertex) {
+  // Both endpoints must be declared before the edge record.
+  std::istringstream fwd("v 0 a\ne 0 1 edge\nv 1 b\n");
+  EXPECT_FALSE(ReadGraphText(fwd).ok());
+  std::istringstream src("v 0 a\nv 1 b\ne 7 1 edge\n");
+  EXPECT_FALSE(ReadGraphText(src).ok());
+}
+
+TEST(GraphIoTest, RejectsMalformedRecords) {
+  std::istringstream v_short("v 0\n");
+  EXPECT_FALSE(ReadGraphText(v_short).ok());
+  std::istringstream v_nonint("v zero a\n");
+  EXPECT_FALSE(ReadGraphText(v_nonint).ok());
+  std::istringstream e_short("v 0 a\nv 1 b\ne 0 1\n");
+  EXPECT_FALSE(ReadGraphText(e_short).ok());
+  std::istringstream e_nonint("v 0 a\nv 1 b\ne 0 one edge\n");
+  auto r = ReadGraphText(e_nonint);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream ok("# header\n\nv 0 a\n# mid\nv 1 b\ne 0 1 edge\n\n");
+  auto r = ReadGraphText(ok);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_nodes(), 2u);
+  EXPECT_EQ(r->num_edges(), 1u);
+}
+
+TEST(GraphIoTest, EscapedLabelsRoundTrip) {
+  // Spaces are escaped with '_' by convention; underscores must survive
+  // both directions verbatim.
+  GraphBuilder b;
+  NodeId v0 = b.AddNode("French_restaurant");
+  NodeId v1 = b.AddNode("fine_dining_lover");
+  ASSERT_TRUE(b.AddEdge(v1, "dined_at", v0).ok());
+  Graph g = std::move(b).Build();
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteGraphText(g, os).ok());
+  std::istringstream is(os.str());
+  auto r = ReadGraphText(is);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->labels().Name(r->node_label(v0)), "French_restaurant");
+  EXPECT_EQ(r->labels().Name(r->node_label(v1)), "fine_dining_lover");
+  auto edges = r->out_edges(v1);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(r->labels().Name(edges[0].label), "dined_at");
+
+  // Second round trip is textually identical.
+  std::ostringstream os2;
+  ASSERT_TRUE(WriteGraphText(*r, os2).ok());
+  EXPECT_EQ(os2.str(), os.str());
+}
+
 TEST(NeighborhoodTest, RadiusBfs) {
   Graph g = SmallGraph();
   // From node 3 (city): hop 1 = {s, a}, hop 2 = {c}.

@@ -1,0 +1,417 @@
+#include "serve/rule_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/graph_delta.h"
+#include "graph/graph_snapshot.h"
+#include "graph/paper_graphs.h"
+#include "graph/stats.h"
+#include "identify/eip.h"
+#include "match/matcher.h"
+#include "pattern/pattern_generator.h"
+#include "rule/rule_snapshot.h"
+
+namespace gpar {
+namespace {
+
+struct Workload {
+  Graph graph;
+  std::vector<Gpar> sigma;
+  std::vector<RuleRecord> records;
+};
+
+/// A seeded (graph, Σ) pair: small synthetic or Pokec-like graph with a
+/// lifted GPAR workload on its most frequent predicate.
+Workload MakeWorkload(uint64_t seed) {
+  Workload w;
+  w.graph = (seed % 3 == 0) ? MakePokecLike(1, seed)
+                            : MakeSynthetic(600, 1800, 20, seed);
+  auto freq = FrequentEdgePatterns(w.graph);
+  EXPECT_FALSE(freq.empty());
+  Predicate q{freq[0].src_label, freq[0].edge_label, freq[0].dst_label};
+  GparGenOptions gopt;
+  gopt.num_nodes = 4;
+  gopt.num_edges = 4;
+  gopt.max_radius = 2;
+  gopt.seed = seed * 31 + 1;
+  w.sigma = GenerateGparWorkload(w.graph, q, 5, gopt);
+  EXPECT_GE(w.sigma.size(), 2u);
+  for (const Gpar& r : w.sigma) w.records.push_back({r, 0, 0.0});
+  return w;
+}
+
+void ExpectSameAnswer(const EipResult& got, const EipResult& want,
+                      const std::string& what) {
+  EXPECT_EQ(got.entities, want.entities) << what;
+  EXPECT_EQ(got.supp_q, want.supp_q) << what;
+  EXPECT_EQ(got.supp_qbar, want.supp_qbar) << what;
+  ASSERT_EQ(got.rule_evals.size(), want.rule_evals.size()) << what;
+  for (size_t i = 0; i < want.rule_evals.size(); ++i) {
+    EXPECT_EQ(got.rule_evals[i].supp_r, want.rule_evals[i].supp_r)
+        << what << " rule " << i;
+    EXPECT_EQ(got.rule_evals[i].supp_qqbar, want.rule_evals[i].supp_qqbar)
+        << what << " rule " << i;
+    EXPECT_DOUBLE_EQ(got.rule_evals[i].conf, want.rule_evals[i].conf)
+        << what << " rule " << i;
+  }
+}
+
+EipResult BatchIdentify(const Graph& g, const std::vector<Gpar>& sigma,
+                        double eta, bool require_consequent) {
+  EipOptions opt;
+  opt.algorithm = EipAlgorithm::kMatch;
+  opt.num_workers = 3;
+  opt.eta = eta;
+  opt.require_consequent = require_consequent;
+  auto r = IdentifyEntities(g, sigma, opt);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+/// Direct per-(rule, center) oracle for point queries: fresh whole-graph
+/// matching, no caches.
+std::vector<uint32_t> OracleMatched(const Graph& g,
+                                    const std::vector<Gpar>& sigma,
+                                    NodeId center, bool require_consequent) {
+  VF2Matcher m(g);
+  std::vector<char> other_ok = OtherComponentsOk(g, sigma);
+  std::vector<uint32_t> out;
+  for (uint32_t ri = 0; ri < sigma.size(); ++ri) {
+    bool hit;
+    if (require_consequent) {
+      hit = m.ExistsAt(sigma[ri].pr(), center);
+    } else {
+      hit = m.ExistsAt(sigma[ri].x_component(), center) && other_ok[ri] != 0;
+    }
+    if (hit) out.push_back(ri);
+  }
+  return out;
+}
+
+std::vector<EdgeInsert> MakeDelta(const Graph& g, uint64_t seed, size_t k) {
+  std::mt19937_64 rng(seed);
+  std::vector<LabelId> edge_labels;
+  for (NodeId v = 0; v < g.num_nodes() && edge_labels.size() < 8; ++v) {
+    for (const AdjEntry& e : g.out_edges(v)) {
+      if (std::find(edge_labels.begin(), edge_labels.end(), e.label) ==
+          edge_labels.end()) {
+        edge_labels.push_back(e.label);
+      }
+    }
+  }
+  std::vector<EdgeInsert> inserts;
+  for (size_t i = 0; i < k; ++i) {
+    NodeId src = static_cast<NodeId>(rng() % g.num_nodes());
+    NodeId dst = static_cast<NodeId>(rng() % g.num_nodes());
+    LabelId l = edge_labels[rng() % edge_labels.size()];
+    inserts.push_back({src, l, dst});
+  }
+  return inserts;
+}
+
+std::vector<NodeId> SampleCenters(const RuleServer& server, uint64_t seed,
+                                  size_t k) {
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> centers;
+  const auto& cands = server.candidates();
+  for (size_t i = 0; i < k && !cands.empty(); ++i) {
+    centers.push_back(cands[rng() % cands.size()]);
+  }
+  // A couple of non-candidates (legal; they match nothing).
+  centers.push_back(static_cast<NodeId>(rng() % server.graph().num_nodes()));
+  return centers;
+}
+
+/// The acceptance battery: RuleServer answers — cold, warm-cache, and after
+/// ApplyDelta — identical to a fresh batch IdentifyEntities run on the
+/// equivalent graph, across seeds and worker counts.
+TEST(ServeEquivalence, ColdWarmAndDeltaMatchBatch) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Workload w = MakeWorkload(seed);
+
+    EipResult batch_lo = BatchIdentify(w.graph, w.sigma, 0.5, false);
+    EipResult batch_hi = BatchIdentify(w.graph, w.sigma, 1.2, false);
+    EipResult batch_pr = BatchIdentify(w.graph, w.sigma, 0.5, true);
+
+    std::vector<EdgeInsert> delta = MakeDelta(w.graph, seed * 977 + 5, 6);
+    auto patchref = PatchGraphWithInserts(w.graph, delta);
+    ASSERT_TRUE(patchref.ok());
+    EipResult batch_patched =
+        BatchIdentify(patchref->graph, w.sigma, 0.5, false);
+
+    for (uint32_t n : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("n=" + std::to_string(n));
+      RuleServerOptions opt;
+      opt.num_workers = n;
+      auto server = RuleServer::Create(w.graph, w.records, opt);
+      ASSERT_TRUE(server.ok()) << server.status();
+      RuleServer& s = **server;
+
+      // Cold.
+      ServeStats cold_stats;
+      auto cold = s.IdentifyAll(0.5, false, &cold_stats);
+      ASSERT_TRUE(cold.ok()) << cold.status();
+      ExpectSameAnswer(*cold, batch_lo, "cold");
+      EXPECT_GT(cold_stats.cache_probes, 0u);
+
+      // Warm: different eta, P_R semantics — all from cache.
+      ServeStats warm_stats;
+      auto warm = s.IdentifyAll(1.2, false, &warm_stats);
+      ASSERT_TRUE(warm.ok());
+      ExpectSameAnswer(*warm, batch_hi, "warm");
+      EXPECT_EQ(warm_stats.cache_probes, 0u);
+      EXPECT_GT(warm_stats.cache_hits, 0u);
+      auto warm_pr = s.IdentifyAll(0.5, true);
+      ASSERT_TRUE(warm_pr.ok());
+      ExpectSameAnswer(*warm_pr, batch_pr, "warm require_consequent");
+
+      // Point queries against the fresh-match oracle.
+      ServeRequest req;
+      req.centers = SampleCenters(s, seed + n, 6);
+      auto reply = s.Serve(req);
+      ASSERT_TRUE(reply.ok()) << reply.status();
+      ASSERT_EQ(reply->matched.size(), req.centers.size());
+      for (size_t i = 0; i < req.centers.size(); ++i) {
+        EXPECT_EQ(reply->matched[i],
+                  OracleMatched(w.graph, w.sigma, req.centers[i], false))
+            << "center " << req.centers[i];
+      }
+
+      // Delta-then-query == rebuild-then-query.
+      auto ds = s.ApplyDelta(delta);
+      ASSERT_TRUE(ds.ok()) << ds.status();
+      ServeStats delta_stats;
+      auto after = s.IdentifyAll(0.5, false, &delta_stats);
+      ASSERT_TRUE(after.ok());
+      ExpectSameAnswer(*after, batch_patched, "after delta");
+      // Locality: a 6-edge delta must not flush the whole cache.
+      EXPECT_LE(delta_stats.cache_probes, cold_stats.cache_probes);
+
+      // Point queries on the patched graph (exercises the partial per-rule
+      // probe path on half-invalidated centers).
+      auto reply2 = s.Serve(req);
+      ASSERT_TRUE(reply2.ok());
+      for (size_t i = 0; i < req.centers.size(); ++i) {
+        EXPECT_EQ(reply2->matched[i],
+                  OracleMatched(patchref->graph, w.sigma, req.centers[i],
+                                false))
+            << "patched center " << req.centers[i];
+      }
+    }
+  }
+}
+
+TEST(ServeEquivalence, GuidedAndPlainAgree) {
+  Workload w = MakeWorkload(1);
+  EipResult batch = BatchIdentify(w.graph, w.sigma, 0.8, false);
+  for (bool guided : {false, true}) {
+    for (bool share : {false, true}) {
+      for (bool precompute : {false, true}) {
+        RuleServerOptions opt;
+        opt.use_guided_search = guided;
+        opt.share_multi_patterns = share;
+        opt.precompute_sketches = precompute;
+        auto server = RuleServer::Create(w.graph, w.records, opt);
+        ASSERT_TRUE(server.ok()) << server.status();
+        auto got = (*server)->IdentifyAll(0.8);
+        ASSERT_TRUE(got.ok());
+        ExpectSameAnswer(*got, batch,
+                         "guided=" + std::to_string(guided) +
+                             " share=" + std::to_string(share) +
+                             " precompute=" + std::to_string(precompute));
+      }
+    }
+  }
+}
+
+TEST(ServeEquivalence, TinyCacheStillCorrect) {
+  // Capacity far below the candidate count: the LRU thrashes, answers must
+  // not change (the transient request rows, not the cache, carry results).
+  Workload w = MakeWorkload(2);
+  EipResult batch = BatchIdentify(w.graph, w.sigma, 0.5, false);
+  RuleServerOptions opt;
+  opt.cache_capacity = 8;  // (rule, center) pairs — a handful of centers
+  auto server = RuleServer::Create(w.graph, w.records, opt);
+  ASSERT_TRUE(server.ok());
+  RuleServer& s = **server;
+  for (int round = 0; round < 2; ++round) {
+    auto got = s.IdentifyAll(0.5);
+    ASSERT_TRUE(got.ok());
+    ExpectSameAnswer(*got, batch, "tiny cache round " + std::to_string(round));
+  }
+  EXPECT_LE(s.cached_centers(), 8u);
+
+  ServeRequest req;
+  req.centers = SampleCenters(s, 9, 5);
+  auto reply = s.Serve(req);
+  ASSERT_TRUE(reply.ok());
+  for (size_t i = 0; i < req.centers.size(); ++i) {
+    EXPECT_EQ(reply->matched[i],
+              OracleMatched(w.graph, w.sigma, req.centers[i], false));
+  }
+}
+
+TEST(ServeEquivalence, SnapshotLoadRoundTrip) {
+  // mine -> write snapshot pair -> Load: same answers as in-memory Create.
+  Workload w = MakeWorkload(4);
+  std::string dir = ::testing::TempDir();
+  std::string gpath = dir + "/serve_test_graph.snap";
+  std::string rpath = dir + "/serve_test_rules.snap";
+  ASSERT_TRUE(WriteGraphSnapshotFile(w.graph, gpath).ok());
+  ASSERT_TRUE(
+      WriteRuleSetSnapshotFile(w.records, w.graph.labels(), rpath).ok());
+
+  auto loaded = RuleServer::Load(gpath, rpath);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto in_memory = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(in_memory.ok());
+
+  auto a = (*loaded)->IdentifyAll(0.7);
+  auto b = (*in_memory)->IdentifyAll(0.7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameAnswer(*a, *b, "loaded vs in-memory");
+  EXPECT_EQ((*loaded)->rules().size(), w.records.size());
+}
+
+TEST(ServeEquivalence, DeltaEquivalentToFreshServer) {
+  Workload w = MakeWorkload(5);
+  std::vector<EdgeInsert> delta = MakeDelta(w.graph, 123, 10);
+  auto patchref = PatchGraphWithInserts(w.graph, delta);
+  ASSERT_TRUE(patchref.ok());
+
+  auto live = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE((*live)->IdentifyAll(0.5).ok());  // warm up pre-delta
+  auto ds = (*live)->ApplyDelta(delta);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->edges_inserted, patchref->edges_inserted);
+
+  auto fresh = RuleServer::Create(patchref->graph, w.records);
+  ASSERT_TRUE(fresh.ok());
+
+  auto a = (*live)->IdentifyAll(0.5);
+  auto b = (*fresh)->IdentifyAll(0.5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameAnswer(*a, *b, "delta-maintained vs fresh");
+}
+
+TEST(RuleServerTest, DuplicateDeltaIsNoOp) {
+  Workload w = MakeWorkload(3);
+  auto server = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(server.ok());
+  RuleServer& s = **server;
+  ASSERT_TRUE(s.IdentifyAll(0.5).ok());
+
+  // Re-insert an existing edge: nothing invalidated, cache stays warm.
+  NodeId v = 0;
+  while (s.graph().out_edges(v).empty()) ++v;
+  AdjEntry e = s.graph().out_edges(v)[0];
+  auto ds = s.ApplyDelta(std::vector<EdgeInsert>{{v, e.label, e.other}});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->edges_inserted, 0u);
+  EXPECT_EQ(ds->duplicates_ignored, 1u);
+  EXPECT_EQ(ds->memberships_invalidated, 0u);
+
+  ServeStats stats;
+  ASSERT_TRUE(s.IdentifyAll(0.5, false, &stats).ok());
+  EXPECT_EQ(stats.cache_probes, 0u);
+}
+
+TEST(RuleServerTest, InputValidation) {
+  Workload w = MakeWorkload(1);
+
+  // Empty rule set.
+  EXPECT_FALSE(RuleServer::Create(w.graph, {}).ok());
+
+  // Mixed predicates.
+  PaperG1 g1 = MakePaperG1();
+  PaperG2 g2 = MakePaperG2();
+  std::vector<RuleRecord> mixed{{g1.r1, 0, 0}, {g2.r4, 0, 0}};
+  EXPECT_FALSE(RuleServer::Create(g1.graph, mixed).ok());
+
+  auto server = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(server.ok());
+  RuleServer& s = **server;
+
+  // Center out of range.
+  ServeRequest bad_center;
+  bad_center.centers = {s.graph().num_nodes() + 7};
+  EXPECT_FALSE(s.Serve(bad_center).ok());
+
+  // Rule index out of range.
+  ServeRequest bad_rule;
+  bad_rule.centers = {0};
+  bad_rule.rules = {static_cast<uint32_t>(w.sigma.size())};
+  EXPECT_FALSE(s.Serve(bad_rule).ok());
+
+  // Non-positive eta.
+  EXPECT_FALSE(s.IdentifyAll(0).ok());
+
+  // Delta referencing unknown node.
+  LabelId l = s.graph().node_label(0);
+  EXPECT_FALSE(
+      s.ApplyDelta(std::vector<EdgeInsert>{{s.graph().num_nodes(), l, 0}})
+          .ok());
+}
+
+TEST(RuleServerTest, RuleSubsetRequestsProbeOnlySelected) {
+  Workload w = MakeWorkload(0);
+  auto server = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(server.ok());
+  RuleServer& s = **server;
+
+  ServeRequest req;
+  req.centers = SampleCenters(s, 17, 4);
+  req.rules = {0};
+  auto reply = s.Serve(req);
+  ASSERT_TRUE(reply.ok());
+  for (size_t i = 0; i < req.centers.size(); ++i) {
+    auto oracle = OracleMatched(w.graph, w.sigma, req.centers[i], false);
+    std::vector<uint32_t> want;
+    if (std::find(oracle.begin(), oracle.end(), 0u) != oracle.end()) {
+      want.push_back(0);
+    }
+    EXPECT_EQ(reply->matched[i], want);
+  }
+  // Only rule 0 was probed at each fresh center.
+  EXPECT_LE(reply->stats.cache_probes, req.centers.size());
+
+  // The same centers for all rules: rule 0 comes from cache.
+  ServeRequest all;
+  all.centers = req.centers;
+  auto reply2 = s.Serve(all);
+  ASSERT_TRUE(reply2.ok());
+  EXPECT_GT(reply2->stats.cache_hits, 0u);
+  for (size_t i = 0; i < all.centers.size(); ++i) {
+    EXPECT_EQ(reply2->matched[i],
+              OracleMatched(w.graph, w.sigma, all.centers[i], false));
+  }
+}
+
+TEST(RuleServerTest, RequireConsequentSemantics) {
+  Workload w = MakeWorkload(2);
+  auto server = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(server.ok());
+  RuleServer& s = **server;
+  ServeRequest req;
+  req.centers = SampleCenters(s, 3, 6);
+  req.require_consequent = true;
+  auto reply = s.Serve(req);
+  ASSERT_TRUE(reply.ok());
+  for (size_t i = 0; i < req.centers.size(); ++i) {
+    EXPECT_EQ(reply->matched[i],
+              OracleMatched(w.graph, w.sigma, req.centers[i], true));
+  }
+}
+
+}  // namespace
+}  // namespace gpar

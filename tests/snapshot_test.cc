@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/binary_io.h"
+#include "graph/generator.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_delta.h"
+#include "graph/graph_io.h"
+#include "graph/graph_snapshot.h"
+#include "graph/paper_graphs.h"
+#include "rule/rule_snapshot.h"
+
+namespace gpar {
+namespace {
+
+std::string GraphBytes(const Graph& g) {
+  std::ostringstream os(std::ios::binary);
+  EXPECT_TRUE(WriteGraphSnapshot(g, os).ok());
+  return os.str();
+}
+
+std::string RuleBytes(const std::vector<RuleRecord>& rules,
+                      const Interner& labels) {
+  std::ostringstream os(std::ios::binary);
+  EXPECT_TRUE(WriteRuleSetSnapshot(rules, labels, os).ok());
+  return os.str();
+}
+
+/// The acceptance property: write -> read -> write is byte-identical, and
+/// the reloaded graph answers like the original.
+void CheckGraphRoundTrip(const Graph& g) {
+  std::string bytes = GraphBytes(g);
+  std::istringstream is(bytes);
+  auto reloaded = ReadGraphSnapshot(is);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(GraphBytes(*reloaded), bytes);
+
+  ASSERT_EQ(reloaded->num_nodes(), g.num_nodes());
+  ASSERT_EQ(reloaded->num_edges(), g.num_edges());
+  EXPECT_EQ(reloaded->labels().size(), g.labels().size());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(reloaded->node_label(v), g.node_label(v));
+    auto a = g.out_edges(v), b = reloaded->out_edges(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    auto ai = g.in_edges(v), bi = reloaded->in_edges(v);
+    ASSERT_EQ(ai.size(), bi.size());
+    for (size_t i = 0; i < ai.size(); ++i) EXPECT_EQ(ai[i], bi[i]);
+  }
+  // Also equivalent to the text format's view of the graph.
+  std::ostringstream ta, tb;
+  ASSERT_TRUE(WriteGraphText(g, ta).ok());
+  ASSERT_TRUE(WriteGraphText(*reloaded, tb).ok());
+  EXPECT_EQ(ta.str(), tb.str());
+}
+
+TEST(GraphSnapshotTest, RoundTripSmall) {
+  GraphBuilder b;
+  NodeId alice = b.AddNode("cust");
+  NodeId bob = b.AddNode("cust");
+  NodeId shop = b.AddNode("French_restaurant");
+  ASSERT_TRUE(b.AddEdge(alice, "visit", shop).ok());
+  ASSERT_TRUE(b.AddEdge(bob, "visit", shop).ok());
+  ASSERT_TRUE(b.AddEdge(alice, "follow", bob).ok());
+  CheckGraphRoundTrip(std::move(b).Build());
+}
+
+TEST(GraphSnapshotTest, RoundTripEmptyAndIsolated) {
+  CheckGraphRoundTrip(GraphBuilder().Build());
+
+  GraphBuilder b;
+  b.AddNode("lonely");
+  b.AddNode("also_lonely");
+  CheckGraphRoundTrip(std::move(b).Build());
+}
+
+TEST(GraphSnapshotTest, RoundTripInternerWithUnusedLabels) {
+  // Labels interned but never used by a node/edge (e.g. during mining)
+  // must survive, or label ids in rule evaluations would shift.
+  GraphBuilder b;
+  NodeId v = b.AddNode("user");
+  b.AddNode("user");
+  ASSERT_TRUE(b.AddEdge(v, "follows", v + 1).ok());
+  Graph g = std::move(b).Build();
+  g.mutable_labels()->Intern("never_used_anywhere");
+  CheckGraphRoundTrip(g);
+}
+
+TEST(GraphSnapshotTest, RoundTripGenerated) {
+  CheckGraphRoundTrip(MakePokecLike(1, 7));
+  CheckGraphRoundTrip(MakeSynthetic(500, 1500, 20, 11));
+}
+
+TEST(GraphSnapshotTest, RejectsCorruption) {
+  Graph g = MakeSynthetic(50, 120, 8, 3);
+  std::string bytes = GraphBytes(g);
+
+  {  // bad magic
+    std::string bad = bytes;
+    bad[0] ^= 0x5a;
+    std::istringstream is(bad);
+    auto r = ReadGraphSnapshot(is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+  {  // bad version
+    std::string bad = bytes;
+    bad[8] = 99;
+    std::istringstream is(bad);
+    EXPECT_FALSE(ReadGraphSnapshot(is).ok());
+  }
+  {  // truncated payload
+    std::string bad = bytes.substr(0, bytes.size() - 7);
+    std::istringstream is(bad);
+    EXPECT_FALSE(ReadGraphSnapshot(is).ok());
+  }
+  {  // flipped payload byte -> checksum mismatch
+    std::string bad = bytes;
+    bad[bytes.size() / 2] ^= 0x01;
+    std::istringstream is(bad);
+    auto r = ReadGraphSnapshot(is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+  {  // empty stream
+    std::istringstream is("");
+    EXPECT_FALSE(ReadGraphSnapshot(is).ok());
+  }
+  {  // huge declared payload size: clean Corruption, no giant allocation
+    std::string bad = bytes.substr(0, 12);
+    for (int i = 0; i < 8; ++i) bad.push_back(static_cast<char>(0x3f));
+    bad.append(bytes.substr(20));
+    std::istringstream is(bad);
+    auto r = ReadGraphSnapshot(is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+  {  // huge declared node count inside a checksummed payload
+    GraphBuilder b;
+    b.AddNode("a");
+    std::string small = GraphBytes(std::move(b).Build());
+    // Payload layout here: u32 label_count=1, (u32 len=1, 'a'),
+    // u32 num_nodes at offset 28 + 9.
+    std::string bad = small;
+    for (int i = 0; i < 4; ++i) bad[28 + 9 + i] = static_cast<char>(0xff);
+    // Re-stamp the checksum so only the count check can reject.
+    std::string payload = bad.substr(28);
+    uint64_t sum = Fnv1a64(payload);
+    std::string sum_bytes;
+    PutU64(&sum_bytes, sum);
+    for (int i = 0; i < 8; ++i) bad[20 + i] = sum_bytes[i];
+    std::istringstream is(bad);
+    auto r = ReadGraphSnapshot(is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(RuleSnapshotTest, RoundTripWithMetadata) {
+  PaperG1 g1 = MakePaperG1();
+  std::vector<RuleRecord> records{
+      {g1.r1, 42, 0.75},
+      {g1.r5, 7, 1.25},
+      {g1.r6, 0, 0.0},
+  };
+  const Interner& labels = g1.graph.labels();
+  std::string bytes = RuleBytes(records, labels);
+
+  std::istringstream is(bytes);
+  auto reloaded = ReadRuleSetSnapshot(is, g1.graph.mutable_labels());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ASSERT_EQ(reloaded->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*reloaded)[i].rule, records[i].rule) << "rule " << i;
+    EXPECT_EQ((*reloaded)[i].supp, records[i].supp);
+    EXPECT_EQ((*reloaded)[i].conf, records[i].conf);
+  }
+  // Byte-identical re-serialization.
+  EXPECT_EQ(RuleBytes(*reloaded, labels), bytes);
+}
+
+TEST(RuleSnapshotTest, LoadsIntoFreshInterner) {
+  // Rule snapshots are self-describing (label names): loading against an
+  // empty dictionary works and the patterns keep their structure.
+  PaperG1 g1 = MakePaperG1();
+  std::vector<RuleRecord> records{{g1.r1, 1, 0.5}};
+  std::string bytes = RuleBytes(records, g1.graph.labels());
+
+  Interner fresh;
+  std::istringstream is(bytes);
+  auto reloaded = ReadRuleSetSnapshot(is, &fresh);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ASSERT_EQ(reloaded->size(), 1u);
+  const Gpar& r = (*reloaded)[0].rule;
+  EXPECT_EQ(r.antecedent().num_nodes(), g1.r1.antecedent().num_nodes());
+  EXPECT_EQ(r.antecedent().num_edges(), g1.r1.antecedent().num_edges());
+  EXPECT_EQ(fresh.Name(r.q_label()),
+            g1.graph.labels().Name(g1.r1.q_label()));
+}
+
+TEST(RuleSnapshotTest, RejectsCorruption) {
+  PaperG1 g1 = MakePaperG1();
+  std::vector<RuleRecord> records{{g1.r1, 1, 0.5}};
+  std::string bytes = RuleBytes(records, g1.graph.labels());
+  Interner fresh;
+  {
+    std::string bad = bytes;
+    bad[0] ^= 0xff;
+    std::istringstream is(bad);
+    EXPECT_FALSE(ReadRuleSetSnapshot(is, &fresh).ok());
+  }
+  {
+    std::string bad = bytes;
+    bad.back() ^= 0x10;  // payload flip -> checksum
+    std::istringstream is(bad);
+    EXPECT_FALSE(ReadRuleSetSnapshot(is, &fresh).ok());
+  }
+  {
+    std::string bad = bytes.substr(0, bytes.size() / 2);
+    std::istringstream is(bad);
+    EXPECT_FALSE(ReadRuleSetSnapshot(is, &fresh).ok());
+  }
+}
+
+TEST(GraphDeltaTest, PatchedEqualsRebuilt) {
+  Graph g = MakeSynthetic(200, 500, 12, 5);
+  std::vector<EdgeInsert> inserts;
+  LabelId like = g.mutable_labels()->Intern("delta_like");
+  // A mix: brand-new label, existing labels, duplicates, repeats.
+  inserts.push_back({3, like, 9});
+  inserts.push_back({3, like, 9});  // repeated in the batch
+  inserts.push_back({17, g.node_label(0), 4});
+  {
+    auto existing = g.out_edges(1);
+    if (!existing.empty()) {
+      inserts.push_back({1, existing[0].label, existing[0].other});  // dup
+    }
+  }
+  inserts.push_back({199, like, 0});
+
+  auto patch = PatchGraphWithInserts(g, inserts);
+  ASSERT_TRUE(patch.ok()) << patch.status();
+
+  // Reference: rebuild from scratch with the original edges + inserts.
+  GraphBuilder b(g.labels_ptr());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) b.AddNode(g.node_label(v));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.out_edges(v)) {
+      ASSERT_TRUE(b.AddEdge(v, e.label, e.other).ok());
+    }
+  }
+  for (const EdgeInsert& e : inserts) {
+    ASSERT_TRUE(b.AddEdge(e.src, e.label, e.dst).ok());
+  }
+  Graph rebuilt = std::move(b).Build();
+
+  // Bit-identical CSR: snapshot bytes are a complete fingerprint.
+  EXPECT_EQ(GraphBytes(patch->graph), GraphBytes(rebuilt));
+  EXPECT_GE(patch->edges_inserted, 3u);
+  EXPECT_GE(patch->duplicates, 1u);
+  EXPECT_EQ(patch->applied.size(), patch->edges_inserted);
+}
+
+TEST(GraphDeltaTest, ValidatesInserts) {
+  Graph g = MakeSynthetic(10, 20, 3, 1);
+  LabelId l = g.node_label(0);
+  {
+    auto r = PatchGraphWithInserts(g, std::vector<EdgeInsert>{{99, l, 0}});
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    LabelId bogus = static_cast<LabelId>(g.labels().size() + 5);
+    auto r = PatchGraphWithInserts(g, std::vector<EdgeInsert>{{0, bogus, 1}});
+    EXPECT_FALSE(r.ok());
+  }
+  {  // all-duplicate batch: graph unchanged
+    auto e = g.out_edges(0);
+    if (!e.empty()) {
+      auto r = PatchGraphWithInserts(
+          g, std::vector<EdgeInsert>{{0, e[0].label, e[0].other}});
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r->edges_inserted, 0u);
+      EXPECT_EQ(r->duplicates, 1u);
+      EXPECT_EQ(GraphBytes(r->graph), GraphBytes(g));
+    }
+  }
+}
+
+TEST(GraphDeltaTest, RadiusBfsFindsLocalNodes) {
+  // Path 0-1-2-3-4 (undirected reach through directed edges).
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddNode("n");
+  for (NodeId i = 0; i + 1 < 5; ++i) {
+    ASSERT_TRUE(b.AddEdge(i, "e", i + 1).ok());
+  }
+  Graph g = std::move(b).Build();
+  std::vector<NodeId> sources{2};
+  auto within = NodesWithinRadiusOfAny(g, sources, 1);
+  ASSERT_EQ(within.size(), 3u);
+  EXPECT_EQ(within[0], (std::pair<NodeId, uint32_t>{2, 0}));
+  // Radius 2 reaches everything.
+  EXPECT_EQ(NodesWithinRadiusOfAny(g, sources, 2).size(), 5u);
+  // Two sources dedup.
+  std::vector<NodeId> both{0, 1};
+  auto r = NodesWithinRadiusOfAny(g, both, 0);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gpar

@@ -4,45 +4,43 @@
 //   gpar_tool info     --graph g.txt
 //   gpar_tool mine     --graph g.txt --x user --edge like_music --y music_1
 //                      [--k 10 --d 2 --sigma 5 --lambda 0.5 --workers 4]
-//                      [--rules-out rules.txt]
+//                      [--rules-out rules.txt] [--snapshot-out rules.snap]
 //   gpar_tool identify --graph g.txt --rules rules.txt --eta 1.0
 //                      [--algo match|matchc|disvf2|seq] [--workers 4]
+//   gpar_tool snapshot --graph g.txt --out g.snap
+//                      [--rules rules.txt --rules-out rules.snap]
+//   gpar_tool serve    --graph-snapshot g.snap --rules-snapshot rules.snap
+//                      [--workers 4 --cache 1048576] (query loop on stdin;
+//                      type `help` at the prompt)
 //
 // Graphs use the `v/e` text format of graph_io.h; rule files use the
-// Gpar::SerializeSet format (pattern codec blocks separated by `---`).
+// Gpar::SerializeSet format (pattern codec blocks separated by `---`);
+// snapshots use the binary formats of graph_snapshot.h / rule_snapshot.h.
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 
+#include "common/flags.h"
 #include "graph/generator.h"
 #include "graph/graph_io.h"
+#include "graph/graph_snapshot.h"
 #include "graph/stats.h"
 #include "identify/eip.h"
 #include "mine/dmine.h"
 #include "rule/gpar.h"
+#include "rule/rule_snapshot.h"
+#include "serve/rule_server.h"
 
 namespace {
 
 using namespace gpar;
-
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first) {
-  std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "expected --flag, got %s\n", key.c_str());
-      std::exit(2);
-    }
-    flags[key.substr(2)] = argv[i + 1];
-  }
-  return flags;
-}
 
 std::string FlagOr(const std::map<std::string, std::string>& flags,
                    const std::string& key, const std::string& def) {
@@ -58,6 +56,24 @@ std::string RequireFlag(const std::map<std::string, std::string>& flags,
     std::exit(2);
   }
   return it->second;
+}
+
+/// Checked numeric flag lookups: a malformed value is a usage error (exit
+/// 2), not an uncaught std::stoul exception.
+template <typename T>
+T NumFlagOr(const std::map<std::string, std::string>& flags,
+            const std::string& key, T def) {
+  auto it = flags.find(key);
+  if (it == flags.end()) return def;
+  const std::string& s = it->second;
+  T v{};
+  auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || end != s.data() + s.size()) {
+    std::fprintf(stderr, "flag --%s expects a number, got '%s'\n",
+                 key.c_str(), s.c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 Graph LoadGraph(const std::string& path) {
@@ -82,8 +98,8 @@ LabelId RequireLabel(const Graph& g, const std::string& name) {
 
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
   std::string type = FlagOr(flags, "type", "synthetic");
-  uint32_t scale = std::stoul(FlagOr(flags, "scale", "1"));
-  uint64_t seed = std::stoull(FlagOr(flags, "seed", "42"));
+  uint32_t scale = NumFlagOr<uint32_t>(flags, "scale", 1);
+  uint64_t seed = NumFlagOr<uint64_t>(flags, "seed", 42);
   Graph g;
   if (type == "pokec") {
     g = MakePokecLike(scale, seed);
@@ -130,12 +146,12 @@ int CmdMine(const std::map<std::string, std::string>& flags) {
               RequireLabel(g, RequireFlag(flags, "edge")),
               RequireLabel(g, RequireFlag(flags, "y"))};
   DmineOptions opt;
-  opt.k = std::stoul(FlagOr(flags, "k", "10"));
-  opt.d = std::stoul(FlagOr(flags, "d", "2"));
-  opt.sigma = std::stoull(FlagOr(flags, "sigma", "5"));
-  opt.lambda = std::stod(FlagOr(flags, "lambda", "0.5"));
-  opt.num_workers = std::stoul(FlagOr(flags, "workers", "4"));
-  opt.max_pattern_edges = std::stoul(FlagOr(flags, "max-edges", "4"));
+  opt.k = NumFlagOr<uint32_t>(flags, "k", 10);
+  opt.d = NumFlagOr<uint32_t>(flags, "d", 2);
+  opt.sigma = NumFlagOr<uint64_t>(flags, "sigma", 5);
+  opt.lambda = NumFlagOr<double>(flags, "lambda", 0.5);
+  opt.num_workers = NumFlagOr<uint32_t>(flags, "workers", 4);
+  opt.max_pattern_edges = NumFlagOr<uint32_t>(flags, "max-edges", 4);
 
   auto result = Dmine(g, q, opt);
   if (!result.ok()) {
@@ -147,11 +163,13 @@ int CmdMine(const std::map<std::string, std::string>& flags) {
               result->stats.accepted, opt.k, result->objective,
               result->times.SimulatedParallelSeconds());
   std::vector<Gpar> rules;
+  std::vector<RuleRecord> records;
   for (const auto& r : result->topk) {
     std::printf("--- supp=%llu conf=%.3f ---\n%s",
                 static_cast<unsigned long long>(r->supp), r->conf,
                 r->rule.ToString(g.labels()).c_str());
     rules.push_back(r->rule);
+    records.push_back({r->rule, r->supp, r->conf});
   }
   auto it = flags.find("rules-out");
   if (it != flags.end()) {
@@ -162,6 +180,16 @@ int CmdMine(const std::map<std::string, std::string>& flags) {
     }
     os << Gpar::SerializeSet(rules, g.labels());
     std::printf("wrote %zu rules to %s\n", rules.size(), it->second.c_str());
+  }
+  it = flags.find("snapshot-out");
+  if (it != flags.end()) {
+    Status s = WriteRuleSetSnapshotFile(records, g.labels(), it->second);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rules (with supp/conf metadata) to %s\n",
+                records.size(), it->second.c_str());
   }
   return 0;
 }
@@ -183,8 +211,8 @@ int CmdIdentify(const std::map<std::string, std::string>& flags) {
   }
 
   EipOptions opt;
-  opt.eta = std::stod(FlagOr(flags, "eta", "1.0"));
-  opt.num_workers = std::stoul(FlagOr(flags, "workers", "4"));
+  opt.eta = NumFlagOr<double>(flags, "eta", 1.0);
+  opt.num_workers = NumFlagOr<uint32_t>(flags, "workers", 4);
   std::string algo = FlagOr(flags, "algo", "match");
   if (algo == "match") {
     opt.algorithm = EipAlgorithm::kMatch;
@@ -224,10 +252,175 @@ int CmdIdentify(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdSnapshot(const std::map<std::string, std::string>& flags) {
+  Graph g = LoadGraph(RequireFlag(flags, "graph"));
+  std::string out = RequireFlag(flags, "out");
+  Status s = WriteGraphSnapshotFile(g, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote graph snapshot %s: %u nodes, %zu edges\n", out.c_str(),
+              g.num_nodes(), g.num_edges());
+
+  auto it = flags.find("rules");
+  if (it != flags.end()) {
+    std::ifstream is(it->second);
+    if (!is) {
+      std::fprintf(stderr, "cannot open %s\n", it->second.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    auto rules = Gpar::ParseSet(buffer.str(), g.mutable_labels());
+    if (!rules.ok()) {
+      std::fprintf(stderr, "bad rules file: %s\n",
+                   rules.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<RuleRecord> records;
+    for (const Gpar& r : *rules) records.push_back({r, 0, 0.0});
+    std::string rules_out = RequireFlag(flags, "rules-out");
+    s = WriteRuleSetSnapshotFile(records, g.labels(), rules_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote rule snapshot %s: %zu rules\n", rules_out.c_str(),
+                records.size());
+  }
+  return 0;
+}
+
+// The serve query loop's line protocol (one command per line on stdin):
+//   id <center> [<center> ...]   classify centers against all loaded rules
+//   all [eta]                    full identification (default eta 1.0)
+//   delta <src> <elabel> <dst> [<src> <elabel> <dst> ...]   apply inserts
+//   stats                        lifetime serving statistics
+//   quit                         exit
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  RuleServerOptions opt;
+  opt.num_workers = NumFlagOr<uint32_t>(flags, "workers", 4);
+  opt.cache_capacity = NumFlagOr<size_t>(flags, "cache", 1048576);
+  auto server = RuleServer::Load(RequireFlag(flags, "graph-snapshot"),
+                                 RequireFlag(flags, "rules-snapshot"), opt);
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot load server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  RuleServer& s = **server;
+  std::printf("serving %u nodes, %zu edges, %zu rules, %zu candidates "
+              "(%zu plans, %zu sketches precomputed)\n",
+              s.graph().num_nodes(), s.graph().num_edges(), s.rules().size(),
+              s.candidates().size(), s.plans_prepared(),
+              s.sketches_precomputed());
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd) || cmd == "help") {
+      std::printf("commands: id <center>... | all [eta] | "
+                  "delta <src> <elabel> <dst>... | stats | quit\n");
+      continue;
+    }
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "id") {
+      ServeRequest req;
+      NodeId v;
+      while (ls >> v) req.centers.push_back(v);
+      if (!ls.eof() || req.centers.empty()) {
+        std::printf("usage: id <center> [<center> ...]\n");
+        continue;
+      }
+      auto reply = s.Serve(req);
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.status().ToString().c_str());
+        continue;
+      }
+      for (size_t i = 0; i < req.centers.size(); ++i) {
+        std::printf("  node %u:", req.centers[i]);
+        if (reply->matched[i].empty()) std::printf(" no rule matches");
+        for (uint32_t ri : reply->matched[i]) {
+          std::printf(" R%u(conf=%.3f)", ri, s.rules()[ri].conf);
+        }
+        std::printf("\n");
+      }
+      std::printf("  [%llu hits, %llu probes, %.2f ms]\n",
+                  static_cast<unsigned long long>(reply->stats.cache_hits),
+                  static_cast<unsigned long long>(reply->stats.cache_probes),
+                  reply->stats.latency_seconds * 1e3);
+    } else if (cmd == "all") {
+      double eta = 1.0;
+      ls >> eta;
+      ServeStats st;
+      auto r = s.IdentifyAll(eta, /*require_consequent=*/false, &st);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      for (size_t i = 0; i < r->rule_evals.size(); ++i) {
+        std::printf("  rule %zu: supp=%llu conf=%.3f%s\n", i,
+                    static_cast<unsigned long long>(r->rule_evals[i].supp_r),
+                    r->rule_evals[i].conf,
+                    r->rule_evals[i].conf >= eta ? "  [selected]" : "");
+      }
+      std::printf("  %zu entities at eta=%.2f [%llu hits, %llu probes, "
+                  "%.2f ms]\n",
+                  r->entities.size(), eta,
+                  static_cast<unsigned long long>(st.cache_hits),
+                  static_cast<unsigned long long>(st.cache_probes),
+                  st.latency_seconds * 1e3);
+    } else if (cmd == "delta") {
+      std::vector<EdgeInsert> inserts;
+      NodeId src, dst;
+      std::string elabel;
+      bool bad = false;
+      while (ls >> src) {
+        if (!(ls >> elabel >> dst)) {
+          bad = true;
+          break;
+        }
+        inserts.push_back({src, s.InternLabel(elabel), dst});
+      }
+      if (bad || inserts.empty()) {
+        std::printf("usage: delta <src> <elabel> <dst> ...\n");
+        continue;
+      }
+      auto ds = s.ApplyDelta(inserts);
+      if (!ds.ok()) {
+        std::printf("error: %s\n", ds.status().ToString().c_str());
+        continue;
+      }
+      std::printf("  +%zu edges (%zu dup), %llu memberships + %llu q-classes "
+                  "invalidated, %llu sketches refreshed, %.2f ms\n",
+                  ds->edges_inserted, ds->duplicates_ignored,
+                  static_cast<unsigned long long>(ds->memberships_invalidated),
+                  static_cast<unsigned long long>(ds->qclass_invalidated),
+                  static_cast<unsigned long long>(ds->sketches_refreshed),
+                  ds->seconds * 1e3);
+    } else if (cmd == "stats") {
+      const ServeStats& st = s.lifetime_stats();
+      std::printf("  requests=%llu hits=%llu probes=%llu centers=%llu "
+                  "cached=%zu total_latency=%.2f ms\n",
+                  static_cast<unsigned long long>(st.requests),
+                  static_cast<unsigned long long>(st.cache_hits),
+                  static_cast<unsigned long long>(st.cache_probes),
+                  static_cast<unsigned long long>(st.centers_evaluated),
+                  s.cached_centers(), st.latency_seconds * 1e3);
+    } else {
+      std::printf("unknown command '%s' (try help)\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: gpar_tool <generate|info|mine|identify> --flag value "
-               "...\n(see the header comment of tools/gpar_tool.cc)\n");
+               "usage: gpar_tool <generate|info|mine|identify|snapshot|serve> "
+               "--flag value ...\n"
+               "(see the header comment of tools/gpar_tool.cc)\n");
 }
 
 }  // namespace
@@ -238,11 +431,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string cmd = argv[1];
-  auto flags = ParseFlags(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(flags);
-  if (cmd == "info") return CmdInfo(flags);
-  if (cmd == "mine") return CmdMine(flags);
-  if (cmd == "identify") return CmdIdentify(flags);
+  auto flags = ParseFlagArgs(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().message().c_str());
+    return 2;
+  }
+  if (cmd == "generate") return CmdGenerate(*flags);
+  if (cmd == "info") return CmdInfo(*flags);
+  if (cmd == "mine") return CmdMine(*flags);
+  if (cmd == "identify") return CmdIdentify(*flags);
+  if (cmd == "snapshot") return CmdSnapshot(*flags);
+  if (cmd == "serve") return CmdServe(*flags);
   Usage();
   return 2;
 }

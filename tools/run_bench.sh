@@ -13,8 +13,12 @@
 # exp4_partition_skew run: partition build time and fragment memory for
 # zero-copy GraphView fragments vs the use_fragment_copies baseline.
 #
+# A fourth JSON report (SERVE_JSON) comes from a CI-sized exp5_serve run:
+# cold vs warm-cache QPS of the RuleServer serving path and the cost of
+# edge-delta invalidation, against the per-request batch baseline.
+#
 # Usage:
-#   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON] [PARTITION_JSON]
+#   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON] [PARTITION_JSON] [SERVE_JSON]
 #
 # Environment:
 #   GPAR_BENCH_BIN_DIR   directory holding the bench binaries
@@ -30,6 +34,7 @@ set -euo pipefail
 out="${1:-BENCH_micro.json}"
 dmine_out="${2:-BENCH_dmine.json}"
 partition_out="${3:-BENCH_partition.json}"
+serve_out="${4:-BENCH_serve.json}"
 bin_dir="${GPAR_BENCH_BIN_DIR:-build/release/bench}"
 
 if [[ ! -d "${bin_dir}" ]]; then
@@ -57,6 +62,16 @@ if [[ -x "${partition_bin}" ]]; then
     "${partition_bin}"
 else
   echo "warning: ${partition_bin} not built; skipping ${partition_out}" >&2
+fi
+
+# Rule-serving sweep (cold/warm QPS + delta invalidation).
+serve_bin="${bin_dir}/exp5_serve"
+if [[ -x "${serve_bin}" ]]; then
+  echo "== exp5_serve -> ${serve_out}" >&2
+  GPAR_BENCH_SMALL="${GPAR_BENCH_SMALL:-1}" GPAR_BENCH_JSON="${serve_out}" \
+    "${serve_bin}"
+else
+  echo "warning: ${serve_bin} not built; skipping ${serve_out}" >&2
 fi
 
 shopt -s nullglob
