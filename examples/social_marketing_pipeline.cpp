@@ -3,8 +3,10 @@
 // serving:
 //   (1) mine diversified GPARs for an event q(x, y) with DMine;
 //   (2) persist the graph and the mined rules as binary snapshots;
-//   (3) load them into a long-lived RuleServer and answer identify
-//       requests as they "arrive" — including after live edge updates.
+//   (3) load them into a long-lived serving session (`ServeSession`) and
+//       answer identify requests as they "arrive" — including after live
+//       edge updates — then A/B the same snapshot pair through a 2-shard
+//       `ShardedRuleServer` deployment.
 //
 //   ./build/examples/social_marketing_pipeline
 //
@@ -23,6 +25,7 @@
 #include "mine/dmine.h"
 #include "rule/rule_snapshot.h"
 #include "serve/rule_server.h"
+#include "serve/sharded_rule_server.h"
 
 int main() {
   using namespace gpar;
@@ -96,33 +99,36 @@ int main() {
                  server.status().ToString().c_str());
     return 1;
   }
-  RuleServer& s = **server;
+  RuleServer& s = **server;  // speaks the ServeSession interface
   std::printf("RuleServer up: %zu rules, %zu candidate users, "
               "%zu plans + %zu sketches precomputed\n",
               s.rules().size(), s.candidates().size(), s.plans_prepared(),
               s.sketches_precomputed());
 
   // A full identification — the campaign audience at eta = 1.0.
-  ServeStats all_stats;
-  auto audience = s.IdentifyAll(/*eta=*/1.0, false, &all_stats);
+  SessionRequest all_req;
+  all_req.all_centers = true;
+  all_req.eta = 1.0;
+  auto audience = s.Query(all_req);
   if (!audience.ok()) {
-    std::fprintf(stderr, "IdentifyAll failed: %s\n",
+    std::fprintf(stderr, "full identification failed: %s\n",
                  audience.status().ToString().c_str());
     return 1;
   }
   std::printf("\nfull identification: %zu potential customers at eta=1.0 "
               "(%.1f ms cold)\n",
-              audience->entities.size(), all_stats.latency_seconds * 1e3);
+              audience->entities.size(),
+              audience->stats.latency_seconds * 1e3);
 
   // Online requests: batches of users "arriving" at the service.
   std::mt19937_64 rng(7);
   for (int batch = 0; batch < 3; ++batch) {
-    ServeRequest req;
+    SessionRequest req;
     for (int i = 0; i < 32; ++i) {
       req.centers.push_back(
           s.candidates()[rng() % s.candidates().size()]);
     }
-    auto reply = s.Serve(req);
+    auto reply = s.Query(req);
     if (!reply.ok()) return 1;
     std::printf("request %d: %zu/%zu users matched >=1 rule "
                 "[%llu hits, %llu probes, %.2f ms]\n",
@@ -132,14 +138,15 @@ int main() {
                 reply->stats.latency_seconds * 1e3);
   }
 
-  // The graph is alive: new follow edges arrive; only nearby cached
-  // answers are invalidated.
+  // The graph is alive: new follow edges arrive as one typed, serializable
+  // GraphDelta batch; only nearby cached answers are invalidated.
+  const NodeId num_nodes = s.graph_snapshot()->num_nodes();
+  GraphDelta delta;
+  delta.inserts.reserve(5);
   LabelId follows = s.InternLabel("follows");
-  std::vector<EdgeInsert> delta;
   for (int i = 0; i < 5; ++i) {
-    delta.push_back({static_cast<NodeId>(rng() % s.graph().num_nodes()),
-                     follows,
-                     static_cast<NodeId>(rng() % s.graph().num_nodes())});
+    delta.inserts.push_back({static_cast<NodeId>(rng() % num_nodes), follows,
+                             static_cast<NodeId>(rng() % num_nodes)});
   }
   auto ds = s.ApplyDelta(delta);
   if (!ds.ok()) return 1;
@@ -150,20 +157,21 @@ int main() {
               static_cast<unsigned long long>(ds->sketches_refreshed),
               ds->seconds * 1e3);
 
-  ServeStats fresh_stats;
-  auto refreshed = s.IdentifyAll(/*eta=*/1.0, false, &fresh_stats);
+  auto refreshed = s.Query(all_req);
   if (!refreshed.ok()) return 1;
   std::printf("re-identification after delta: %zu customers "
               "(%.1f ms, %llu re-probes — the locality win)\n",
-              refreshed->entities.size(), fresh_stats.latency_seconds * 1e3,
-              static_cast<unsigned long long>(fresh_stats.cache_probes));
+              refreshed->entities.size(),
+              refreshed->stats.latency_seconds * 1e3,
+              static_cast<unsigned long long>(refreshed->stats.cache_probes));
 
   // How many are *new* prospects (no like_music edge to the target yet)?
+  std::shared_ptr<const Graph> live = s.graph_snapshot();
   size_t fresh = 0;
   for (NodeId v : refreshed->entities) {
     bool has = false;
-    for (const AdjEntry& e : s.graph().out_edges_labeled(v, q.edge_label)) {
-      if (s.graph().node_label(e.other) == q.y_label) {
+    for (const AdjEntry& e : live->out_edges_labeled(v, q.edge_label)) {
+      if (live->node_label(e.other) == q.y_label) {
         has = true;
         break;
       }
@@ -172,6 +180,53 @@ int main() {
   }
   std::printf("of which %zu have not liked the target genre yet — the "
               "campaign audience.\n", fresh);
+
+  // --- Stage 4: the same session API, sharded. ------------------------------
+  // Load the identical snapshot pair behind a 2-shard router, replay the
+  // delta batch (shipped to the shards as serialized "GPARDLTA" bytes),
+  // and confirm the sharded deployment identifies the same audience.
+  ShardedRuleServerOptions shard_opt;
+  shard_opt.num_shards = 2;
+  shard_opt.shard_options = serve_opt;
+  auto sharded = ShardedRuleServer::Load(graph_snap, rules_snap, shard_opt);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "ShardedRuleServer load failed: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+  ShardedRuleServer& r = **sharded;
+  for (uint32_t i = 0; i < r.num_shards(); ++i) {
+    std::printf("shard %u: %zu owned centers, %zu view nodes\n", i,
+                r.shard(i).candidates().size(),
+                r.shard(i).view_members());
+  }
+  // Label dictionaries are append-only and both sessions loaded the same
+  // snapshot, so interning here reproduces the id `delta` was built with.
+  if (r.InternLabel("follows") != follows) {
+    std::fprintf(stderr, "label dictionaries diverged\n");
+    return 1;
+  }
+  auto shard_ds = r.ApplyDelta(delta);
+  if (!shard_ds.ok()) {
+    std::fprintf(stderr, "sharded ApplyDelta failed: %s\n",
+                 shard_ds.status().ToString().c_str());
+    return 1;
+  }
+  auto shard_audience = r.Query(all_req);
+  if (!shard_audience.ok()) {
+    std::fprintf(stderr, "sharded Query failed: %s\n",
+                 shard_audience.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sharded re-identification: %zu customers (%llu wire bytes "
+              "shipped) — %s the single-server answer.\n",
+              shard_audience->entities.size(),
+              static_cast<unsigned long long>(shard_ds->wire_bytes),
+              shard_audience->entities == refreshed->entities
+                  ? "identical to"
+                  : "MISMATCH vs");
+  if (shard_audience->entities != refreshed->entities) return 1;
+
   std::remove(graph_snap.c_str());
   std::remove(rules_snap.c_str());
   return 0;

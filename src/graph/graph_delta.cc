@@ -3,9 +3,77 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/binary_io.h"
 #include "graph/graph_raw_access.h"
 
 namespace gpar {
+
+namespace {
+
+// "GPARDLTA", little-endian — distinct from the graph/rule snapshot magics
+// so a delta frame fed to the wrong codec fails on the first 8 bytes.
+constexpr uint64_t kDeltaMagic = 0x41544C4452415047ull;
+
+}  // namespace
+
+std::string GraphDelta::Serialize() const {
+  std::string payload;
+  PutU64(&payload, sequence);
+  PutU32(&payload, static_cast<uint32_t>(inserts.size()));
+  for (const EdgeInsert& e : inserts) {
+    PutU32(&payload, e.src);
+    PutU32(&payload, e.label);
+    PutU32(&payload, e.dst);
+  }
+  std::string out;
+  PutU64(&out, kDeltaMagic);
+  PutU32(&out, kFormatVersion);
+  PutU64(&out, payload.size());
+  PutU64(&out, Fnv1a64(payload));
+  out += payload;
+  return out;
+}
+
+Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
+  ByteReader r(bytes);
+  uint64_t magic, payload_size, checksum;
+  uint32_t version;
+  if (!r.ReadU64(&magic) || !r.ReadU32(&version) || !r.ReadU64(&payload_size) ||
+      !r.ReadU64(&checksum)) {
+    return Status::Corruption("graph delta: truncated header");
+  }
+  if (magic != kDeltaMagic) {
+    return Status::Corruption("graph delta: bad magic");
+  }
+  if (version != kFormatVersion) {
+    return Status::Corruption("graph delta: unsupported version " +
+                              std::to_string(version));
+  }
+  if (payload_size != r.remaining()) {
+    return Status::Corruption("graph delta: payload size mismatch");
+  }
+  const std::string_view payload = bytes.substr(bytes.size() - r.remaining());
+  if (Fnv1a64(payload) != checksum) {
+    return Status::Corruption("graph delta: checksum mismatch");
+  }
+  GraphDelta delta;
+  uint32_t count;
+  if (!r.ReadU64(&delta.sequence) || !r.ReadU32(&count)) {
+    return Status::Corruption("graph delta: truncated payload");
+  }
+  delta.inserts.reserve(std::min<size_t>(count, r.remaining() / 12));
+  for (uint32_t i = 0; i < count; ++i) {
+    EdgeInsert e;
+    if (!r.ReadU32(&e.src) || !r.ReadU32(&e.label) || !r.ReadU32(&e.dst)) {
+      return Status::Corruption("graph delta: truncated payload");
+    }
+    delta.inserts.push_back(e);
+  }
+  if (!r.exhausted()) {
+    return Status::Corruption("graph delta: trailing bytes");
+  }
+  return delta;
+}
 
 Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
                                          std::span<const EdgeInsert> inserts) {
@@ -73,6 +141,11 @@ Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
   patch.graph = std::move(out);
   patch.applied = std::move(fresh);
   return patch;
+}
+
+Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
+                                         const GraphDelta& delta) {
+  return PatchGraphWithInserts(g, std::span<const EdgeInsert>(delta.inserts));
 }
 
 std::vector<std::pair<NodeId, uint32_t>> NodesWithinRadiusOfAny(

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -19,6 +21,29 @@ struct EdgeInsert {
   NodeId dst;
 
   friend bool operator==(const EdgeInsert&, const EdgeInsert&) = default;
+};
+
+/// A versioned batch of edge insertions — the unit mutations travel in:
+/// `ServeSession::ApplyDelta` takes one, and the sharded serving router
+/// ships the serialized form to its shard servers instead of full graph
+/// snapshots. `sequence` orders batches from a single producer (the router
+/// stamps it; standalone callers may leave it 0).
+struct GraphDelta {
+  static constexpr uint32_t kFormatVersion = 1;
+
+  uint64_t sequence = 0;
+  std::vector<EdgeInsert> inserts;
+
+  /// Framed little-endian encoding (see common/binary_io): magic
+  /// "GPARDLTA", u32 version, u64 payload size, u64 FNV-1a payload
+  /// checksum, then the payload {u64 sequence, u32 count, count x
+  /// (u32 src, u32 label, u32 dst)}.
+  std::string Serialize() const;
+  /// Inverse of `Serialize`; Corruption on bad magic/version/checksum or a
+  /// truncated or oversized buffer.
+  static Result<GraphDelta> Deserialize(std::string_view bytes);
+
+  friend bool operator==(const GraphDelta&, const GraphDelta&) = default;
 };
 
 /// Result of `PatchGraphWithInserts`.
@@ -42,6 +67,11 @@ struct GraphPatch {
 /// the merge is dominated by the memcpy of the untouched adjacency.
 Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
                                          std::span<const EdgeInsert> inserts);
+
+/// Typed-batch form — the primary signature; the span overload above is
+/// kept for callers that assemble inserts ad hoc (tests, tooling).
+Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
+                                         const GraphDelta& delta);
 
 /// Distance-bounded invalidation support: for every node within undirected
 /// distance `radius` of any source, its distance to the nearest source.

@@ -57,10 +57,31 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool& pool, uint32_t n,
                  const std::function<void(uint32_t)>& fn) {
-  for (uint32_t i = 0; i < n; ++i) {
-    pool.Submit([i, &fn] { fn(i); });
+  if (n == 0) return;
+  if (n == 1) {  // nothing to overlap; skip the queue round-trip
+    fn(0);
+    return;
   }
-  pool.Wait();
+  // Per-call completion latch rather than ThreadPool::Wait: Wait drains the
+  // WHOLE pool, so two concurrent ParallelFor calls sharing one pool would
+  // block on each other's tasks. The serving tier runs many simultaneous
+  // requests over one pool, so each call only waits for its own n tasks.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    uint32_t remaining;
+  };
+  Latch latch;
+  latch.remaining = n;
+  for (uint32_t i = 0; i < n; ++i) {
+    pool.Submit([i, &fn, &latch] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
 }
 
 }  // namespace gpar

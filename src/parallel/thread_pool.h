@@ -42,7 +42,11 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// Runs fn(0..n-1) on the pool and waits for completion.
+/// Runs fn(0..n-1) on the pool and waits for completion of exactly those n
+/// tasks (a per-call latch, not `ThreadPool::Wait`), so concurrent calls
+/// may safely share one pool — the serving tier's concurrency substrate.
+/// Do not nest a ParallelFor inside a task running on the same pool: the
+/// outer call holds its worker thread while waiting.
 void ParallelFor(ThreadPool& pool, uint32_t n,
                  const std::function<void(uint32_t)>& fn);
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <numeric>
 #include <set>
 #include <unordered_set>
 #include <utility>
@@ -40,13 +39,11 @@ void Accumulate(ServeStats* into, const ServeStats& s) {
 
 }  // namespace
 
-RuleServer::RuleServer(Graph g, std::vector<RuleRecord> rules,
+RuleServer::RuleServer(std::vector<RuleRecord> rules,
                        const RuleServerOptions& options)
     : options_(options),
-      graph_(std::move(g)),
       records_(std::move(rules)),
-      pool_(std::max(1u, options.num_workers)),
-      sketch_store_(options.sketch_hops) {
+      pool_(std::max(1u, options.num_workers)) {
   options_.num_workers = pool_.num_threads();
 }
 
@@ -63,13 +60,41 @@ Result<std::unique_ptr<RuleServer>> RuleServer::Load(
 
 Result<std::unique_ptr<RuleServer>> RuleServer::Create(
     Graph g, std::vector<RuleRecord> rules, const RuleServerOptions& options) {
+  auto graph = std::make_shared<const Graph>(std::move(g));
   std::unique_ptr<RuleServer> server(
-      new RuleServer(std::move(g), std::move(rules), options));
-  if (Status st = server->Init(); !st.ok()) return st;
+      new RuleServer(std::move(rules), options));
+  server->interner_ = graph->labels_ptr();
+  GPAR_RETURN_NOT_OK(server->Init(std::move(graph), {}));
   return server;
 }
 
-Status RuleServer::Init() {
+Result<std::unique_ptr<RuleServer>> RuleServer::CreateShard(
+    std::shared_ptr<const Graph> graph, std::vector<NodeId> members,
+    std::vector<NodeId> owned_centers, std::vector<RuleRecord> rules,
+    const RuleServerOptions& options) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("shard graph must not be null");
+  }
+  std::unique_ptr<RuleServer> server(
+      new RuleServer(std::move(rules), options));
+  server->is_shard_ = true;
+  // Shard matchers run view-restricted: the parent-graph sketch store would
+  // never be consulted, so skip the precompute entirely.
+  server->options_.precompute_sketches = false;
+  server->interner_ = graph->labels_ptr();
+  std::sort(owned_centers.begin(), owned_centers.end());
+  owned_centers.erase(
+      std::unique(owned_centers.begin(), owned_centers.end()),
+      owned_centers.end());
+  server->candidates_ = std::move(owned_centers);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  GPAR_RETURN_NOT_OK(server->Init(std::move(graph), std::move(members)));
+  return server;
+}
+
+Status RuleServer::Init(std::shared_ptr<const Graph> g,
+                        std::vector<NodeId> members) {
   sigma_.reserve(records_.size());
   for (const RuleRecord& r : records_) sigma_.push_back(r.rule);
   auto info = ValidateSigma(sigma_);
@@ -78,42 +103,62 @@ Status RuleServer::Init() {
   max_d_ = std::max<uint32_t>(info->d, 1);
   pq_ = q_.ToPattern();
   all_ok_.assign(sigma_.size(), 1);
-  other_ok_ = OtherComponentsOk(graph_, sigma_);
   for (const Gpar& r : sigma_) {
     if (!r.other_components().empty()) has_other_components_ = true;
   }
-  {
-    auto span = graph_.nodes_with_label(q_.x_label);
+  if (!is_shard_) {
+    auto span = g->nodes_with_label(q_.x_label);
     candidates_.assign(span.begin(), span.end());
+  } else {
+    for (NodeId c : candidates_) {
+      if (c >= g->num_nodes()) {
+        return Status::InvalidArgument("owned center out of range");
+      }
+    }
   }
 
-  // Per-rule precompute (1): search plans, planned once and shared by every
-  // worker matcher — anchored at x, the only anchor serving ever uses.
-  plan_store_ = std::make_unique<SearchPlanStore>(graph_);
-  auto prepare_at_x = [this](const Pattern& p) {
+  auto st = std::make_shared<State>(options_.sketch_hops);
+  st->graph = std::move(g);
+  if (is_shard_) {
+    st->members = std::move(members);
+    st->view = std::make_unique<GraphView>(*st->graph, st->members);
+  }
+  // Other-component satisfiability is a WHOLE-graph property (components
+  // not containing x match anywhere), so shards, too, compute it on the
+  // parent graph — fragment-local checks would diverge from the
+  // single-server answer.
+  st->other_ok = OtherComponentsOk(*st->graph, sigma_);
+  st->plan_store = std::make_unique<SearchPlanStore>(*st->graph);
+  PreparePlans(st->plan_store.get());
+  if (!is_shard_ && options_.precompute_sketches &&
+      options_.use_guided_search) {
+    PrecomputeSketches(st.get());
+  }
+
+  num_cache_shards_ = std::max<uint32_t>(options_.cache_shards, 1);
+  cache_shards_ = std::make_unique<CacheShard[]>(num_cache_shards_);
+  state_ = std::move(st);
+  return Status::OK();
+}
+
+void RuleServer::PreparePlans(SearchPlanStore* store) const {
+  // Anchored at x, the only anchor serving ever uses; planned once per
+  // state and shared by every matching context of that generation.
+  auto prepare_at_x = [store](const Pattern& p) {
     PNodeId x = p.x();
-    plan_store_->Prepare(p, std::span<const PNodeId>(&x, 1));
+    store->Prepare(p, std::span<const PNodeId>(&x, 1));
   };
   prepare_at_x(pq_);
   for (const Gpar& r : sigma_) {
     prepare_at_x(r.pr());
     prepare_at_x(r.x_component());
     for (const Pattern& comp : r.other_components()) {
-      plan_store_->Prepare(comp, {});
+      store->Prepare(comp, {});
     }
   }
-
-  // Per-rule precompute (2): shared k-hop sketches for every node guided
-  // search can possibly score (nodes whose label occurs in a rule pattern).
-  if (options_.precompute_sketches && options_.use_guided_search) {
-    PrecomputeSketches();
-  }
-
-  BuildWorkers();
-  return Status::OK();
 }
 
-void RuleServer::PrecomputeSketches() {
+void RuleServer::PrecomputeSketches(State* st) const {
   std::set<LabelId> labels;
   auto collect = [&labels](const Pattern& p) {
     for (PNodeId u = 0; u < p.num_nodes(); ++u) labels.insert(p.node(u).label);
@@ -122,39 +167,64 @@ void RuleServer::PrecomputeSketches() {
     collect(r.pr());
     for (const Pattern& comp : r.other_components()) collect(comp);
   }
+  const Graph& g = *st->graph;
   for (LabelId l : labels) {
-    if (l >= graph_.labels().size()) continue;  // wildcard / unset labels
-    for (NodeId v : graph_.nodes_with_label(l)) {
-      if (sketch_store_.size() >= options_.max_precomputed_sketches) return;
-      sketch_store_.Add(graph_, v);
+    if (l >= g.labels().size()) continue;  // wildcard / unset labels
+    for (NodeId v : g.nodes_with_label(l)) {
+      if (st->sketch_store.size() >= options_.max_precomputed_sketches) return;
+      st->sketch_store.Add(g, v);
     }
   }
 }
 
-void RuleServer::BuildWorkers() {
+std::unique_ptr<RuleServer::WorkerCtx> RuleServer::BuildCtx(
+    const State& st) const {
   const SketchStore* sketches =
-      sketch_store_.size() > 0 ? &sketch_store_ : nullptr;
-  workers_.clear();
-  workers_.resize(options_.num_workers);
-  for (WorkerCtx& w : workers_) {
-    w.evaluator = MakeMatchEvaluator(
-        graph_, nullptr, sigma_, all_ok_, options_.sketch_hops,
-        options_.use_guided_search, options_.share_multi_patterns,
-        plan_store_.get(), sketches);
-    w.pq_matcher = std::make_unique<VF2Matcher>(graph_);
-    w.pq_matcher->set_plan_store(plan_store_.get());
-    if (options_.use_guided_search) {
-      auto gm = std::make_unique<GuidedMatcher>(graph_, nullptr,
-                                                options_.sketch_hops);
-      gm->set_sketch_store(sketches);
-      gm->set_plan_store(plan_store_.get());
-      w.probe_matcher = std::move(gm);
-    } else {
-      auto m = std::make_unique<VF2Matcher>(graph_);
-      m->set_plan_store(plan_store_.get());
-      w.probe_matcher = std::move(m);
+      st.sketch_store.size() > 0 ? &st.sketch_store : nullptr;
+  const GraphView* view = st.view.get();
+  auto ctx = std::make_unique<WorkerCtx>();
+  ctx->evaluator = MakeMatchEvaluator(
+      *st.graph, view, sigma_, all_ok_, options_.sketch_hops,
+      options_.use_guided_search, options_.share_multi_patterns,
+      st.plan_store.get(), sketches);
+  ctx->pq_matcher = std::make_unique<VF2Matcher>(*st.graph, view);
+  ctx->pq_matcher->set_plan_store(st.plan_store.get());
+  if (options_.use_guided_search) {
+    auto gm = std::make_unique<GuidedMatcher>(*st.graph, view,
+                                              options_.sketch_hops);
+    gm->set_sketch_store(sketches);
+    gm->set_plan_store(st.plan_store.get());
+    ctx->probe_matcher = std::move(gm);
+  } else {
+    auto m = std::make_unique<VF2Matcher>(*st.graph, view);
+    m->set_plan_store(st.plan_store.get());
+    ctx->probe_matcher = std::move(m);
+  }
+  return ctx;
+}
+
+std::unique_ptr<RuleServer::WorkerCtx> RuleServer::AcquireCtx(
+    const State& st) const {
+  {
+    std::lock_guard<std::mutex> lock(st.ctx_mu);
+    if (!st.free_ctxs.empty()) {
+      auto ctx = std::move(st.free_ctxs.back());
+      st.free_ctxs.pop_back();
+      return ctx;
     }
   }
+  return BuildCtx(st);
+}
+
+void RuleServer::ReleaseCtx(const State& st,
+                            std::unique_ptr<WorkerCtx> ctx) const {
+  std::lock_guard<std::mutex> lock(st.ctx_mu);
+  st.free_ctxs.push_back(std::move(ctx));
+}
+
+std::shared_ptr<const RuleServer::State> RuleServer::AcquireState() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
 }
 
 size_t RuleServer::max_cached_centers() const {
@@ -162,25 +232,23 @@ size_t RuleServer::max_cached_centers() const {
   return std::max<size_t>(options_.cache_capacity / per_center, 1);
 }
 
-void RuleServer::TouchLru(CenterEntry& entry) {
-  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+RuleServer::CacheShard& RuleServer::ShardFor(NodeId center) const {
+  const uint64_t h = (static_cast<uint64_t>(center) * 0x9E3779B97F4A7C15ull);
+  return cache_shards_[(h >> 32) % num_cache_shards_];
 }
 
-void RuleServer::EvictToCapacity() {
-  const size_t cap = max_cached_centers();
-  while (cache_.size() > cap) {
-    NodeId victim = lru_.back();
-    lru_.pop_back();
-    cache_.erase(victim);
-  }
-}
-
-void RuleServer::EvaluateItem(WorkerCtx& ctx, WorkItem& item) {
+void RuleServer::EvaluateItem(const State& st, WorkerCtx& ctx,
+                              WorkItem& item) const {
   const NodeId v = item.center;
   uint8_t qc = item.qclass_in;
   if ((qc & kQKnown) == 0) {
     bool is_q = ctx.pq_matcher->ExistsAt(pq_, v);
-    bool is_qbar = !is_q && graph_.HasOutLabel(v, q_.edge_label);
+    // The consequent edge targets a 1-hop neighbor, which is inside the
+    // shard view whenever v is an owned center (d >= 1), so the view and
+    // parent-graph probes agree for every center this server answers for.
+    bool is_qbar = !is_q && (st.view != nullptr
+                                 ? st.view->HasOutLabel(v, q_.edge_label)
+                                 : st.graph->HasOutLabel(v, q_.edge_label));
     qc = kQKnown | (is_q ? kQIsQ : 0) | (is_qbar ? kQIsQbar : 0);
   }
   item.qclass_out = qc;
@@ -210,7 +278,7 @@ void RuleServer::EvaluateItem(WorkerCtx& ctx, WorkItem& item) {
   }
 }
 
-Status RuleServer::EnsureRows(std::span<const NodeId> centers,
+Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
                               const std::vector<uint32_t>& selected,
                               std::unordered_map<NodeId, Row>* rows,
                               ServeStats* stats) {
@@ -218,7 +286,7 @@ Status RuleServer::EnsureRows(std::span<const NodeId> centers,
   std::vector<WorkItem> items;
 
   for (NodeId c : centers) {
-    if (c >= graph_.num_nodes()) {
+    if (c >= st.graph->num_nodes()) {
       return Status::InvalidArgument("center id " + std::to_string(c) +
                                      " out of range");
     }
@@ -229,22 +297,26 @@ Status RuleServer::EnsureRows(std::span<const NodeId> centers,
 
     std::vector<uint32_t> missing;
     uint8_t qclass = 0;
-    auto cit = cache_.find(c);
-    if (cit != cache_.end()) {
-      CenterEntry& e = cit->second;
-      qclass = e.qclass;
-      for (uint32_t ri : selected) {
-        if (GetBit(e.known, ri)) {
-          ++stats->cache_hits;
-          if (GetBit(e.in_q, ri)) SetBit(&row.in_q, ri);
-          if (GetBit(e.in_pr, ri)) SetBit(&row.in_pr, ri);
-        } else {
-          missing.push_back(ri);
+    {
+      CacheShard& sh = ShardFor(c);
+      std::lock_guard<std::mutex> lock(sh.mu);
+      auto cit = sh.map.find(c);
+      if (cit != sh.map.end()) {
+        CenterEntry& e = cit->second;
+        qclass = e.qclass;
+        for (uint32_t ri : selected) {
+          if (GetBit(e.known, ri)) {
+            ++stats->cache_hits;
+            if (GetBit(e.in_q, ri)) SetBit(&row.in_q, ri);
+            if (GetBit(e.in_pr, ri)) SetBit(&row.in_pr, ri);
+          } else {
+            missing.push_back(ri);
+          }
         }
+        sh.lru.splice(sh.lru.begin(), sh.lru, e.lru_it);
+      } else {
+        missing = selected;
       }
-      TouchLru(e);
-    } else {
-      missing = selected;
     }
     row.qclass = qclass;
     if (missing.empty() && (qclass & kQKnown) != 0) continue;
@@ -262,16 +334,22 @@ Status RuleServer::EnsureRows(std::span<const NodeId> centers,
 
   if (!items.empty()) {
     stats->centers_evaluated += items.size();
-    const uint32_t n = options_.num_workers;
-    ParallelFor(pool_, n, [this, &items, n](uint32_t w) {
-      const size_t begin = items.size() * w / n;
-      const size_t end = items.size() * (w + 1) / n;
+    const uint32_t m = static_cast<uint32_t>(
+        std::min<size_t>(options_.num_workers, items.size()));
+    std::vector<std::unique_ptr<WorkerCtx>> ctxs(m);
+    for (auto& c : ctxs) c = AcquireCtx(st);
+    ParallelFor(pool_, m, [this, &st, &items, &ctxs, m](uint32_t w) {
+      const size_t begin = items.size() * w / m;
+      const size_t end = items.size() * (w + 1) / m;
       for (size_t i = begin; i < end; ++i) {
-        EvaluateItem(workers_[w], items[i]);
+        EvaluateItem(st, *ctxs[w], items[i]);
       }
     });
+    for (auto& c : ctxs) ReleaseCtx(st, std::move(c));
   }
 
+  const size_t shard_cap =
+      std::max<size_t>(max_cached_centers() / num_cache_shards_, 1);
   for (WorkItem& item : items) {
     Row& row = (*rows)[item.center];
     row.qclass = item.qclass_out;
@@ -280,14 +358,22 @@ Status RuleServer::EnsureRows(std::span<const NodeId> centers,
       row.in_pr[w] |= item.in_pr[w];
       stats->cache_probes += std::popcount(item.probed[w]);
     }
-    auto [cit, inserted] = cache_.try_emplace(item.center);
+    CacheShard& sh = ShardFor(item.center);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    // Write back only results computed on the CURRENT epoch. A delta
+    // publishes the new epoch BEFORE its invalidation walk, so a stale
+    // reader either inserts before the walk (and gets invalidated by it)
+    // or sees the new epoch here and skips — stale memberships can never
+    // outlive the walk.
+    if (epoch_.load(std::memory_order_acquire) != st.epoch) continue;
+    auto [cit, inserted] = sh.map.try_emplace(item.center);
     CenterEntry& e = cit->second;
     if (inserted) {
       e.known.assign(words, 0);
       e.in_q.assign(words, 0);
       e.in_pr.assign(words, 0);
-      lru_.push_front(item.center);
-      e.lru_it = lru_.begin();
+      sh.lru.push_front(item.center);
+      e.lru_it = sh.lru.begin();
     }
     e.qclass = item.qclass_out;
     for (size_t w = 0; w < words; ++w) {
@@ -297,135 +383,157 @@ Status RuleServer::EnsureRows(std::span<const NodeId> centers,
       e.in_pr[w] = (e.in_pr[w] & ~item.probed[w]) | item.in_pr[w];
       e.known[w] |= item.probed[w];
     }
-    TouchLru(e);
+    sh.lru.splice(sh.lru.begin(), sh.lru, e.lru_it);
+    while (sh.map.size() > shard_cap) {
+      NodeId victim = sh.lru.back();
+      sh.lru.pop_back();
+      sh.map.erase(victim);
+    }
   }
-  EvictToCapacity();
   return Status::OK();
 }
 
-Result<ServeReply> RuleServer::Serve(const ServeRequest& request) {
+Result<SessionReply> RuleServer::Query(const SessionRequest& request) {
   Timer timer;
-  std::vector<uint32_t> selected = request.rules;
-  if (selected.empty()) {
-    selected.resize(sigma_.size());
-    std::iota(selected.begin(), selected.end(), 0);
-  } else {
-    std::sort(selected.begin(), selected.end());
-    selected.erase(std::unique(selected.begin(), selected.end()),
-                   selected.end());
-    if (!selected.empty() && selected.back() >= sigma_.size()) {
-      return Status::InvalidArgument("rule index out of range");
-    }
+  GPAR_ASSIGN_OR_RETURN(std::vector<uint32_t> selected,
+                        NormalizeRuleSelection(request.rules, sigma_.size()));
+  if (request.all_centers && request.eta <= 0) {
+    return Status::InvalidArgument("eta must be positive");
   }
+  const std::shared_ptr<const State> st = AcquireState();
+  const std::span<const NodeId> centers =
+      request.all_centers ? std::span<const NodeId>(candidates_)
+                          : std::span<const NodeId>(request.centers);
 
-  ServeReply reply;
   ServeStats stats;
   stats.requests = 1;
   std::unordered_map<NodeId, Row> rows;
-  GPAR_RETURN_NOT_OK(EnsureRows(request.centers, selected, &rows, &stats));
+  GPAR_RETURN_NOT_OK(EnsureRows(*st, centers, selected, &rows, &stats));
 
-  reply.matched.reserve(request.centers.size());
-  for (NodeId c : request.centers) {
+  SessionReply reply;
+  reply.matched.reserve(centers.size());
+  for (NodeId c : centers) {
     const Row& row = rows.at(c);
     std::vector<uint32_t> m;
     for (uint32_t ri : selected) {
       bool hit = request.require_consequent
                      ? GetBit(row.in_pr, ri)
-                     : (GetBit(row.in_q, ri) && other_ok_[ri] != 0);
+                     : (GetBit(row.in_q, ri) && st->other_ok[ri] != 0);
       if (hit) m.push_back(ri);
     }
-    if (!m.empty()) reply.entities.push_back(c);
     reply.matched.push_back(std::move(m));
   }
-  std::sort(reply.entities.begin(), reply.entities.end());
-  reply.entities.erase(
-      std::unique(reply.entities.begin(), reply.entities.end()),
-      reply.entities.end());
+
+  if (request.all_centers) {
+    // Candidate-major assembly: one row lookup per center, all rule bits
+    // read inline (the warm path is lookup-bound, not match-bound).
+    reply.rule_evals.assign(sigma_.size(), {});
+    for (NodeId c : candidates_) {
+      const Row& row = rows.at(c);
+      if (row.qclass & kQIsQ) ++reply.supp_q;
+      const bool is_qbar = (row.qclass & kQIsQbar) != 0;
+      if (is_qbar) ++reply.supp_qbar;
+      for (uint32_t ri : selected) {
+        EipRuleEval& ev = reply.rule_evals[ri];
+        if (GetBit(row.in_pr, ri)) ++ev.supp_r;
+        if (is_qbar && GetBit(row.in_q, ri) && st->other_ok[ri] != 0) {
+          ++ev.supp_qqbar;
+        }
+      }
+    }
+    std::vector<char> qualified(sigma_.size(), 0);
+    for (uint32_t ri : selected) {
+      EipRuleEval& ev = reply.rule_evals[ri];
+      ev.conf = BayesFactorConf(ev.supp_r, reply.supp_qbar, ev.supp_qqbar,
+                                reply.supp_q);
+      if (ev.conf >= request.eta) qualified[ri] = 1;
+    }
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      // candidates_ is sorted, so entities come out sorted
+      for (uint32_t ri : reply.matched[i]) {
+        if (qualified[ri] != 0) {
+          reply.entities.push_back(candidates_[i]);
+          break;
+        }
+      }
+    }
+  } else {
+    for (size_t i = 0; i < centers.size(); ++i) {
+      if (!reply.matched[i].empty()) reply.entities.push_back(centers[i]);
+    }
+    std::sort(reply.entities.begin(), reply.entities.end());
+    reply.entities.erase(
+        std::unique(reply.entities.begin(), reply.entities.end()),
+        reply.entities.end());
+  }
 
   stats.latency_seconds = timer.Seconds();
-  Accumulate(&lifetime_stats_, stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    Accumulate(&lifetime_stats_, stats);
+  }
   reply.stats = stats;
   return reply;
 }
 
-Result<EipResult> RuleServer::IdentifyAll(double eta, bool require_consequent,
-                                          ServeStats* request_stats) {
-  if (eta <= 0) {
-    return Status::InvalidArgument("eta must be positive");
+Result<DeltaStats> RuleServer::ApplyDelta(const GraphDelta& delta) {
+  if (is_shard_) {
+    return Status::InvalidArgument(
+        "shard servers receive deltas from their router (ApplyShardDelta)");
   }
-  Timer timer;
-  ServeStats stats;
-  stats.requests = 1;
-  std::vector<uint32_t> selected(sigma_.size());
-  std::iota(selected.begin(), selected.end(), 0);
-
-  std::unordered_map<NodeId, Row> rows;
-  GPAR_RETURN_NOT_OK(EnsureRows(candidates_, selected, &rows, &stats));
-
-  // Candidate-major assembly: one row lookup per center, all rule bits
-  // read inline (the warm path is lookup-bound, not match-bound).
-  EipResult result;
-  result.rule_evals.assign(sigma_.size(), {});
-  for (NodeId c : candidates_) {
-    const Row& row = rows.at(c);
-    if (row.qclass & kQIsQ) ++result.supp_q;
-    const bool is_qbar = (row.qclass & kQIsQbar) != 0;
-    if (is_qbar) ++result.supp_qbar;
-    for (size_t ri = 0; ri < sigma_.size(); ++ri) {
-      EipRuleEval& ev = result.rule_evals[ri];
-      if (GetBit(row.in_pr, ri)) ++ev.supp_r;
-      if (is_qbar && GetBit(row.in_q, ri) && other_ok_[ri] != 0) {
-        ++ev.supp_qqbar;
-      }
-    }
-  }
-  for (EipRuleEval& ev : result.rule_evals) {
-    ev.conf = BayesFactorConf(ev.supp_r, result.supp_qbar, ev.supp_qqbar,
-                              result.supp_q);
-  }
-
-  std::vector<uint32_t> qualified;
-  for (size_t ri = 0; ri < sigma_.size(); ++ri) {
-    if (result.rule_evals[ri].conf >= eta) {
-      qualified.push_back(static_cast<uint32_t>(ri));
-    }
-  }
-  for (NodeId c : candidates_) {  // sorted, so entities come out sorted
-    const Row& row = rows.at(c);
-    for (uint32_t ri : qualified) {
-      bool member = require_consequent
-                        ? GetBit(row.in_pr, ri)
-                        : (GetBit(row.in_q, ri) && other_ok_[ri] != 0);
-      if (member) {
-        result.entities.push_back(c);
-        break;
-      }
-    }
-  }
-
-  stats.latency_seconds = timer.Seconds();
-  Accumulate(&lifetime_stats_, stats);
-  if (request_stats != nullptr) *request_stats = stats;
-  return result;
-}
-
-Result<DeltaStats> RuleServer::ApplyDelta(std::span<const EdgeInsert> inserts) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const std::shared_ptr<const State> st = AcquireState();
   Timer timer;
   DeltaStats ds;
   GPAR_ASSIGN_OR_RETURN(GraphPatch patch,
-                        PatchGraphWithInserts(graph_, inserts));
+                        PatchGraphWithInserts(*st->graph, delta));
   ds.edges_inserted = patch.edges_inserted;
   ds.duplicates_ignored = patch.duplicates;
-  graph_ = std::move(patch.graph);
   if (patch.applied.empty()) {
     // No structural change: every cached answer and sketch stays valid.
     ds.seconds = timer.Seconds();
     return ds;
   }
+  SwapStateAndInvalidate(*st,
+                         std::make_shared<const Graph>(std::move(patch.graph)),
+                         patch.applied, &ds);
+  ds.seconds = timer.Seconds();
+  return ds;
+}
 
+Result<DeltaStats> RuleServer::ApplyShardDelta(
+    std::shared_ptr<const Graph> new_graph, std::string_view delta_bytes) {
+  if (!is_shard_) {
+    return Status::InvalidArgument(
+        "ApplyShardDelta is only for shard servers");
+  }
+  if (new_graph == nullptr) {
+    return Status::InvalidArgument("shard delta graph must not be null");
+  }
+  GPAR_ASSIGN_OR_RETURN(GraphDelta delta,
+                        GraphDelta::Deserialize(delta_bytes));
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const std::shared_ptr<const State> st = AcquireState();
+  Timer timer;
+  DeltaStats ds;
+  ds.wire_bytes = delta_bytes.size();
+  // The router ships only the inserts that actually changed the parent
+  // graph (GraphPatch::applied), already validated against it.
+  ds.edges_inserted = delta.inserts.size();
+  if (!delta.inserts.empty()) {
+    SwapStateAndInvalidate(*st, std::move(new_graph), delta.inserts, &ds);
+  }
+  ds.seconds = timer.Seconds();
+  return ds;
+}
+
+void RuleServer::SwapStateAndInvalidate(const State& old,
+                                        std::shared_ptr<const Graph> new_graph,
+                                        std::span<const EdgeInsert> applied,
+                                        DeltaStats* ds) {
   std::vector<NodeId> endpoints;
   std::unordered_set<NodeId> sources;
-  for (const EdgeInsert& e : patch.applied) {
+  for (const EdgeInsert& e : applied) {
     endpoints.push_back(e.src);
     endpoints.push_back(e.dst);
     sources.insert(e.src);
@@ -438,51 +546,171 @@ Result<DeltaStats> RuleServer::ApplyDelta(std::span<const EdgeInsert> inserts) {
   // cached state can reach: rule memberships go stale within d(R) hops,
   // stored sketches within k hops.
   uint32_t rmax = max_d_;
-  if (sketch_store_.size() > 0) {
+  if (old.sketch_store.size() > 0) {
     rmax = std::max(rmax, options_.sketch_hops);
   }
-  auto touched = NodesWithinRadiusOfAny(graph_, endpoints, rmax);
+  const auto touched = NodesWithinRadiusOfAny(*new_graph, endpoints, rmax);
 
-  std::vector<NodeId> sketch_refresh;
-  for (const auto& [v, dist] : touched) {
-    if (sketch_store_.size() > 0 && dist <= options_.sketch_hops) {
-      sketch_refresh.push_back(v);
+  auto next = std::make_shared<State>(options_.sketch_hops);
+  next->epoch = old.epoch + 1;
+  next->graph = std::move(new_graph);
+
+  if (is_shard_) {
+    // Inserted edges can pull new nodes into an owned center's N_d (and
+    // chained inserts can do so through nodes that were not members
+    // before), so re-derive the d-ball of every owned center the delta can
+    // reach ON THE NEW GRAPH and extend the view. Membership never
+    // shrinks under insert-only deltas.
+    std::vector<NodeId> members = old.members;
+    std::vector<NodeId> affected;
+    for (const auto& [v, dist] : touched) {
+      if (dist <= max_d_ &&
+          std::binary_search(candidates_.begin(), candidates_.end(), v)) {
+        affected.push_back(v);
+      }
     }
-    auto cit = cache_.find(v);
-    if (cit == cache_.end()) continue;
+    if (!affected.empty()) {
+      // One multi-source BFS: v is within max_d_ of SOME affected center
+      // iff v is in the union of their N_d balls.
+      std::vector<NodeId> additions;
+      for (const auto& [v, dist] :
+           NodesWithinRadiusOfAny(*next->graph, affected, max_d_)) {
+        if (!std::binary_search(members.begin(), members.end(), v)) {
+          additions.push_back(v);
+        }
+      }
+      if (!additions.empty()) {
+        std::sort(additions.begin(), additions.end());
+        ds->members_extended += additions.size();
+        const size_t old_size = members.size();
+        members.insert(members.end(), additions.begin(), additions.end());
+        std::inplace_merge(members.begin(),
+                           members.begin() + static_cast<long>(old_size),
+                           members.end());
+      }
+    }
+    next->members = std::move(members);
+    // Rebuild even without additions: the view borrows the graph object,
+    // which this generation replaces.
+    next->view = std::make_unique<GraphView>(*next->graph, next->members);
+  }
+
+  // Components not containing x can match anywhere, so an insert can flip
+  // their satisfiability globally (monotonely, for insert-only deltas); the
+  // raw cached antecedent bits deliberately exclude this factor.
+  next->other_ok = has_other_components_
+                       ? OtherComponentsOk(*next->graph, sigma_)
+                       : old.other_ok;
+  next->plan_store = std::make_unique<SearchPlanStore>(*next->graph);
+  PreparePlans(next->plan_store.get());
+  if (old.sketch_store.size() > 0) {
+    next->sketch_store = old.sketch_store;
+    std::vector<NodeId> refresh;
+    for (const auto& [v, dist] : touched) {
+      if (dist <= options_.sketch_hops) refresh.push_back(v);
+    }
+    ds->sketches_refreshed = next->sketch_store.Refresh(*next->graph, refresh);
+  }
+
+  // Publish the state, THEN the epoch, THEN invalidate: readers that
+  // slipped a stale writeback past the epoch check did so before the store
+  // below, hence before this walk, which then clears it (see EnsureRows).
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = next;
+  }
+  epoch_.store(next->epoch, std::memory_order_release);
+
+  for (const auto& [v, dist] : touched) {
+    CacheShard& sh = ShardFor(v);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto cit = sh.map.find(v);
+    if (cit == sh.map.end()) continue;
     CenterEntry& e = cit->second;
     for (size_t ri = 0; ri < sigma_.size(); ++ri) {
       if (dist <= sigma_[ri].eval_radius() && GetBit(e.known, ri)) {
         ClearBit(&e.known, ri);
-        ++ds.memberships_invalidated;
+        ++ds->memberships_invalidated;
       }
     }
     // q-class depends only on v's own out-edges: only insert sources move.
     if ((e.qclass & kQKnown) != 0 && sources.count(v) > 0) {
       e.qclass = 0;
-      ++ds.qclass_invalidated;
+      ++ds->qclass_invalidated;
     }
     bool any_known = (e.qclass & kQKnown) != 0;
     for (uint64_t w : e.known) any_known = any_known || w != 0;
     if (!any_known) {
-      lru_.erase(e.lru_it);
-      cache_.erase(cit);
+      sh.lru.erase(e.lru_it);
+      sh.map.erase(cit);
     }
   }
-  ds.sketches_refreshed = sketch_store_.Refresh(graph_, sketch_refresh);
+}
 
-  // Components not containing x can match anywhere, so an insert can flip
-  // their satisfiability globally (monotonely, for insert-only deltas); the
-  // raw cached antecedent bits deliberately exclude this factor.
-  if (has_other_components_) {
-    other_ok_ = OtherComponentsOk(graph_, sigma_);
+std::shared_ptr<const Graph> RuleServer::graph_snapshot() const {
+  return AcquireState()->graph;
+}
+
+ServeStats RuleServer::lifetime_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return lifetime_stats_;
+}
+
+size_t RuleServer::cached_centers() const {
+  size_t total = 0;
+  for (uint32_t i = 0; i < num_cache_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(cache_shards_[i].mu);
+    total += cache_shards_[i].map.size();
   }
+  return total;
+}
 
-  // Worker matchers memoize per-node sketches of the pre-delta graph;
-  // rebuild them (shared plans and the refreshed sketch store stay).
-  BuildWorkers();
-  ds.seconds = timer.Seconds();
-  return ds;
+size_t RuleServer::sketches_precomputed() const {
+  return AcquireState()->sketch_store.size();
+}
+
+size_t RuleServer::plans_prepared() const {
+  return AcquireState()->plan_store->patterns_planned();
+}
+
+size_t RuleServer::view_members() const {
+  const auto st = AcquireState();
+  return st->view != nullptr ? st->view->nodes().size() : 0;
+}
+
+Result<ServeReply> RuleServer::Serve(const ServeRequest& request) {
+  SessionRequest req;
+  req.centers = request.centers;
+  req.rules = request.rules;
+  req.require_consequent = request.require_consequent;
+  GPAR_ASSIGN_OR_RETURN(SessionReply r, Query(req));
+  ServeReply reply;
+  reply.matched = std::move(r.matched);
+  reply.entities = std::move(r.entities);
+  reply.stats = r.stats;
+  return reply;
+}
+
+Result<EipResult> RuleServer::IdentifyAll(double eta, bool require_consequent,
+                                          ServeStats* request_stats) {
+  SessionRequest req;
+  req.all_centers = true;
+  req.eta = eta;
+  req.require_consequent = require_consequent;
+  GPAR_ASSIGN_OR_RETURN(SessionReply r, Query(req));
+  EipResult result;
+  result.entities = std::move(r.entities);
+  result.rule_evals = std::move(r.rule_evals);
+  result.supp_q = r.supp_q;
+  result.supp_qbar = r.supp_qbar;
+  if (request_stats != nullptr) *request_stats = r.stats;
+  return result;
+}
+
+Result<DeltaStats> RuleServer::ApplyDelta(std::span<const EdgeInsert> inserts) {
+  GraphDelta delta;
+  delta.inserts.assign(inserts.begin(), inserts.end());
+  return ApplyDelta(delta);
 }
 
 }  // namespace gpar

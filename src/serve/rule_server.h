@@ -1,9 +1,11 @@
 #ifndef GPAR_SERVE_RULE_SERVER_H_
 #define GPAR_SERVE_RULE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -13,12 +15,14 @@
 #include "common/result.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
+#include "graph/graph_view.h"
 #include "graph/sketch.h"
 #include "identify/center_evaluator.h"
 #include "identify/eip.h"
 #include "match/matcher.h"
 #include "parallel/thread_pool.h"
 #include "rule/rule_snapshot.h"
+#include "serve/serve_session.h"
 
 namespace gpar {
 
@@ -33,51 +37,32 @@ struct RuleServerOptions {
   /// memberships. Centers are the physical eviction unit: one cached center
   /// holds one membership slot per loaded rule.
   size_t cache_capacity = size_t{1} << 20;
+  /// Lock shards for the match cache: concurrent queries contend per shard
+  /// (centers hash across shards), not on one global cache mutex.
+  uint32_t cache_shards = 8;
   /// Precompute a shared sketch store at load for nodes whose label occurs
   /// in a loaded rule pattern (the only nodes guided search can ever
   /// sketch), capped below. Off: sketches are built lazily per worker.
+  /// (View-restricted shard servers never precompute: their matchers
+  /// sketch the fragment-induced subgraph, not the parent.)
   bool precompute_sketches = true;
   size_t max_precomputed_sketches = size_t{1} << 17;
 };
 
-/// A batched identify request: which centers to classify against which of
-/// the loaded rules. Empty `rules` selects every loaded rule. Centers need
-/// not satisfy x's label — such centers simply match nothing.
+/// Deprecated (PR 5) request shape — `SessionRequest` with
+/// `all_centers = false`. Kept as a thin shim through this PR.
 struct ServeRequest {
   std::vector<NodeId> centers;
   std::vector<uint32_t> rules;
-  /// False (default): a rule matches a center when its antecedent Q does
-  /// (the formal Σ(x, G, η) semantics). True: require the full P_R.
   bool require_consequent = false;
 };
 
-/// Per-request (and accumulated lifetime) serving statistics.
-struct ServeStats {
-  uint64_t requests = 0;
-  uint64_t cache_hits = 0;    ///< (rule, center) memberships answered from cache
-  uint64_t cache_probes = 0;  ///< memberships computed by pattern matching
-  uint64_t centers_evaluated = 0;  ///< centers that needed any matching work
-  double latency_seconds = 0;
-};
-
-/// Reply to a `ServeRequest`.
+/// Deprecated (PR 5) reply shape for `Serve` — the point-lookup subset of
+/// `SessionReply`.
 struct ServeReply {
-  /// Parallel to `request.centers`: the selected rule indices whose
-  /// consequent fires at that center (sorted ascending).
   std::vector<std::vector<uint32_t>> matched;
-  /// Distinct centers with at least one matched rule, sorted.
   std::vector<NodeId> entities;
   ServeStats stats;
-};
-
-/// Cost accounting for one `ApplyDelta` call.
-struct DeltaStats {
-  size_t edges_inserted = 0;
-  size_t duplicates_ignored = 0;
-  uint64_t memberships_invalidated = 0;  ///< known (rule, center) bits cleared
-  uint64_t qclass_invalidated = 0;
-  uint64_t sketches_refreshed = 0;
-  double seconds = 0;
 };
 
 /// The online half of GPAR mining (Section 5 framing): rules are mined
@@ -85,20 +70,29 @@ struct DeltaStats {
 /// (graph, rule set) snapshot pair, precomputes per-rule state once —
 /// search plans in a shared `SearchPlanStore`, k-hop sketches in a shared
 /// `SketchStore`, the per-label candidate index, global satisfiability of
-/// antecedent components not containing x — and then answers batched
-/// identify requests on a persistent `ThreadPool`, far cheaper than one
-/// batch `IdentifyEntities` run per request.
+/// antecedent components not containing x — and then answers `Query`
+/// requests on a persistent `ThreadPool`, far cheaper than one batch
+/// `IdentifyEntities` run per request.
 ///
-/// Memberships are memoized in an LRU (rule, center) match cache. Edge
-/// deltas (`ApplyDelta`) patch the CSR and, by the paper's locality
-/// property (membership of v depends only on G_d(v)), invalidate only the
-/// cached memberships within d(R) hops of a touched endpoint — everything
-/// else stays warm. `IdentifyAll` answers exactly like a fresh batch
-/// `IdentifyEntities` on the equivalent graph (the ServeEquivalence tests).
+/// Memberships are memoized in a lock-sharded LRU (rule, center) match
+/// cache. Edge deltas (`ApplyDelta`) publish a new immutable state
+/// snapshot (RCU style) and, by the paper's locality property (membership
+/// of v depends only on G_d(v)), invalidate only the cached memberships
+/// within d(R) hops of a touched endpoint — everything else stays warm.
+/// An `all_centers` query answers exactly like a fresh batch
+/// `IdentifyEntities` on the equivalent graph (the ServeEquivalence and
+/// ShardedServeEquivalence tests).
 ///
-/// Thread-safety: one request at a time (calls use the pool internally);
-/// external synchronization is required for concurrent callers.
-class RuleServer {
+/// Thread-safety: `Query` may run from any number of threads concurrently;
+/// `ApplyDelta` never blocks in-flight queries (they finish on the state
+/// snapshot they started with). Writers serialize among themselves.
+///
+/// A `RuleServer` can also run as one shard of a `ShardedRuleServer`
+/// deployment (`CreateShard`): it then serves only its owned centers from
+/// a zero-copy `GraphView` slice of the shared parent CSR and receives
+/// serialized `GraphDelta` batches from the router (`ApplyShardDelta`)
+/// instead of applying deltas itself.
+class RuleServer : public ServeSession {
  public:
   /// Loads a snapshot pair produced by `WriteGraphSnapshot[File]` and
   /// `WriteRuleSetSnapshot[File]`.
@@ -112,40 +106,75 @@ class RuleServer {
       Graph g, std::vector<RuleRecord> rules,
       const RuleServerOptions& options = {});
 
+  /// Builds one shard of a sharded deployment: the server answers for
+  /// `owned_centers` only, matching inside the `GraphView` slice of
+  /// `graph` induced by `members` (which must cover N_d of every owned
+  /// center — `PartitionGraph`'s fragment invariant). `members` and
+  /// `owned_centers` must be sorted parent-global node ids.
+  static Result<std::unique_ptr<RuleServer>> CreateShard(
+      std::shared_ptr<const Graph> graph, std::vector<NodeId> members,
+      std::vector<NodeId> owned_centers, std::vector<RuleRecord> rules,
+      const RuleServerOptions& options = {});
+
   RuleServer(const RuleServer&) = delete;
   RuleServer& operator=(const RuleServer&) = delete;
 
-  /// Classifies `request.centers` against the selected rules.
-  Result<ServeReply> Serve(const ServeRequest& request);
+  // ---- ServeSession ----
 
-  /// Full entity identification over all candidates — the batch-equivalent
-  /// answer Σ(x, G, η), with live supports/confidences on the current
-  /// (possibly delta-patched) graph. Warm caches make repeats cheap.
+  Result<SessionReply> Query(const SessionRequest& request) override;
+
+  /// Applies a typed edge-insert batch: patches the CSR into a fresh state
+  /// snapshot, refreshes stale shared sketches, and invalidates cached
+  /// memberships within d(R) hops of the inserted edges' endpoints (per
+  /// rule R). Rejected on shard servers — shards take `ApplyShardDelta`
+  /// from their router.
+  Result<DeltaStats> ApplyDelta(const GraphDelta& delta) override;
+
+  std::shared_ptr<const Graph> graph_snapshot() const override;
+  const std::vector<RuleRecord>& rules() const override { return records_; }
+  const std::vector<NodeId>& candidates() const override {
+    return candidates_;
+  }
+  LabelId InternLabel(std::string_view name) override {
+    return interner_->Intern(name);
+  }
+  ServeStats lifetime_stats() const override;
+
+  // ---- Shard seam (used by ShardedRuleServer) ----
+
+  /// Ingests one serialized `GraphDelta` batch from the router together
+  /// with the already-patched parent graph (shards share the parent CSR,
+  /// so the router patches once and ships the cheap delta bytes, not a
+  /// graph snapshot). Extends the fragment view where inserted edges pull
+  /// new nodes into an owned center's N_d, then invalidates like
+  /// `ApplyDelta`. Rejected on non-shard servers.
+  Result<DeltaStats> ApplyShardDelta(std::shared_ptr<const Graph> new_graph,
+                                     std::string_view delta_bytes);
+
+  bool is_shard() const { return is_shard_; }
+  /// Shard mode: current fragment view size in nodes (0 otherwise).
+  size_t view_members() const;
+
+  // ---- Deprecated PR 5 surface (thin shims over Query/ApplyDelta) ----
+
+  /// Deprecated: use `Query` with `all_centers = false`.
+  Result<ServeReply> Serve(const ServeRequest& request);
+  /// Deprecated: use `Query` with `all_centers = true`.
   Result<EipResult> IdentifyAll(double eta, bool require_consequent = false,
                                 ServeStats* request_stats = nullptr);
-
-  /// Applies edge inserts: patches the CSR, refreshes stale shared
-  /// sketches, and invalidates cached memberships within d(R) hops of the
-  /// inserted edges' endpoints (per rule R).
+  /// Deprecated: use the typed `GraphDelta` overload.
   Result<DeltaStats> ApplyDelta(std::span<const EdgeInsert> inserts);
+  /// Deprecated: use `graph_snapshot()`. The reference is only guaranteed
+  /// valid until the next `ApplyDelta`.
+  const Graph& graph() const { return *graph_snapshot(); }
 
-  const Graph& graph() const { return graph_; }
-  /// Interns an edge-label name through the session's dictionary — for
-  /// building `EdgeInsert` batches from textual input (ids are append-only,
-  /// so existing patterns and cached state are unaffected).
-  LabelId InternLabel(std::string_view name) {
-    return graph_.mutable_labels()->Intern(name);
-  }
-  const std::vector<RuleRecord>& rules() const { return records_; }
+  // ---- Introspection ----
+
   const Predicate& predicate() const { return q_; }
-  /// All candidate centers (nodes satisfying x's label), sorted.
-  const std::vector<NodeId>& candidates() const { return candidates_; }
   uint32_t max_rule_radius() const { return max_d_; }
-
-  const ServeStats& lifetime_stats() const { return lifetime_stats_; }
-  size_t cached_centers() const { return cache_.size(); }
-  size_t sketches_precomputed() const { return sketch_store_.size(); }
-  size_t plans_prepared() const { return plan_store_->patterns_planned(); }
+  size_t cached_centers() const;
+  size_t sketches_precomputed() const;
+  size_t plans_prepared() const;
 
  private:
   /// One worker's private matching state (matchers are not thread-safe).
@@ -155,6 +184,28 @@ class RuleServer {
     std::unique_ptr<Matcher> probe_matcher;
   };
 
+  /// One immutable graph generation. Queries pin the current `State` with
+  /// a shared_ptr for their whole run; `ApplyDelta` builds the successor
+  /// and swaps the head pointer, so readers never see a half-updated
+  /// graph/plan/sketch trio and the old generation dies with its last
+  /// reader. Matching contexts are pooled per state (lazily built, reused
+  /// across requests, discarded with the generation).
+  struct State {
+    explicit State(uint32_t sketch_hops) : sketch_store(sketch_hops) {}
+
+    uint64_t epoch = 0;
+    std::shared_ptr<const Graph> graph;
+    /// Shard mode: sorted fragment membership + the view matchers run in.
+    std::vector<NodeId> members;
+    std::unique_ptr<GraphView> view;
+    std::vector<char> other_ok;  ///< per-rule other-component check
+    std::unique_ptr<SearchPlanStore> plan_store;
+    SketchStore sketch_store;
+
+    mutable std::mutex ctx_mu;
+    mutable std::vector<std::unique_ptr<WorkerCtx>> free_ctxs;
+  };
+
   /// Cached per-center state; rule memberships are bitsets over the loaded
   /// rule set (in_q is RAW antecedent membership — other-component
   /// satisfiability is applied at read time, so a flip never invalidates).
@@ -162,6 +213,15 @@ class RuleServer {
     uint8_t qclass = 0;  // bit0 known, bit1 is_q, bit2 is_qbar
     std::vector<uint64_t> known, in_q, in_pr;
     std::list<NodeId>::iterator lru_it;
+  };
+
+  /// One lock shard of the match cache. Entries are epoch-agnostic (an
+  /// untouched membership is valid across deltas, by locality); writers
+  /// only insert results computed on the CURRENT epoch — see EnsureRows.
+  struct CacheShard {
+    mutable std::mutex mu;
+    std::unordered_map<NodeId, CenterEntry> map;
+    std::list<NodeId> lru;  ///< front = most recently used
   };
 
   /// Resolved memberships for one request center.
@@ -181,46 +241,64 @@ class RuleServer {
     std::vector<uint64_t> in_q, in_pr, probed;
   };
 
-  RuleServer(Graph g, std::vector<RuleRecord> rules,
-             const RuleServerOptions& options);
+  RuleServer(std::vector<RuleRecord> rules, const RuleServerOptions& options);
 
-  Status Init();
-  void BuildWorkers();
-  void PrecomputeSketches();
+  Status Init(std::shared_ptr<const Graph> g, std::vector<NodeId> members);
+  void PreparePlans(SearchPlanStore* store) const;
+  void PrecomputeSketches(State* st) const;
+  std::unique_ptr<WorkerCtx> BuildCtx(const State& st) const;
+  std::unique_ptr<WorkerCtx> AcquireCtx(const State& st) const;
+  void ReleaseCtx(const State& st, std::unique_ptr<WorkerCtx> ctx) const;
+
+  std::shared_ptr<const State> AcquireState() const;
+  /// Builds + publishes the successor state for `new_graph`, then walks
+  /// the cache invalidating what `applied` can have changed. Caller holds
+  /// `writer_mu_`.
+  void SwapStateAndInvalidate(const State& old,
+                              std::shared_ptr<const Graph> new_graph,
+                              std::span<const EdgeInsert> applied,
+                              DeltaStats* ds);
 
   size_t rule_words() const { return (sigma_.size() + 63) / 64; }
   size_t max_cached_centers() const;
+  CacheShard& ShardFor(NodeId center) const;
 
   /// Ensures memberships of `selected` rules for every center in `centers`
   /// (deduplicated internally), filling `rows` keyed by center. Updates the
   /// cache/LRU and accumulates stats.
-  Status EnsureRows(std::span<const NodeId> centers,
+  Status EnsureRows(const State& st, std::span<const NodeId> centers,
                     const std::vector<uint32_t>& selected,
                     std::unordered_map<NodeId, Row>* rows, ServeStats* stats);
 
-  void EvaluateItem(WorkerCtx& ctx, WorkItem& item);
-  void TouchLru(CenterEntry& entry);
-  void EvictToCapacity();
+  void EvaluateItem(const State& st, WorkerCtx& ctx, WorkItem& item) const;
 
   RuleServerOptions options_;
-  Graph graph_;
+  bool is_shard_ = false;
+  std::shared_ptr<Interner> interner_;
   std::vector<RuleRecord> records_;
   std::vector<Gpar> sigma_;  ///< records_[i].rule, stable storage for evaluators
   Predicate q_{};
   Pattern pq_;
   uint32_t max_d_ = 0;
-  std::vector<char> other_ok_;  ///< live per-rule other-component check
-  std::vector<char> all_ok_;    ///< constant 1s handed to evaluators
+  std::vector<char> all_ok_;  ///< constant 1s handed to evaluators
   std::vector<NodeId> candidates_;
   bool has_other_components_ = false;
 
   ThreadPool pool_;
-  std::unique_ptr<SearchPlanStore> plan_store_;
-  SketchStore sketch_store_;
-  std::vector<WorkerCtx> workers_;
 
-  std::unordered_map<NodeId, CenterEntry> cache_;
-  std::list<NodeId> lru_;  ///< front = most recently used
+  mutable std::mutex state_mu_;          ///< guards the `state_` pointer only
+  std::shared_ptr<const State> state_;
+  /// Epoch of the newest published state. A query writes its results back
+  /// into the cache only if this still equals its state's epoch (checked
+  /// under the cache-shard lock), so a reader that outlived a delta can
+  /// never resurrect stale memberships after the invalidation walk.
+  std::atomic<uint64_t> epoch_{0};
+  std::mutex writer_mu_;  ///< serializes ApplyDelta / ApplyShardDelta
+
+  uint32_t num_cache_shards_ = 1;
+  std::unique_ptr<CacheShard[]> cache_shards_;
+
+  mutable std::mutex stats_mu_;
   ServeStats lifetime_stats_;
 };
 

@@ -1,0 +1,170 @@
+#include "serve/serve_command.h"
+
+#include <charconv>
+#include <sstream>
+#include <system_error>
+
+namespace gpar {
+
+namespace {
+
+bool ParseNumber(std::string_view token, uint32_t* out) {
+  auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                   *out);
+  return ec == std::errc() && end == token.data() + token.size();
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  // std::from_chars<double> is missing on some libc++ versions; stream
+  // parsing is fine at interactive-command rates.
+  std::istringstream ss{std::string(token)};
+  ss >> *out;
+  return !ss.fail() && ss.eof();
+}
+
+Status Malformed(std::string_view cmd, const std::string& detail) {
+  return Status::InvalidArgument(std::string(cmd) + ": " + detail);
+}
+
+/// Consumes a `rules=i,j,...` / `pr=0|1` option token; `true` with OK
+/// status when the token was an option (applied to `request`), `true`
+/// with an error status when it was a malformed option, `false` when it
+/// is not an option token at all.
+bool TryParseOption(std::string_view cmd, std::string_view token,
+                    SessionRequest* request, Status* status) {
+  *status = Status::OK();
+  if (token.rfind("rules=", 0) == 0) {
+    std::string_view list = token.substr(6);
+    if (list.empty()) {
+      *status = Malformed(cmd, "rules= expects a comma-separated rule list");
+      return true;
+    }
+    while (!list.empty()) {
+      const size_t comma = list.find(',');
+      const std::string_view item = list.substr(0, comma);
+      uint32_t ri;
+      if (!ParseNumber(item, &ri)) {
+        *status = Malformed(cmd, "rules= expects rule indices, got '" +
+                                     std::string(item) + "'");
+        return true;
+      }
+      request->rules.push_back(ri);
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+      if (list.empty()) {
+        *status = Malformed(cmd, "rules= has a trailing comma");
+        return true;
+      }
+    }
+    return true;
+  }
+  if (token.rfind("pr=", 0) == 0) {
+    const std::string_view v = token.substr(3);
+    if (v == "0") {
+      request->require_consequent = false;
+    } else if (v == "1") {
+      request->require_consequent = true;
+    } else {
+      *status =
+          Malformed(cmd, "pr= expects 0 or 1, got '" + std::string(v) + "'");
+      return true;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* ServeCommandHelp() {
+  return "commands: id [rules=i,j] [pr=0|1] <center>... | "
+         "all [eta] [rules=i,j] [pr=0|1] | "
+         "delta <src> <elabel> <dst>... | stats | quit";
+}
+
+Result<ServeCommand> ParseServeCommand(std::string_view line) {
+  std::istringstream ls{std::string(line)};
+  std::string cmd;
+  ServeCommand out;
+  if (!(ls >> cmd) || cmd == "help") {
+    out.kind = ServeCommand::Kind::kHelp;
+    return out;
+  }
+  if (cmd == "quit" || cmd == "exit") {
+    out.kind = ServeCommand::Kind::kQuit;
+    return out;
+  }
+  std::string token;
+  if (cmd == "stats") {
+    if (ls >> token) {
+      return Malformed(cmd, "takes no arguments, got '" + token + "'");
+    }
+    out.kind = ServeCommand::Kind::kStats;
+    return out;
+  }
+  if (cmd == "id") {
+    out.kind = ServeCommand::Kind::kQuery;
+    while (ls >> token) {
+      Status opt_status;
+      if (TryParseOption(cmd, token, &out.request, &opt_status)) {
+        GPAR_RETURN_NOT_OK(opt_status);
+        continue;
+      }
+      uint32_t center;
+      if (!ParseNumber(token, &center)) {
+        return Malformed(cmd, "center must be a node id, got '" + token + "'");
+      }
+      out.request.centers.push_back(center);
+    }
+    if (out.request.centers.empty()) {
+      return Malformed(cmd, "expects at least one center id");
+    }
+    return out;
+  }
+  if (cmd == "all") {
+    out.kind = ServeCommand::Kind::kQuery;
+    out.request.all_centers = true;
+    bool have_eta = false;
+    while (ls >> token) {
+      Status opt_status;
+      if (TryParseOption(cmd, token, &out.request, &opt_status)) {
+        GPAR_RETURN_NOT_OK(opt_status);
+        continue;
+      }
+      double eta;
+      if (have_eta || !ParseDouble(token, &eta)) {
+        return Malformed(cmd, "unexpected token '" + token + "'");
+      }
+      if (eta <= 0) {
+        return Malformed(cmd, "eta must be positive, got '" + token + "'");
+      }
+      out.request.eta = eta;
+      have_eta = true;
+    }
+    return out;
+  }
+  if (cmd == "delta") {
+    out.kind = ServeCommand::Kind::kDelta;
+    while (ls >> token) {
+      TextEdgeInsert e;
+      if (!ParseNumber(token, &e.src)) {
+        return Malformed(cmd, "src must be a node id, got '" + token + "'");
+      }
+      if (!(ls >> e.label)) {
+        return Malformed(cmd, "missing edge label after src " + token);
+      }
+      std::string dst_token;
+      if (!(ls >> dst_token) || !ParseNumber(dst_token, &e.dst)) {
+        return Malformed(cmd, "expects (src, elabel, dst) triples");
+      }
+      out.inserts.push_back(std::move(e));
+    }
+    if (out.inserts.empty()) {
+      return Malformed(cmd, "expects at least one (src, elabel, dst) triple");
+    }
+    return out;
+  }
+  return Status::InvalidArgument("unknown command '" + cmd + "' (try help)");
+}
+
+}  // namespace gpar

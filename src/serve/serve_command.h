@@ -1,0 +1,59 @@
+#ifndef GPAR_SERVE_SERVE_COMMAND_H_
+#define GPAR_SERVE_SERVE_COMMAND_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "serve/serve_session.h"
+
+namespace gpar {
+
+/// One edge insert with a textual label — the wire-independent form the
+/// serve loop parses before interning labels through the session.
+struct TextEdgeInsert {
+  NodeId src = 0;
+  std::string label;
+  NodeId dst = 0;
+
+  friend bool operator==(const TextEdgeInsert&,
+                         const TextEdgeInsert&) = default;
+};
+
+/// A parsed line of the gpar_tool serve protocol.
+struct ServeCommand {
+  enum class Kind {
+    kHelp,   ///< `help` or an empty line
+    kQuit,   ///< `quit` / `exit`
+    kStats,  ///< `stats`
+    kQuery,  ///< `id ...` / `all ...` — `request` is filled
+    kDelta,  ///< `delta ...` — `inserts` is filled
+  };
+  Kind kind = Kind::kHelp;
+  SessionRequest request;
+  std::vector<TextEdgeInsert> inserts;
+};
+
+/// Parses one line of the serve loop's protocol into a typed command:
+///
+///   id [rules=i,j,...] [pr=0|1] <center> [<center> ...]
+///   all [eta] [rules=i,j,...] [pr=0|1]
+///   delta <src> <elabel> <dst> [<src> <elabel> <dst> ...]
+///   stats | help | quit | exit
+///
+/// `rules=` restricts the probe to a rule-index subset; `pr=1` requires
+/// the full P_R (consequent included) instead of the formal antecedent
+/// semantics. Malformed input yields InvalidArgument with a message
+/// naming the offending command and token (unit-covered like
+/// common/flags); rule indices are range-checked by the session, not
+/// here.
+Result<ServeCommand> ParseServeCommand(std::string_view line);
+
+/// The `help` text matching the grammar above.
+const char* ServeCommandHelp();
+
+}  // namespace gpar
+
+#endif  // GPAR_SERVE_SERVE_COMMAND_H_

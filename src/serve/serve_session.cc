@@ -1,0 +1,27 @@
+#include "serve/serve_session.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gpar {
+
+Result<std::vector<uint32_t>> NormalizeRuleSelection(
+    const std::vector<uint32_t>& rules, size_t num_rules) {
+  std::vector<uint32_t> selected = rules;
+  if (selected.empty()) {
+    selected.resize(num_rules);
+    std::iota(selected.begin(), selected.end(), 0);
+    return selected;
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  if (selected.back() >= num_rules) {
+    return Status::InvalidArgument("rule index " +
+                                   std::to_string(selected.back()) +
+                                   " out of range");
+  }
+  return selected;
+}
+
+}  // namespace gpar

@@ -1,0 +1,124 @@
+#ifndef GPAR_SERVE_SERVE_SESSION_H_
+#define GPAR_SERVE_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "identify/eip.h"
+#include "rule/rule_snapshot.h"
+
+namespace gpar {
+
+/// The one request shape the serving tier answers — it subsumes the PR 5
+/// `Serve` (point lookups) and `IdentifyAll` (full Σ(x, G, η)) entry
+/// points so routers, tools, benches, and the equivalence batteries are
+/// written once against `ServeSession`.
+struct SessionRequest {
+  /// True: classify every candidate center (all nodes with x's label) and
+  /// fill the support/confidence fields of the reply, honoring `eta` — the
+  /// batch-equivalent Σ(x, G, η) answer. False: classify just `centers`.
+  bool all_centers = false;
+  /// Point lookups (ignored when `all_centers`). Centers need not satisfy
+  /// x's label — such centers simply match nothing.
+  std::vector<NodeId> centers;
+  /// Rule subset to probe; empty selects every loaded rule.
+  std::vector<uint32_t> rules;
+  /// Confidence threshold for `all_centers` entity qualification
+  /// (BayesFactorConf >= eta). Ignored for point lookups.
+  double eta = 1.0;
+  /// False (default): a rule matches a center when its antecedent Q does
+  /// (the formal Σ(x, G, η) semantics). True: require the full P_R.
+  bool require_consequent = false;
+};
+
+/// Per-request (and accumulated lifetime) serving statistics.
+struct ServeStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;    ///< (rule, center) memberships answered from cache
+  uint64_t cache_probes = 0;  ///< memberships computed by pattern matching
+  uint64_t centers_evaluated = 0;  ///< centers that needed any matching work
+  double latency_seconds = 0;
+};
+
+/// Reply to a `SessionRequest`.
+struct SessionReply {
+  /// Per requested center (parallel to `request.centers`, or to
+  /// `candidates()` when `all_centers`): the selected rule indices whose
+  /// antecedent — or full P_R under `require_consequent` — fires there,
+  /// sorted ascending.
+  std::vector<std::vector<uint32_t>> matched;
+  /// Point lookups: distinct centers with at least one matched rule.
+  /// `all_centers`: Σ(x, G, η) — candidates matching some rule whose
+  /// confidence meets `eta`. Sorted ascending either way.
+  std::vector<NodeId> entities;
+  /// `all_centers` only: per loaded rule, live supports and confidence on
+  /// the current graph (entries for unselected rules stay zero).
+  std::vector<EipRuleEval> rule_evals;
+  uint64_t supp_q = 0;     ///< candidates matching the consequent q(x, y)
+  uint64_t supp_qbar = 0;  ///< LCWA negatives (no q-edge at all)
+  ServeStats stats;
+};
+
+/// Cost accounting for one `ApplyDelta` call.
+struct DeltaStats {
+  size_t edges_inserted = 0;
+  size_t duplicates_ignored = 0;
+  uint64_t memberships_invalidated = 0;  ///< known (rule, center) bits cleared
+  uint64_t qclass_invalidated = 0;
+  uint64_t sketches_refreshed = 0;
+  uint64_t members_extended = 0;  ///< shard mode: nodes pulled into the view
+  uint64_t wire_bytes = 0;        ///< serialized delta bytes shipped to shards
+  double seconds = 0;
+};
+
+/// A long-lived serving session over one (graph, rule set) snapshot pair:
+/// `RuleServer` answers from a single process-local graph; sharded
+/// deployments put a `ShardedRuleServer` router in front of k of them.
+/// Both ends of that split speak this interface.
+///
+/// Thread-safety contract: `Query` may be called from any number of threads
+/// concurrently, including while one `ApplyDelta` is in flight (deltas
+/// publish a new immutable state snapshot; in-flight queries finish on the
+/// old one). Concurrent `ApplyDelta` calls serialize internally.
+class ServeSession {
+ public:
+  virtual ~ServeSession() = default;
+
+  /// Answers one request against the current graph snapshot.
+  virtual Result<SessionReply> Query(const SessionRequest& request) = 0;
+
+  /// Applies a typed edge-insert batch: patches the graph and invalidates
+  /// exactly the cached state within reach of the inserted edges.
+  virtual Result<DeltaStats> ApplyDelta(const GraphDelta& delta) = 0;
+
+  /// The current graph snapshot. Holding the returned pointer keeps that
+  /// version alive across subsequent deltas.
+  virtual std::shared_ptr<const Graph> graph_snapshot() const = 0;
+
+  virtual const std::vector<RuleRecord>& rules() const = 0;
+  /// All candidate centers (nodes satisfying x's label), sorted.
+  virtual const std::vector<NodeId>& candidates() const = 0;
+  /// Interns an edge-label name through the session's dictionary — for
+  /// building `GraphDelta` batches from textual input (ids are append-only,
+  /// so existing patterns and cached state are unaffected). Call from the
+  /// delta-applying thread only; it mutates the shared dictionary.
+  virtual LabelId InternLabel(std::string_view name) = 0;
+  /// Accumulated statistics over the session's lifetime (by value — the
+  /// internals keep mutating under concurrent queries).
+  virtual ServeStats lifetime_stats() const = 0;
+};
+
+/// Expands/validates a request's rule subset against `num_rules` loaded
+/// rules: empty selects all; otherwise sorted, deduplicated, and
+/// range-checked. Shared by both `ServeSession` implementations.
+Result<std::vector<uint32_t>> NormalizeRuleSelection(
+    const std::vector<uint32_t>& rules, size_t num_rules);
+
+}  // namespace gpar
+
+#endif  // GPAR_SERVE_SERVE_SESSION_H_

@@ -1,0 +1,353 @@
+#include "serve/sharded_rule_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/timer.h"
+#include "graph/graph_snapshot.h"
+#include "graph/partition.h"
+#include "identify/eip.h"
+#include "rule/metrics.h"
+
+namespace gpar {
+
+namespace {
+
+void Accumulate(ServeStats* into, const ServeStats& s) {
+  into->cache_hits += s.cache_hits;
+  into->cache_probes += s.cache_probes;
+  into->centers_evaluated += s.centers_evaluated;
+}
+
+}  // namespace
+
+ShardedRuleServer::ShardedRuleServer(const ShardedRuleServerOptions& options)
+    : options_(options) {}
+
+Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Load(
+    const std::string& graph_snapshot_path,
+    const std::string& rules_snapshot_path,
+    const ShardedRuleServerOptions& options) {
+  auto g = ReadGraphSnapshotFile(graph_snapshot_path);
+  if (!g.ok()) return g.status();
+  auto rules =
+      ReadRuleSetSnapshotFile(rules_snapshot_path, g->mutable_labels());
+  if (!rules.ok()) return rules.status();
+  return Create(std::move(g).value(), std::move(rules).value(), options);
+}
+
+Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Create(
+    Graph g, std::vector<RuleRecord> rules,
+    const ShardedRuleServerOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  std::unique_ptr<ShardedRuleServer> server(new ShardedRuleServer(options));
+  server->records_ = std::move(rules);
+  std::vector<Gpar> sigma;
+  sigma.reserve(server->records_.size());
+  for (const RuleRecord& r : server->records_) sigma.push_back(r.rule);
+  GPAR_ASSIGN_OR_RETURN(SigmaInfo info, ValidateSigma(sigma));
+
+  auto parent = std::make_shared<const Graph>(std::move(g));
+  server->interner_ = parent->labels_ptr();
+  {
+    auto span = parent->nodes_with_label(info.q.x_label);
+    server->candidates_.assign(span.begin(), span.end());
+  }
+
+  // Partition at the rule set's locality radius: every owned center's
+  // G_d lives inside its fragment, so shard-local matching is exact.
+  PartitionOptions popt;
+  popt.num_fragments = options.num_shards;
+  popt.d = std::max<uint32_t>(info.d, 1);
+  GPAR_ASSIGN_OR_RETURN(
+      Partitioning parts,
+      PartitionGraph(*parent, server->candidates_, popt));
+  server->owner_ = std::move(parts.owner_of_center);
+
+  server->shards_.reserve(parts.fragments.size());
+  for (Fragment& frag : parts.fragments) {
+    GPAR_ASSIGN_OR_RETURN(
+        std::unique_ptr<RuleServer> shard,
+        RuleServer::CreateShard(parent, frag.view.nodes(),
+                                std::move(frag.centers), server->records_,
+                                options.shard_options));
+    server->shards_.push_back(std::move(shard));
+  }
+  server->router_pool_ = std::make_unique<ThreadPool>(
+      options.router_threads > 0 ? options.router_threads
+                                 : options.num_shards);
+  server->num_nodes_ = parent->num_nodes();
+  server->graph_ = std::move(parent);
+  return server;
+}
+
+uint32_t ShardedRuleServer::OwnerOf(NodeId center) const {
+  auto it = std::lower_bound(candidates_.begin(), candidates_.end(), center);
+  if (it == candidates_.end() || *it != center) return num_shards();
+  return owner_[static_cast<size_t>(it - candidates_.begin())];
+}
+
+uint64_t ShardedRuleServer::delta_sequence() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return delta_sequence_;
+}
+
+std::shared_ptr<const Graph> ShardedRuleServer::graph_snapshot() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return graph_;
+}
+
+ServeStats ShardedRuleServer::lifetime_stats() const {
+  ServeStats st;
+  st.requests = lifetime_.requests.load(std::memory_order_relaxed);
+  st.cache_hits = lifetime_.cache_hits.load(std::memory_order_relaxed);
+  st.cache_probes = lifetime_.cache_probes.load(std::memory_order_relaxed);
+  st.centers_evaluated =
+      lifetime_.centers_evaluated.load(std::memory_order_relaxed);
+  st.latency_seconds =
+      static_cast<double>(
+          lifetime_.latency_micros.load(std::memory_order_relaxed)) *
+      1e-6;
+  return st;
+}
+
+void ShardedRuleServer::RecordRequest(const ServeStats& stats) {
+  lifetime_.requests.fetch_add(1, std::memory_order_relaxed);
+  lifetime_.cache_hits.fetch_add(stats.cache_hits, std::memory_order_relaxed);
+  lifetime_.cache_probes.fetch_add(stats.cache_probes,
+                                   std::memory_order_relaxed);
+  lifetime_.centers_evaluated.fetch_add(stats.centers_evaluated,
+                                        std::memory_order_relaxed);
+  lifetime_.latency_micros.fetch_add(
+      static_cast<uint64_t>(stats.latency_seconds * 1e6),
+      std::memory_order_relaxed);
+}
+
+Result<SessionReply> ShardedRuleServer::Query(const SessionRequest& request) {
+  GPAR_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> selected,
+      NormalizeRuleSelection(request.rules, records_.size()));
+  return request.all_centers ? QueryAll(request, selected)
+                             : QueryPoint(request, selected);
+}
+
+Result<SessionReply> ShardedRuleServer::QueryPoint(
+    const SessionRequest& request, const std::vector<uint32_t>& selected) {
+  Timer timer;
+  const NodeId n = num_nodes_;
+  const uint32_t k = num_shards();
+
+  // Scatter by center ownership; non-candidate centers match nothing and
+  // never leave the router.
+  struct ShardBatch {
+    std::vector<NodeId> centers;
+    std::vector<size_t> positions;  ///< indices into request.centers
+  };
+  std::vector<ShardBatch> batches(k);
+  for (size_t i = 0; i < request.centers.size(); ++i) {
+    const NodeId c = request.centers[i];
+    if (c >= n) {
+      return Status::InvalidArgument("center id " + std::to_string(c) +
+                                     " out of range");
+    }
+    const uint32_t owner = OwnerOf(c);
+    if (owner >= k) continue;
+    batches[owner].centers.push_back(c);
+    batches[owner].positions.push_back(i);
+  }
+  std::vector<uint32_t> involved;
+  for (uint32_t s = 0; s < k; ++s) {
+    if (!batches[s].centers.empty()) involved.push_back(s);
+  }
+
+  std::vector<Status> statuses(involved.size(), Status::OK());
+  std::vector<SessionReply> shard_replies(involved.size());
+  auto run = [&](uint32_t idx) {
+    SessionRequest sub;
+    sub.centers = std::move(batches[involved[idx]].centers);
+    sub.rules = selected;
+    sub.require_consequent = request.require_consequent;
+    auto r = shards_[involved[idx]]->Query(sub);
+    if (r.ok()) {
+      shard_replies[idx] = std::move(r).value();
+    } else {
+      statuses[idx] = r.status();
+    }
+  };
+  // Single-shard requests (the common point-lookup case under center
+  // affinity) skip the router pool entirely and run on the caller.
+  if (involved.size() == 1) {
+    run(0);
+  } else if (!involved.empty()) {
+    ParallelFor(*router_pool_, static_cast<uint32_t>(involved.size()), run);
+  }
+  for (const Status& st : statuses) GPAR_RETURN_NOT_OK(st);
+
+  SessionReply reply;
+  reply.matched.assign(request.centers.size(), {});
+  ServeStats stats;
+  stats.requests = 1;
+  for (size_t bi = 0; bi < involved.size(); ++bi) {
+    const ShardBatch& batch = batches[involved[bi]];
+    SessionReply& sub = shard_replies[bi];
+    for (size_t j = 0; j < batch.positions.size(); ++j) {
+      reply.matched[batch.positions[j]] = std::move(sub.matched[j]);
+    }
+    Accumulate(&stats, sub.stats);
+  }
+  for (size_t i = 0; i < request.centers.size(); ++i) {
+    if (!reply.matched[i].empty()) {
+      reply.entities.push_back(request.centers[i]);
+    }
+  }
+  std::sort(reply.entities.begin(), reply.entities.end());
+  reply.entities.erase(
+      std::unique(reply.entities.begin(), reply.entities.end()),
+      reply.entities.end());
+
+  stats.latency_seconds = timer.Seconds();
+  RecordRequest(stats);
+  reply.stats = stats;
+  return reply;
+}
+
+Result<SessionReply> ShardedRuleServer::QueryAll(
+    const SessionRequest& request, const std::vector<uint32_t>& selected) {
+  Timer timer;
+  if (request.eta <= 0) {
+    return Status::InvalidArgument("eta must be positive");
+  }
+  const uint32_t k = num_shards();
+
+  SessionRequest sub;
+  sub.all_centers = true;
+  sub.rules = selected;
+  sub.eta = request.eta;
+  sub.require_consequent = request.require_consequent;
+
+  std::vector<Status> statuses(k, Status::OK());
+  std::vector<SessionReply> shard_replies(k);
+  auto run = [&](uint32_t s) {
+    auto r = shards_[s]->Query(sub);
+    if (r.ok()) {
+      shard_replies[s] = std::move(r).value();
+    } else {
+      statuses[s] = r.status();
+    }
+  };
+  if (k == 1) {
+    run(0);
+  } else {
+    ParallelFor(*router_pool_, k, run);
+  }
+  for (const Status& st : statuses) GPAR_RETURN_NOT_OK(st);
+
+  // Gather: center ownership is disjoint, so the per-shard partial
+  // supports sum to the global ones; confidences must be computed HERE,
+  // from the global sums — shard-local confidences are meaningless.
+  SessionReply reply;
+  reply.matched.assign(candidates_.size(), {});
+  reply.rule_evals.assign(records_.size(), {});
+  ServeStats stats;
+  stats.requests = 1;
+  for (uint32_t s = 0; s < k; ++s) {
+    SessionReply& sub_reply = shard_replies[s];
+    const std::vector<NodeId>& owned = shards_[s]->candidates();
+    for (size_t j = 0; j < owned.size(); ++j) {
+      auto it =
+          std::lower_bound(candidates_.begin(), candidates_.end(), owned[j]);
+      reply.matched[static_cast<size_t>(it - candidates_.begin())] =
+          std::move(sub_reply.matched[j]);
+    }
+    reply.supp_q += sub_reply.supp_q;
+    reply.supp_qbar += sub_reply.supp_qbar;
+    for (uint32_t ri : selected) {
+      reply.rule_evals[ri].supp_r += sub_reply.rule_evals[ri].supp_r;
+      reply.rule_evals[ri].supp_qqbar += sub_reply.rule_evals[ri].supp_qqbar;
+    }
+    Accumulate(&stats, sub_reply.stats);
+  }
+  std::vector<char> qualified(records_.size(), 0);
+  for (uint32_t ri : selected) {
+    EipRuleEval& ev = reply.rule_evals[ri];
+    ev.conf = BayesFactorConf(ev.supp_r, reply.supp_qbar, ev.supp_qqbar,
+                              reply.supp_q);
+    if (ev.conf >= request.eta) qualified[ri] = 1;
+  }
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    for (uint32_t ri : reply.matched[i]) {
+      if (qualified[ri] != 0) {
+        reply.entities.push_back(candidates_[i]);
+        break;
+      }
+    }
+  }
+
+  stats.latency_seconds = timer.Seconds();
+  RecordRequest(stats);
+  reply.stats = stats;
+  return reply;
+}
+
+Result<DeltaStats> ShardedRuleServer::ApplyDelta(const GraphDelta& delta) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::shared_ptr<const Graph> cur = graph_snapshot();
+  Timer timer;
+  DeltaStats ds;
+  GPAR_ASSIGN_OR_RETURN(GraphPatch patch, PatchGraphWithInserts(*cur, delta));
+  ds.edges_inserted = patch.edges_inserted;
+  ds.duplicates_ignored = patch.duplicates;
+  if (patch.applied.empty()) {
+    ds.seconds = timer.Seconds();
+    return ds;
+  }
+
+  // Patch the shared parent CSR once, then ship one serialized batch of
+  // the applied inserts to every shard — bytes on the wire instead of k
+  // graph snapshots.
+  auto next = std::make_shared<const Graph>(std::move(patch.graph));
+  GraphDelta wire;
+  wire.inserts = std::move(patch.applied);
+  const uint32_t k = num_shards();
+  std::string bytes;
+  std::vector<Status> statuses(k, Status::OK());
+  std::vector<DeltaStats> shard_stats(k);
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    wire.sequence = ++delta_sequence_;
+  }
+  bytes = wire.Serialize();
+  auto ship = [&](uint32_t s) {
+    auto r = shards_[s]->ApplyShardDelta(next, bytes);
+    if (r.ok()) {
+      shard_stats[s] = std::move(r).value();
+    } else {
+      statuses[s] = r.status();
+    }
+  };
+  if (k == 1) {
+    ship(0);
+  } else {
+    ParallelFor(*router_pool_, k, ship);
+  }
+  for (const Status& st : statuses) GPAR_RETURN_NOT_OK(st);
+
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    graph_ = next;
+  }
+  for (const DeltaStats& s : shard_stats) {
+    ds.memberships_invalidated += s.memberships_invalidated;
+    ds.qclass_invalidated += s.qclass_invalidated;
+    ds.sketches_refreshed += s.sketches_refreshed;
+    ds.members_extended += s.members_extended;
+    ds.wire_bytes += s.wire_bytes;
+  }
+  ds.seconds = timer.Seconds();
+  return ds;
+}
+
+}  // namespace gpar

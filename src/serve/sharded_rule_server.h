@@ -1,0 +1,141 @@
+#ifndef GPAR_SERVE_SHARDED_RULE_SERVER_H_
+#define GPAR_SERVE_SHARDED_RULE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/graph_delta.h"
+#include "parallel/thread_pool.h"
+#include "rule/rule_snapshot.h"
+#include "serve/rule_server.h"
+#include "serve/serve_session.h"
+
+namespace gpar {
+
+/// Options for `ShardedRuleServer`.
+struct ShardedRuleServerOptions {
+  /// Number of shard servers. 1 is a valid (router + one shard)
+  /// deployment, handy for A/B against a plain `RuleServer`.
+  uint32_t num_shards = 2;
+  /// Threads the router uses to scatter a request across shards and to
+  /// ship deltas; 0 sizes it to `num_shards`.
+  uint32_t router_threads = 0;
+  /// Per-shard serving options (worker threads, cache size, ...).
+  RuleServerOptions shard_options;
+};
+
+/// A sharded serving deployment: the graph is split once at load with the
+/// `PartitionGraph` fragment builder (d = the rule set's locality radius,
+/// so G_d of every owned center lies inside its shard's `GraphView` slice)
+/// into `num_shards` `RuleServer` shards, each answering for its owned
+/// centers only. This thin router scatters a request by center ownership,
+/// gathers the matches, and — for `all_centers` requests — assembles the
+/// global supports and confidences from the per-shard partial sums, which
+/// is exact because center ownership is disjoint (the paper's summable
+/// local supports, Section 5.1).
+///
+/// Deltas are applied to the shared parent CSR once, then shipped to every
+/// shard as one serialized `GraphDelta` batch (`common/binary_io` framing)
+/// rather than k graph snapshots; each shard re-derives its own
+/// invalidation and view extension from the batch.
+///
+/// Thread-safety: as `ServeSession` — any number of concurrent `Query`
+/// calls, concurrent with at most the internal serialization of
+/// `ApplyDelta`. Shards swap snapshots independently, so a query racing a
+/// delta may observe it on some shards and not others (per-shard snapshot
+/// consistency; the delta becomes globally visible when `ApplyDelta`
+/// returns).
+class ShardedRuleServer : public ServeSession {
+ public:
+  /// Loads a snapshot pair (see `RuleServer::Load`) and partitions it.
+  static Result<std::unique_ptr<ShardedRuleServer>> Load(
+      const std::string& graph_snapshot_path,
+      const std::string& rules_snapshot_path,
+      const ShardedRuleServerOptions& options = {});
+
+  static Result<std::unique_ptr<ShardedRuleServer>> Create(
+      Graph g, std::vector<RuleRecord> rules,
+      const ShardedRuleServerOptions& options = {});
+
+  ShardedRuleServer(const ShardedRuleServer&) = delete;
+  ShardedRuleServer& operator=(const ShardedRuleServer&) = delete;
+
+  // ---- ServeSession ----
+
+  Result<SessionReply> Query(const SessionRequest& request) override;
+  Result<DeltaStats> ApplyDelta(const GraphDelta& delta) override;
+  std::shared_ptr<const Graph> graph_snapshot() const override;
+  const std::vector<RuleRecord>& rules() const override { return records_; }
+  const std::vector<NodeId>& candidates() const override {
+    return candidates_;
+  }
+  LabelId InternLabel(std::string_view name) override {
+    return interner_->Intern(name);
+  }
+  /// Router-level lifetime stats (one request per `Query`; per-shard stats
+  /// live on the shards — see `shard()`).
+  ServeStats lifetime_stats() const override;
+
+  // ---- Introspection ----
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  const RuleServer& shard(uint32_t i) const { return *shards_[i]; }
+  /// Shard owning `center`, or `num_shards()` when it is not a candidate.
+  uint32_t OwnerOf(NodeId center) const;
+  /// Sequence number stamped on the next shipped delta batch minus one.
+  uint64_t delta_sequence() const;
+
+ private:
+  explicit ShardedRuleServer(const ShardedRuleServerOptions& options);
+
+  Result<SessionReply> QueryPoint(const SessionRequest& request,
+                                  const std::vector<uint32_t>& selected);
+  Result<SessionReply> QueryAll(const SessionRequest& request,
+                                const std::vector<uint32_t>& selected);
+
+  ShardedRuleServerOptions options_;
+  std::shared_ptr<Interner> interner_;
+  std::vector<RuleRecord> records_;
+  std::vector<NodeId> candidates_;  ///< all candidate centers, sorted
+  std::vector<uint32_t> owner_;     ///< parallel to candidates_
+  /// Fixed for the server's lifetime (insert-only deltas never add nodes),
+  /// so point-query validation needn't take `graph_mu_`.
+  NodeId num_nodes_ = 0;
+  std::vector<std::unique_ptr<RuleServer>> shards_;
+  /// Scatter/ship pool — deliberately separate from the shards' matching
+  /// pools: a router task blocks on a shard's `Query`, and blocking waits
+  /// must never share a pool with the tasks they wait for.
+  std::unique_ptr<ThreadPool> router_pool_;
+
+  mutable std::mutex graph_mu_;
+  std::shared_ptr<const Graph> graph_;
+  std::mutex writer_mu_;  ///< serializes ApplyDelta
+  uint64_t delta_sequence_ = 0;
+
+  /// Lifetime counters are lock-free (relaxed atomics; latency in
+  /// microseconds): the router adds one entry per request, and a shared
+  /// mutex here would serialize otherwise shard-disjoint hot paths.
+  struct AtomicStats {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_probes{0};
+    std::atomic<uint64_t> centers_evaluated{0};
+    std::atomic<uint64_t> latency_micros{0};
+  };
+  AtomicStats lifetime_;
+
+  void RecordRequest(const ServeStats& stats);
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_SERVE_SHARDED_RULE_SERVER_H_

@@ -1,0 +1,100 @@
+#include "serve/serve_command.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace gpar {
+namespace {
+
+ServeCommand MustParse(std::string_view line) {
+  auto r = ParseServeCommand(line);
+  EXPECT_TRUE(r.ok()) << "'" << line << "': " << r.status();
+  return r.ok() ? std::move(r).value() : ServeCommand{};
+}
+
+/// Expects InvalidArgument whose message contains `needle` (the offending
+/// command / token) — the serve loop surfaces these verbatim.
+void ExpectMalformed(std::string_view line, std::string_view needle) {
+  auto r = ParseServeCommand(line);
+  ASSERT_FALSE(r.ok()) << "'" << line << "' parsed unexpectedly";
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << r.status();
+  EXPECT_NE(r.status().message().find(needle), std::string::npos)
+      << "message '" << r.status().message() << "' lacks '" << needle << "'";
+}
+
+TEST(ServeCommandTest, MetaCommands) {
+  EXPECT_EQ(MustParse("").kind, ServeCommand::Kind::kHelp);
+  EXPECT_EQ(MustParse("help").kind, ServeCommand::Kind::kHelp);
+  EXPECT_EQ(MustParse("quit").kind, ServeCommand::Kind::kQuit);
+  EXPECT_EQ(MustParse("exit").kind, ServeCommand::Kind::kQuit);
+  EXPECT_EQ(MustParse("stats").kind, ServeCommand::Kind::kStats);
+  EXPECT_NE(std::string(ServeCommandHelp()).find("delta"), std::string::npos);
+}
+
+TEST(ServeCommandTest, IdCommand) {
+  ServeCommand c = MustParse("id 3 17 4");
+  EXPECT_EQ(c.kind, ServeCommand::Kind::kQuery);
+  EXPECT_FALSE(c.request.all_centers);
+  EXPECT_EQ(c.request.centers, (std::vector<NodeId>{3, 17, 4}));
+  EXPECT_TRUE(c.request.rules.empty());
+  EXPECT_FALSE(c.request.require_consequent);
+
+  c = MustParse("id rules=2,0,5 pr=1 9");
+  EXPECT_EQ(c.request.centers, (std::vector<NodeId>{9}));
+  EXPECT_EQ(c.request.rules, (std::vector<uint32_t>{2, 0, 5}));
+  EXPECT_TRUE(c.request.require_consequent);
+
+  // Options may appear anywhere among the centers.
+  c = MustParse("id 1 pr=0 2 rules=0");
+  EXPECT_EQ(c.request.centers, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(c.request.rules, (std::vector<uint32_t>{0}));
+}
+
+TEST(ServeCommandTest, AllCommand) {
+  ServeCommand c = MustParse("all");
+  EXPECT_EQ(c.kind, ServeCommand::Kind::kQuery);
+  EXPECT_TRUE(c.request.all_centers);
+  EXPECT_DOUBLE_EQ(c.request.eta, 1.0);
+
+  c = MustParse("all 0.75 rules=1,3");
+  EXPECT_DOUBLE_EQ(c.request.eta, 0.75);
+  EXPECT_EQ(c.request.rules, (std::vector<uint32_t>{1, 3}));
+
+  c = MustParse("all pr=1 2.5");
+  EXPECT_TRUE(c.request.require_consequent);
+  EXPECT_DOUBLE_EQ(c.request.eta, 2.5);
+}
+
+TEST(ServeCommandTest, DeltaCommand) {
+  ServeCommand c = MustParse("delta 1 follows 2 7 likes 9");
+  EXPECT_EQ(c.kind, ServeCommand::Kind::kDelta);
+  ASSERT_EQ(c.inserts.size(), 2u);
+  EXPECT_EQ(c.inserts[0], (TextEdgeInsert{1, "follows", 2}));
+  EXPECT_EQ(c.inserts[1], (TextEdgeInsert{7, "likes", 9}));
+}
+
+TEST(ServeCommandTest, MalformedInputsNameTheOffendingToken) {
+  ExpectMalformed("id", "at least one center");
+  ExpectMalformed("id x7", "center must be a node id, got 'x7'");
+  ExpectMalformed("id -3", "center must be a node id, got '-3'");
+  ExpectMalformed("id rules= 0", "comma-separated rule list");
+  ExpectMalformed("id rules=a 0", "rule indices, got 'a'");
+  ExpectMalformed("id rules=1, 0", "trailing comma");
+  ExpectMalformed("id pr=yes 0", "pr= expects 0 or 1, got 'yes'");
+  ExpectMalformed("all 0", "eta must be positive");
+  ExpectMalformed("all -0.5", "eta must be positive");
+  ExpectMalformed("all 0.5 0.7", "unexpected token '0.7'");
+  ExpectMalformed("all bogus", "unexpected token 'bogus'");
+  ExpectMalformed("delta", "at least one (src, elabel, dst) triple");
+  ExpectMalformed("delta x follows 2", "src must be a node id, got 'x'");
+  ExpectMalformed("delta 1", "missing edge label after src 1");
+  ExpectMalformed("delta 1 follows", "(src, elabel, dst) triples");
+  ExpectMalformed("delta 1 follows z", "(src, elabel, dst) triples");
+  ExpectMalformed("stats now", "takes no arguments, got 'now'");
+  ExpectMalformed("frobnicate", "unknown command 'frobnicate'");
+}
+
+}  // namespace
+}  // namespace gpar

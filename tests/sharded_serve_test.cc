@@ -1,0 +1,457 @@
+#include "serve/sharded_rule_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/graph_delta.h"
+#include "graph/graph_snapshot.h"
+#include "graph/paper_graphs.h"
+#include "graph/stats.h"
+#include "identify/eip.h"
+#include "pattern/pattern_generator.h"
+#include "rule/rule_snapshot.h"
+#include "serve/rule_server.h"
+#include "serve/serve_session.h"
+
+namespace gpar {
+namespace {
+
+struct Workload {
+  Graph graph;
+  std::vector<Gpar> sigma;
+  std::vector<RuleRecord> records;
+};
+
+/// Same seeded workloads as the single-server ServeEquivalence battery.
+Workload MakeWorkload(uint64_t seed) {
+  Workload w;
+  w.graph = (seed % 3 == 0) ? MakePokecLike(1, seed)
+                            : MakeSynthetic(600, 1800, 20, seed);
+  auto freq = FrequentEdgePatterns(w.graph);
+  EXPECT_FALSE(freq.empty());
+  Predicate q{freq[0].src_label, freq[0].edge_label, freq[0].dst_label};
+  GparGenOptions gopt;
+  gopt.num_nodes = 4;
+  gopt.num_edges = 4;
+  gopt.max_radius = 2;
+  gopt.seed = seed * 31 + 1;
+  w.sigma = GenerateGparWorkload(w.graph, q, 5, gopt);
+  EXPECT_GE(w.sigma.size(), 2u);
+  for (const Gpar& r : w.sigma) w.records.push_back({r, 0, 0.0});
+  return w;
+}
+
+EipResult BatchIdentify(const Graph& g, const std::vector<Gpar>& sigma,
+                        double eta, bool require_consequent) {
+  EipOptions opt;
+  opt.algorithm = EipAlgorithm::kMatch;
+  opt.num_workers = 3;
+  opt.eta = eta;
+  opt.require_consequent = require_consequent;
+  auto r = IdentifyEntities(g, sigma, opt);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+SessionRequest AllRequest(double eta, bool require_consequent = false) {
+  SessionRequest req;
+  req.all_centers = true;
+  req.eta = eta;
+  req.require_consequent = require_consequent;
+  return req;
+}
+
+/// The sharded reply must equal the batch EipResult field for field:
+/// entities, the global q / qbar supports, and every rule's supports and
+/// confidence (assembled at the router from per-shard partial sums).
+void ExpectSameAsBatch(const SessionReply& got, const EipResult& want,
+                       const std::string& what) {
+  EXPECT_EQ(got.entities, want.entities) << what;
+  EXPECT_EQ(got.supp_q, want.supp_q) << what;
+  EXPECT_EQ(got.supp_qbar, want.supp_qbar) << what;
+  ASSERT_EQ(got.rule_evals.size(), want.rule_evals.size()) << what;
+  for (size_t i = 0; i < want.rule_evals.size(); ++i) {
+    EXPECT_EQ(got.rule_evals[i].supp_r, want.rule_evals[i].supp_r)
+        << what << " rule " << i;
+    EXPECT_EQ(got.rule_evals[i].supp_qqbar, want.rule_evals[i].supp_qqbar)
+        << what << " rule " << i;
+    EXPECT_DOUBLE_EQ(got.rule_evals[i].conf, want.rule_evals[i].conf)
+        << what << " rule " << i;
+  }
+}
+
+std::vector<EdgeInsert> MakeDelta(const Graph& g, uint64_t seed, size_t k) {
+  std::mt19937_64 rng(seed);
+  std::vector<LabelId> edge_labels;
+  for (NodeId v = 0; v < g.num_nodes() && edge_labels.size() < 8; ++v) {
+    for (const AdjEntry& e : g.out_edges(v)) {
+      if (std::find(edge_labels.begin(), edge_labels.end(), e.label) ==
+          edge_labels.end()) {
+        edge_labels.push_back(e.label);
+      }
+    }
+  }
+  std::vector<EdgeInsert> inserts;
+  for (size_t i = 0; i < k; ++i) {
+    NodeId src = static_cast<NodeId>(rng() % g.num_nodes());
+    NodeId dst = static_cast<NodeId>(rng() % g.num_nodes());
+    LabelId l = edge_labels[rng() % edge_labels.size()];
+    inserts.push_back({src, l, dst});
+  }
+  return inserts;
+}
+
+std::vector<NodeId> SampleCenters(const ServeSession& session, uint64_t seed,
+                                  size_t k) {
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> centers;
+  const auto& cands = session.candidates();
+  for (size_t i = 0; i < k && !cands.empty(); ++i) {
+    centers.push_back(cands[rng() % cands.size()]);
+  }
+  centers.push_back(
+      static_cast<NodeId>(rng() % session.graph_snapshot()->num_nodes()));
+  return centers;
+}
+
+/// The acceptance battery: a k-shard deployment answers — cold, warm, and
+/// after a shipped delta — identical to a single `RuleServer` and to a
+/// fresh batch `IdentifyEntities` run, through the one `ServeSession`
+/// interface, across seeds and shard counts.
+TEST(ShardedServeEquivalence, ColdWarmAndDeltaMatchSingleAndBatch) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Workload w = MakeWorkload(seed);
+
+    EipResult batch_lo = BatchIdentify(w.graph, w.sigma, 0.5, false);
+    EipResult batch_hi = BatchIdentify(w.graph, w.sigma, 1.2, false);
+    EipResult batch_pr = BatchIdentify(w.graph, w.sigma, 0.5, true);
+
+    GraphDelta delta{.sequence = 0,
+                     .inserts = MakeDelta(w.graph, seed * 977 + 5, 6)};
+    auto patchref = PatchGraphWithInserts(w.graph, delta);
+    ASSERT_TRUE(patchref.ok());
+    EipResult batch_patched =
+        BatchIdentify(patchref->graph, w.sigma, 0.5, false);
+
+    // The single-server reference, driven through the same session API.
+    auto singleref = RuleServer::Create(w.graph, w.records);
+    ASSERT_TRUE(singleref.ok()) << singleref.status();
+    ServeSession& single = **singleref;
+    SessionRequest point;
+    point.centers = SampleCenters(single, seed + 41, 6);
+    auto single_point = single.Query(point);
+    ASSERT_TRUE(single_point.ok()) << single_point.status();
+    auto singlepatch = RuleServer::Create(patchref->graph, w.records);
+    ASSERT_TRUE(singlepatch.ok());
+    auto single_point_patched = (*singlepatch)->Query(point);
+    ASSERT_TRUE(single_point_patched.ok());
+
+    for (uint32_t k : {1u, 2u, 4u}) {
+      SCOPED_TRACE("k=" + std::to_string(k));
+      ShardedRuleServerOptions sopt;
+      sopt.num_shards = k;
+      sopt.shard_options.num_workers = 2;
+      auto server = ShardedRuleServer::Create(w.graph, w.records, sopt);
+      ASSERT_TRUE(server.ok()) << server.status();
+      ShardedRuleServer& s = **server;
+      ASSERT_EQ(s.num_shards(), k);
+      EXPECT_EQ(s.candidates(), single.candidates());
+
+      // Cold.
+      auto cold = s.Query(AllRequest(0.5));
+      ASSERT_TRUE(cold.ok()) << cold.status();
+      ExpectSameAsBatch(*cold, batch_lo, "cold");
+      EXPECT_GT(cold->stats.cache_probes, 0u);
+
+      // Warm: different eta and P_R semantics, all from the shard caches.
+      auto warm = s.Query(AllRequest(1.2));
+      ASSERT_TRUE(warm.ok());
+      ExpectSameAsBatch(*warm, batch_hi, "warm");
+      EXPECT_EQ(warm->stats.cache_probes, 0u);
+      EXPECT_GT(warm->stats.cache_hits, 0u);
+      auto warm_pr = s.Query(AllRequest(0.5, true));
+      ASSERT_TRUE(warm_pr.ok());
+      ExpectSameAsBatch(*warm_pr, batch_pr, "warm require_consequent");
+
+      // Point queries routed by ownership == the single server's answers.
+      auto reply = s.Query(point);
+      ASSERT_TRUE(reply.ok()) << reply.status();
+      EXPECT_EQ(reply->matched, single_point->matched);
+      EXPECT_EQ(reply->entities, single_point->entities);
+
+      // Shipped delta == rebuild: the router patches the parent once and
+      // the shards extend their views and invalidate from the wire bytes.
+      auto ds = s.ApplyDelta(delta);
+      ASSERT_TRUE(ds.ok()) << ds.status();
+      EXPECT_EQ(ds->edges_inserted, patchref->edges_inserted);
+      EXPECT_EQ(ds->wire_bytes > 0, k >= 1);
+      EXPECT_EQ(s.delta_sequence(), 1u);
+      auto after = s.Query(AllRequest(0.5));
+      ASSERT_TRUE(after.ok());
+      ExpectSameAsBatch(*after, batch_patched, "after delta");
+
+      auto reply2 = s.Query(point);
+      ASSERT_TRUE(reply2.ok());
+      EXPECT_EQ(reply2->matched, single_point_patched->matched);
+      EXPECT_EQ(reply2->entities, single_point_patched->entities);
+    }
+  }
+}
+
+TEST(ShardedServeEquivalence, OwnershipPartitionsCandidates) {
+  Workload w = MakeWorkload(1);
+  ShardedRuleServerOptions sopt;
+  sopt.num_shards = 3;
+  auto server = ShardedRuleServer::Create(w.graph, w.records, sopt);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ShardedRuleServer& s = **server;
+
+  // Every candidate is owned by exactly one shard, and the per-shard owned
+  // sets reassemble the global candidate list.
+  size_t total_owned = 0;
+  for (uint32_t i = 0; i < s.num_shards(); ++i) {
+    const RuleServer& sh = s.shard(i);
+    EXPECT_TRUE(sh.is_shard());
+    EXPECT_GE(sh.view_members(), sh.candidates().size());
+    total_owned += sh.candidates().size();
+    for (NodeId c : sh.candidates()) EXPECT_EQ(s.OwnerOf(c), i);
+  }
+  EXPECT_EQ(total_owned, s.candidates().size());
+
+  // Non-candidates have no owner.
+  const Graph& g = *s.graph_snapshot();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!std::binary_search(s.candidates().begin(), s.candidates().end(), v)) {
+      EXPECT_EQ(s.OwnerOf(v), s.num_shards());
+      break;
+    }
+  }
+}
+
+TEST(ShardedServeEquivalence, SnapshotLoadRoundTrip) {
+  Workload w = MakeWorkload(4);
+  std::string dir = ::testing::TempDir();
+  std::string gpath = dir + "/sharded_serve_test_graph.snap";
+  std::string rpath = dir + "/sharded_serve_test_rules.snap";
+  ASSERT_TRUE(WriteGraphSnapshotFile(w.graph, gpath).ok());
+  ASSERT_TRUE(
+      WriteRuleSetSnapshotFile(w.records, w.graph.labels(), rpath).ok());
+
+  ShardedRuleServerOptions sopt;
+  sopt.num_shards = 2;
+  auto loaded = ShardedRuleServer::Load(gpath, rpath, sopt);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto in_memory = ShardedRuleServer::Create(w.graph, w.records, sopt);
+  ASSERT_TRUE(in_memory.ok());
+
+  auto a = (*loaded)->Query(AllRequest(0.7));
+  auto b = (*in_memory)->Query(AllRequest(0.7));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->entities, b->entities);
+  EXPECT_EQ(a->supp_q, b->supp_q);
+  EXPECT_EQ((*loaded)->rules().size(), w.records.size());
+}
+
+TEST(ShardedServeEquivalence, InputValidation) {
+  Workload w = MakeWorkload(1);
+
+  ShardedRuleServerOptions zero;
+  zero.num_shards = 0;
+  EXPECT_FALSE(ShardedRuleServer::Create(w.graph, w.records, zero).ok());
+  EXPECT_FALSE(ShardedRuleServer::Create(w.graph, {}).ok());
+
+  auto server = ShardedRuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(server.ok()) << server.status();
+  ShardedRuleServer& s = **server;
+
+  SessionRequest bad_center;
+  bad_center.centers = {s.graph_snapshot()->num_nodes() + 7};
+  EXPECT_FALSE(s.Query(bad_center).ok());
+
+  SessionRequest bad_rule;
+  bad_rule.centers = {0};
+  bad_rule.rules = {static_cast<uint32_t>(w.records.size())};
+  EXPECT_FALSE(s.Query(bad_rule).ok());
+
+  SessionRequest bad_eta = AllRequest(0);
+  EXPECT_FALSE(s.Query(bad_eta).ok());
+
+  GraphDelta bad_delta;
+  bad_delta.inserts.push_back(
+      {s.graph_snapshot()->num_nodes(), s.graph_snapshot()->node_label(0), 0});
+  EXPECT_FALSE(s.ApplyDelta(bad_delta).ok());
+}
+
+TEST(ShardedServeEquivalence, ShardSeamRejectsWrongDeltaEntryPoint) {
+  Workload w = MakeWorkload(2);
+  ShardedRuleServerOptions sopt;
+  sopt.num_shards = 2;
+  auto server = ShardedRuleServer::Create(w.graph, w.records, sopt);
+  ASSERT_TRUE(server.ok());
+
+  // A shard refuses direct ApplyDelta: deltas come from the router.
+  auto& shard = const_cast<RuleServer&>((*server)->shard(0));
+  GraphDelta delta{.sequence = 1, .inserts = MakeDelta(w.graph, 7, 2)};
+  EXPECT_FALSE(shard.ApplyDelta(delta).ok());
+
+  // A non-shard server refuses the shard-side entry point.
+  auto single = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(single.ok());
+  EXPECT_FALSE(
+      (*single)
+          ->ApplyShardDelta((*single)->graph_snapshot(), delta.Serialize())
+          .ok());
+
+  // Corrupt wire bytes are rejected by the shard-side decoder.
+  std::string bytes = delta.Serialize();
+  bytes[bytes.size() / 2] ^= 0x5A;
+  EXPECT_FALSE(shard.ApplyShardDelta((*server)->graph_snapshot(), bytes).ok());
+}
+
+/// Concurrency battery: n threads fire a mixed point / all-centers stream
+/// at one session; every answer must equal the single-threaded reference.
+/// Runs over both implementations of the session interface.
+void StressQueries(ServeSession& session, uint32_t num_threads,
+                   uint32_t rounds) {
+  SessionRequest all = AllRequest(0.5);
+  auto want_all = session.Query(all);
+  ASSERT_TRUE(want_all.ok()) << want_all.status();
+
+  std::vector<SessionRequest> points(num_threads);
+  std::vector<SessionReply> want_point(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    points[t].centers = SampleCenters(session, 100 + t, 5);
+    auto r = session.Query(points[t]);
+    ASSERT_TRUE(r.ok());
+    want_point[t] = std::move(r).value();
+  }
+
+  std::atomic<uint32_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint32_t i = 0; i < rounds; ++i) {
+        if ((i + t) % 3 == 0) {
+          auto r = session.Query(all);
+          if (!r.ok() || r->entities != want_all->entities ||
+              r->supp_q != want_all->supp_q) {
+            ++failures;
+          }
+        } else {
+          auto r = session.Query(points[t]);
+          if (!r.ok() || r->matched != want_point[t].matched) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(ShardedServeEquivalence, ConcurrentQueriesSingleServer) {
+  Workload w = MakeWorkload(1);
+  RuleServerOptions opt;
+  opt.num_workers = 2;
+  opt.cache_shards = 4;
+  auto server = RuleServer::Create(w.graph, w.records, opt);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StressQueries(**server, 8, 12);
+}
+
+TEST(ShardedServeEquivalence, ConcurrentQueriesSharded) {
+  Workload w = MakeWorkload(2);
+  for (uint32_t k : {1u, 2u, 4u}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    ShardedRuleServerOptions sopt;
+    sopt.num_shards = k;
+    sopt.shard_options.num_workers = 2;
+    auto server = ShardedRuleServer::Create(w.graph, w.records, sopt);
+    ASSERT_TRUE(server.ok()) << server.status();
+    StressQueries(**server, 6, 8);
+  }
+}
+
+/// Deltas never block or corrupt in-flight queries: readers hammer the
+/// session while a writer applies a stream of insert batches. During the
+/// race replies just have to be well-formed; after the writer finishes,
+/// the session must answer exactly like a fresh server on the final graph.
+void StressQueriesUnderDeltas(ServeSession& session, const Workload& w,
+                              uint32_t num_readers, uint32_t num_batches) {
+  std::vector<SessionRequest> points(num_readers);
+  for (uint32_t t = 0; t < num_readers; ++t) {
+    points[t].centers = SampleCenters(session, 500 + t, 4);
+  }
+  SessionRequest all = AllRequest(0.5);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint32_t> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(num_readers);
+  for (uint32_t t = 0; t < num_readers; ++t) {
+    readers.emplace_back([&, t] {
+      uint32_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = session.Query((i + t) % 4 == 0 ? all : points[t]);
+        if (!r.ok()) ++failures;
+        ++i;
+      }
+    });
+  }
+
+  Graph current = w.graph;
+  for (uint32_t b = 0; b < num_batches; ++b) {
+    GraphDelta delta{.sequence = 0,
+                     .inserts = MakeDelta(current, 900 + b * 13, 3)};
+    auto want = PatchGraphWithInserts(current, delta);
+    ASSERT_TRUE(want.ok());
+    current = std::move(want)->graph;
+    auto ds = session.ApplyDelta(delta);
+    if (!ds.ok()) ++failures;
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  auto fresh = RuleServer::Create(current, w.records);
+  ASSERT_TRUE(fresh.ok());
+  auto want_final = (*fresh)->Query(all);
+  auto got_final = session.Query(all);
+  ASSERT_TRUE(want_final.ok());
+  ASSERT_TRUE(got_final.ok());
+  EXPECT_EQ(got_final->entities, want_final->entities);
+  EXPECT_EQ(got_final->supp_q, want_final->supp_q);
+  EXPECT_EQ(got_final->supp_qbar, want_final->supp_qbar);
+}
+
+TEST(ShardedServeEquivalence, ConcurrentDeltasSingleServer) {
+  Workload w = MakeWorkload(4);
+  RuleServerOptions opt;
+  opt.num_workers = 2;
+  auto server = RuleServer::Create(w.graph, w.records, opt);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StressQueriesUnderDeltas(**server, w, 4, 6);
+}
+
+TEST(ShardedServeEquivalence, ConcurrentDeltasSharded) {
+  Workload w = MakeWorkload(5);
+  ShardedRuleServerOptions sopt;
+  sopt.num_shards = 2;
+  sopt.shard_options.num_workers = 2;
+  auto server = ShardedRuleServer::Create(w.graph, w.records, sopt);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StressQueriesUnderDeltas(**server, w, 4, 6);
+}
+
+}  // namespace
+}  // namespace gpar

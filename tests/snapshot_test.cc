@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
 #include <string>
 
@@ -286,6 +287,68 @@ TEST(GraphDeltaTest, ValidatesInserts) {
       EXPECT_EQ(GraphBytes(r->graph), GraphBytes(g));
     }
   }
+}
+
+TEST(GraphDeltaTest, WireRoundTrip) {
+  GraphDelta delta;
+  delta.sequence = 42;
+  delta.inserts = {{3, 1, 9}, {17, 0, 4}, {199, 2, 0}};
+  std::string bytes = delta.Serialize();
+
+  auto back = GraphDelta::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, delta);
+
+  // An empty batch is a legal wire unit too (a heartbeat).
+  GraphDelta empty;
+  auto back2 = GraphDelta::Deserialize(empty.Serialize());
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(*back2, empty);
+}
+
+TEST(GraphDeltaTest, WireRejectsCorruption) {
+  GraphDelta delta;
+  delta.sequence = 7;
+  delta.inserts = {{1, 0, 2}, {2, 1, 3}};
+  const std::string bytes = delta.Serialize();
+
+  auto expect_corrupt = [](const std::string& bad, const char* what) {
+    auto r = GraphDelta::Deserialize(bad);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << what;
+  };
+
+  expect_corrupt(bytes.substr(0, 10), "truncated header");
+  expect_corrupt(bytes.substr(0, bytes.size() - 3), "truncated payload");
+  expect_corrupt(bytes + "xx", "trailing bytes");
+  {
+    std::string bad = bytes;
+    bad[0] ^= 0xFF;  // magic
+    expect_corrupt(bad, "bad magic");
+  }
+  {
+    std::string bad = bytes;
+    bad[8] ^= 0xFF;  // version field follows the 8-byte magic
+    expect_corrupt(bad, "unsupported version");
+  }
+  {
+    std::string bad = bytes;
+    bad[bytes.size() - 1] ^= 0x5A;  // payload bit-flip breaks the checksum
+    expect_corrupt(bad, "checksum mismatch");
+  }
+}
+
+TEST(GraphDeltaTest, TypedPatchMatchesSpanPatch) {
+  Graph g = MakeSynthetic(50, 120, 6, 3);
+  GraphDelta delta;
+  delta.inserts = {{0, g.node_label(1), 5}, {7, g.node_label(0), 3}};
+  auto a = PatchGraphWithInserts(g, delta);
+  auto b = PatchGraphWithInserts(
+      g, std::span<const EdgeInsert>(delta.inserts));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(GraphBytes(a->graph), GraphBytes(b->graph));
+  EXPECT_EQ(a->edges_inserted, b->edges_inserted);
 }
 
 TEST(GraphDeltaTest, RadiusBfsFindsLocalNodes) {

@@ -10,8 +10,14 @@
 //   gpar_tool snapshot --graph g.txt --out g.snap
 //                      [--rules rules.txt --rules-out rules.snap]
 //   gpar_tool serve    --graph-snapshot g.snap --rules-snapshot rules.snap
-//                      [--workers 4 --cache 1048576] (query loop on stdin;
-//                      type `help` at the prompt)
+//                      [--workers 4 --cache 1048576 --shards 1 --strict 0]
+//                      (query loop on stdin; type `help` at the prompt;
+//                      --shards k > 1 serves from a k-shard deployment;
+//                      --strict 1 exits with code 3 on the first malformed
+//                      or failed query instead of continuing)
+//
+// Exit codes: 0 ok, 1 load/runtime error, 2 usage error, 3 malformed query
+// in --strict mode.
 //
 // Graphs use the `v/e` text format of graph_io.h; rule files use the
 // Gpar::SerializeSet format (pattern codec blocks separated by `---`);
@@ -37,6 +43,9 @@
 #include "rule/gpar.h"
 #include "rule/rule_snapshot.h"
 #include "serve/rule_server.h"
+#include "serve/serve_command.h"
+#include "serve/serve_session.h"
+#include "serve/sharded_rule_server.h"
 
 namespace {
 
@@ -292,125 +301,159 @@ int CmdSnapshot(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-// The serve query loop's line protocol (one command per line on stdin):
-//   id <center> [<center> ...]   classify centers against all loaded rules
-//   all [eta]                    full identification (default eta 1.0)
-//   delta <src> <elabel> <dst> [<src> <elabel> <dst> ...]   apply inserts
-//   stats                        lifetime serving statistics
-//   quit                         exit
+void PrintServeStatsLine(const char* prefix, const ServeStats& st,
+                         size_t cached) {
+  std::printf("%srequests=%llu hits=%llu probes=%llu centers=%llu "
+              "cached=%zu total_latency=%.2f ms\n",
+              prefix, static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.cache_probes),
+              static_cast<unsigned long long>(st.centers_evaluated), cached,
+              st.latency_seconds * 1e3);
+}
+
+// The serve query loop's line protocol (one command per line on stdin) is
+// parsed by serve/serve_command.h — type `help` at the prompt for the
+// grammar. Every command routes through the unified `ServeSession`
+// interface, so a single-server and a --shards k deployment answer the
+// same loop identically.
 int CmdServe(const std::map<std::string, std::string>& flags) {
   RuleServerOptions opt;
   opt.num_workers = NumFlagOr<uint32_t>(flags, "workers", 4);
   opt.cache_capacity = NumFlagOr<size_t>(flags, "cache", 1048576);
-  auto server = RuleServer::Load(RequireFlag(flags, "graph-snapshot"),
-                                 RequireFlag(flags, "rules-snapshot"), opt);
-  if (!server.ok()) {
-    std::fprintf(stderr, "cannot load server: %s\n",
-                 server.status().ToString().c_str());
-    return 1;
+  const uint32_t shards = NumFlagOr<uint32_t>(flags, "shards", 1);
+  const bool strict = NumFlagOr<int>(flags, "strict", 0) != 0;
+  const std::string graph_path = RequireFlag(flags, "graph-snapshot");
+  const std::string rules_path = RequireFlag(flags, "rules-snapshot");
+
+  std::unique_ptr<RuleServer> single;
+  std::unique_ptr<ShardedRuleServer> sharded;
+  ServeSession* session = nullptr;
+  if (shards > 1) {
+    ShardedRuleServerOptions sopt;
+    sopt.num_shards = shards;
+    sopt.shard_options = opt;
+    auto s = ShardedRuleServer::Load(graph_path, rules_path, sopt);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot load server: %s\n",
+                   s.status().ToString().c_str());
+      return 1;
+    }
+    sharded = std::move(s).value();
+    session = sharded.get();
+  } else {
+    auto s = RuleServer::Load(graph_path, rules_path, opt);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot load server: %s\n",
+                   s.status().ToString().c_str());
+      return 1;
+    }
+    single = std::move(s).value();
+    session = single.get();
   }
-  RuleServer& s = **server;
-  std::printf("serving %u nodes, %zu edges, %zu rules, %zu candidates "
-              "(%zu plans, %zu sketches precomputed)\n",
-              s.graph().num_nodes(), s.graph().num_edges(), s.rules().size(),
-              s.candidates().size(), s.plans_prepared(),
-              s.sketches_precomputed());
+
+  {
+    const auto g = session->graph_snapshot();
+    std::printf("serving %u nodes, %zu edges, %zu rules, %zu candidates "
+                "across %u shard(s)\n",
+                g->num_nodes(), g->num_edges(), session->rules().size(),
+                session->candidates().size(), shards);
+  }
+  if (sharded != nullptr) {
+    for (uint32_t i = 0; i < sharded->num_shards(); ++i) {
+      const RuleServer& sh = sharded->shard(i);
+      std::printf("  shard %u: %zu owned centers, %zu view nodes\n", i,
+                  sh.candidates().size(), sh.view_members());
+    }
+  }
 
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
-    std::istringstream ls(line);
-    std::string cmd;
-    if (!(ls >> cmd) || cmd == "help") {
-      std::printf("commands: id <center>... | all [eta] | "
-                  "delta <src> <elabel> <dst>... | stats | quit\n");
+    auto parsed = ParseServeCommand(line);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      if (strict) return 3;
       continue;
     }
-    if (cmd == "quit" || cmd == "exit") break;
-    if (cmd == "id") {
-      ServeRequest req;
-      NodeId v;
-      while (ls >> v) req.centers.push_back(v);
-      if (!ls.eof() || req.centers.empty()) {
-        std::printf("usage: id <center> [<center> ...]\n");
-        continue;
-      }
-      auto reply = s.Serve(req);
-      if (!reply.ok()) {
-        std::printf("error: %s\n", reply.status().ToString().c_str());
-        continue;
-      }
-      for (size_t i = 0; i < req.centers.size(); ++i) {
-        std::printf("  node %u:", req.centers[i]);
-        if (reply->matched[i].empty()) std::printf(" no rule matches");
-        for (uint32_t ri : reply->matched[i]) {
-          std::printf(" R%u(conf=%.3f)", ri, s.rules()[ri].conf);
+    switch (parsed->kind) {
+      case ServeCommand::Kind::kQuit:
+        return 0;
+      case ServeCommand::Kind::kHelp:
+        std::printf("%s\n", ServeCommandHelp());
+        break;
+      case ServeCommand::Kind::kStats: {
+        PrintServeStatsLine("  ", session->lifetime_stats(),
+                            single != nullptr ? single->cached_centers() : 0);
+        if (sharded != nullptr) {
+          for (uint32_t i = 0; i < sharded->num_shards(); ++i) {
+            const RuleServer& sh = sharded->shard(i);
+            std::printf("  shard %u: ", i);
+            PrintServeStatsLine("", sh.lifetime_stats(), sh.cached_centers());
+          }
         }
-        std::printf("\n");
+        break;
       }
-      std::printf("  [%llu hits, %llu probes, %.2f ms]\n",
-                  static_cast<unsigned long long>(reply->stats.cache_hits),
-                  static_cast<unsigned long long>(reply->stats.cache_probes),
-                  reply->stats.latency_seconds * 1e3);
-    } else if (cmd == "all") {
-      double eta = 1.0;
-      ls >> eta;
-      ServeStats st;
-      auto r = s.IdentifyAll(eta, /*require_consequent=*/false, &st);
-      if (!r.ok()) {
-        std::printf("error: %s\n", r.status().ToString().c_str());
-        continue;
-      }
-      for (size_t i = 0; i < r->rule_evals.size(); ++i) {
-        std::printf("  rule %zu: supp=%llu conf=%.3f%s\n", i,
-                    static_cast<unsigned long long>(r->rule_evals[i].supp_r),
-                    r->rule_evals[i].conf,
-                    r->rule_evals[i].conf >= eta ? "  [selected]" : "");
-      }
-      std::printf("  %zu entities at eta=%.2f [%llu hits, %llu probes, "
-                  "%.2f ms]\n",
-                  r->entities.size(), eta,
-                  static_cast<unsigned long long>(st.cache_hits),
-                  static_cast<unsigned long long>(st.cache_probes),
-                  st.latency_seconds * 1e3);
-    } else if (cmd == "delta") {
-      std::vector<EdgeInsert> inserts;
-      NodeId src, dst;
-      std::string elabel;
-      bool bad = false;
-      while (ls >> src) {
-        if (!(ls >> elabel >> dst)) {
-          bad = true;
+      case ServeCommand::Kind::kQuery: {
+        auto reply = session->Query(parsed->request);
+        if (!reply.ok()) {
+          std::printf("error: %s\n", reply.status().ToString().c_str());
+          if (strict) return 3;
           break;
         }
-        inserts.push_back({src, s.InternLabel(elabel), dst});
+        if (parsed->request.all_centers) {
+          const double eta = parsed->request.eta;
+          for (size_t i = 0; i < reply->rule_evals.size(); ++i) {
+            std::printf(
+                "  rule %zu: supp=%llu conf=%.3f%s\n", i,
+                static_cast<unsigned long long>(reply->rule_evals[i].supp_r),
+                reply->rule_evals[i].conf,
+                reply->rule_evals[i].conf >= eta ? "  [selected]" : "");
+          }
+          std::printf("  %zu entities at eta=%.2f", reply->entities.size(),
+                      eta);
+        } else {
+          for (size_t i = 0; i < parsed->request.centers.size(); ++i) {
+            std::printf("  node %u:", parsed->request.centers[i]);
+            if (reply->matched[i].empty()) std::printf(" no rule matches");
+            for (uint32_t ri : reply->matched[i]) {
+              std::printf(" R%u(conf=%.3f)", ri, session->rules()[ri].conf);
+            }
+            std::printf("\n");
+          }
+          std::printf(" ");
+        }
+        std::printf(" [%llu hits, %llu probes, %.2f ms]\n",
+                    static_cast<unsigned long long>(reply->stats.cache_hits),
+                    static_cast<unsigned long long>(reply->stats.cache_probes),
+                    reply->stats.latency_seconds * 1e3);
+        break;
       }
-      if (bad || inserts.empty()) {
-        std::printf("usage: delta <src> <elabel> <dst> ...\n");
-        continue;
+      case ServeCommand::Kind::kDelta: {
+        GraphDelta delta;
+        delta.inserts.reserve(parsed->inserts.size());
+        for (const TextEdgeInsert& e : parsed->inserts) {
+          delta.inserts.push_back(
+              {e.src, session->InternLabel(e.label), e.dst});
+        }
+        auto ds = session->ApplyDelta(delta);
+        if (!ds.ok()) {
+          std::printf("error: %s\n", ds.status().ToString().c_str());
+          if (strict) return 3;
+          break;
+        }
+        std::printf(
+            "  +%zu edges (%zu dup), %llu memberships + %llu q-classes "
+            "invalidated, %llu sketches refreshed, %llu view nodes added, "
+            "%llu wire bytes, %.2f ms\n",
+            ds->edges_inserted, ds->duplicates_ignored,
+            static_cast<unsigned long long>(ds->memberships_invalidated),
+            static_cast<unsigned long long>(ds->qclass_invalidated),
+            static_cast<unsigned long long>(ds->sketches_refreshed),
+            static_cast<unsigned long long>(ds->members_extended),
+            static_cast<unsigned long long>(ds->wire_bytes),
+            ds->seconds * 1e3);
+        break;
       }
-      auto ds = s.ApplyDelta(inserts);
-      if (!ds.ok()) {
-        std::printf("error: %s\n", ds.status().ToString().c_str());
-        continue;
-      }
-      std::printf("  +%zu edges (%zu dup), %llu memberships + %llu q-classes "
-                  "invalidated, %llu sketches refreshed, %.2f ms\n",
-                  ds->edges_inserted, ds->duplicates_ignored,
-                  static_cast<unsigned long long>(ds->memberships_invalidated),
-                  static_cast<unsigned long long>(ds->qclass_invalidated),
-                  static_cast<unsigned long long>(ds->sketches_refreshed),
-                  ds->seconds * 1e3);
-    } else if (cmd == "stats") {
-      const ServeStats& st = s.lifetime_stats();
-      std::printf("  requests=%llu hits=%llu probes=%llu centers=%llu "
-                  "cached=%zu total_latency=%.2f ms\n",
-                  static_cast<unsigned long long>(st.requests),
-                  static_cast<unsigned long long>(st.cache_hits),
-                  static_cast<unsigned long long>(st.cache_probes),
-                  static_cast<unsigned long long>(st.centers_evaluated),
-                  s.cached_centers(), st.latency_seconds * 1e3);
-    } else {
-      std::printf("unknown command '%s' (try help)\n", cmd.c_str());
     }
   }
   return 0;

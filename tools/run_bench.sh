@@ -17,8 +17,15 @@
 # cold vs warm-cache QPS of the RuleServer serving path and the cost of
 # edge-delta invalidation, against the per-request batch baseline.
 #
+# A fifth JSON report (SHARDED_JSON) comes from a CI-sized
+# exp6_sharded_serve run: aggregate warm QPS vs shard count for the
+# ShardedRuleServer deployment (makespan-accounted; the headline number is
+# the k=4 vs k=1 scaling ratio in "totals"), plus p50/p99 request latency
+# under a mixed query + delta workload.
+#
 # Usage:
-#   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON] [PARTITION_JSON] [SERVE_JSON]
+#   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON] [PARTITION_JSON] \
+#                      [SERVE_JSON] [SHARDED_JSON]
 #
 # Environment:
 #   GPAR_BENCH_BIN_DIR   directory holding the bench binaries
@@ -35,6 +42,7 @@ out="${1:-BENCH_micro.json}"
 dmine_out="${2:-BENCH_dmine.json}"
 partition_out="${3:-BENCH_partition.json}"
 serve_out="${4:-BENCH_serve.json}"
+sharded_out="${5:-BENCH_sharded_serve.json}"
 bin_dir="${GPAR_BENCH_BIN_DIR:-build/release/bench}"
 
 if [[ ! -d "${bin_dir}" ]]; then
@@ -72,6 +80,16 @@ if [[ -x "${serve_bin}" ]]; then
     "${serve_bin}"
 else
   echo "warning: ${serve_bin} not built; skipping ${serve_out}" >&2
+fi
+
+# Sharded serving sweep (aggregate warm QPS vs shard count, mixed p50/p99).
+sharded_bin="${bin_dir}/exp6_sharded_serve"
+if [[ -x "${sharded_bin}" ]]; then
+  echo "== exp6_sharded_serve -> ${sharded_out}" >&2
+  GPAR_BENCH_SMALL="${GPAR_BENCH_SMALL:-1}" GPAR_BENCH_JSON="${sharded_out}" \
+    "${sharded_bin}"
+else
+  echo "warning: ${sharded_bin} not built; skipping ${sharded_out}" >&2
 fi
 
 shopt -s nullglob
