@@ -1,0 +1,91 @@
+#ifndef GPAR_COMMON_MUTEX_H_
+#define GPAR_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace gpar {
+
+// The project's only sanctioned locking primitives: thin zero-cost wrappers
+// over std::mutex / std::condition_variable carrying clang thread-safety
+// capability annotations, so GUARDED_BY / REQUIRES contracts on the data
+// they protect are compile-checked under `-Werror=thread-safety`. Raw
+// std::mutex / std::lock_guard / std::unique_lock outside this header are
+// rejected by tools/gpar_lint.py: an unannotated lock is invisible to the
+// analysis and silently exempts everything it guards.
+
+class CondVar;
+
+/// Annotated mutual-exclusion capability. Same cost and semantics as the
+/// std::mutex it wraps.
+class GPAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GPAR_ACQUIRE() { mu_.lock(); }
+  void Unlock() GPAR_RELEASE() { mu_.unlock(); }
+  bool TryLock() GPAR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a `Mutex` — the project's std::lock_guard. The analysis
+/// treats the guarded region as exactly the object's lifetime.
+class GPAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GPAR_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() GPAR_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable while holding an annotated `Mutex`.
+///
+/// `Wait` takes the mutex the caller already holds (REQUIRES), so guarded
+/// members may be read in the caller's wait loop without analysis escapes:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);   // ready_ GUARDED_BY(mu_)
+///
+/// There is deliberately no predicate overload: a predicate lambda is a
+/// separate function to the analysis and would need a REQUIRES annotation
+/// clang cannot attach to a lambda; the explicit while loop keeps every
+/// guarded access inside the annotated caller.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and re-acquires `mu`
+  /// before returning. Spurious wakeups possible — always loop.
+  void Wait(Mutex& mu) GPAR_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the MutexLock in the caller stays
+    // the sole unlocker. The capability is held again when Wait returns,
+    // matching the REQUIRES contract.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gpar
+
+#endif  // GPAR_COMMON_MUTEX_H_

@@ -1,0 +1,67 @@
+#ifndef GPAR_COMMON_THREAD_ANNOTATIONS_H_
+#define GPAR_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attributes (no-ops on other compilers).
+///
+/// These macros let the locking discipline of the concurrent tiers
+/// (parallel/, serve/) be stated in the type system and checked at compile
+/// time with `-Werror=thread-safety` (the `analyze` CMake preset; plain
+/// clang builds get `-Wthread-safety` promoted by the global -Werror).
+/// The annotated primitives live in common/mutex.h — new code takes
+/// `Mutex`/`MutexLock`/`CondVar` from there, never raw `std::mutex`
+/// (enforced by tools/gpar_lint.py).
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define GPAR_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define GPAR_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" by convention).
+#define GPAR_CAPABILITY(x) GPAR_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose lifetime equals a region of held capability.
+#define GPAR_SCOPED_CAPABILITY GPAR_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member is protected by the given capability.
+#define GPAR_GUARDED_BY(x) GPAR_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointed-to data is protected by the given capability.
+#define GPAR_PT_GUARDED_BY(x) GPAR_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define GPAR_REQUIRES(...) \
+  GPAR_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and it must not already be held).
+#define GPAR_ACQUIRE(...) \
+  GPAR_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define GPAR_RELEASE(...) \
+  GPAR_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define GPAR_TRY_ACQUIRE(...) \
+  GPAR_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define GPAR_EXCLUDES(...) \
+  GPAR_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime semantics, compile-time for analysis) that the
+/// capability is held.
+#define GPAR_ASSERT_CAPABILITY(x) \
+  GPAR_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define GPAR_RETURN_CAPABILITY(x) GPAR_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct for reasons the
+/// analysis cannot follow. Every use must carry a justifying comment.
+#define GPAR_NO_THREAD_SAFETY_ANALYSIS \
+  GPAR_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // GPAR_COMMON_THREAD_ANNOTATIONS_H_
