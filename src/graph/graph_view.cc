@@ -27,6 +27,8 @@ GraphView::GraphView(const Graph& parent, std::vector<NodeId> members)
 }
 
 size_t GraphView::num_edges() const {
+  // Relaxed: the cell is an idempotent memo — racing readers compute and
+  // publish the same value, and no other data is ordered by it.
   size_t cached = induced_edges_.value.load(std::memory_order_relaxed);
   if (cached != CachedCount::kUnknown) return cached;
   // Induced edge count: every parent out-edge between two members — the
@@ -38,6 +40,7 @@ size_t GraphView::num_edges() const {
       if (contains(e.other)) ++count;
     }
   }
+  // Relaxed: see the load above — any racing writer stores the same count.
   induced_edges_.value.store(count, std::memory_order_relaxed);
   return count;
 }

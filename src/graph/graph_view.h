@@ -75,8 +75,10 @@ class GraphView {
     std::atomic<size_t> value{kUnknown};
     CachedCount() = default;
     CachedCount(const CachedCount& o)
+        // Relaxed: views are copied single-threaded; the cell only memoizes.
         : value(o.value.load(std::memory_order_relaxed)) {}
     CachedCount& operator=(const CachedCount& o) {
+      // Relaxed: same single-threaded copy contract as the copy ctor.
       value.store(o.value.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
       return *this;

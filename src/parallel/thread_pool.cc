@@ -14,33 +14,32 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) task_available_.Wait(mu_);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -48,9 +47,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -67,21 +66,24 @@ void ParallelFor(ThreadPool& pool, uint32_t n,
   // block on each other's tasks. The serving tier runs many simultaneous
   // requests over one pool, so each call only waits for its own n tasks.
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    uint32_t remaining;
+    Mutex mu;
+    CondVar cv;
+    uint32_t remaining GPAR_GUARDED_BY(mu) = 0;
   };
   Latch latch;
-  latch.remaining = n;
+  {
+    MutexLock lock(latch.mu);
+    latch.remaining = n;
+  }
   for (uint32_t i = 0; i < n; ++i) {
     pool.Submit([i, &fn, &latch] {
       fn(i);
-      std::lock_guard<std::mutex> lock(latch.mu);
-      if (--latch.remaining == 0) latch.cv.notify_one();
+      MutexLock lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lock(latch.mu);
-  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+  MutexLock lock(latch.mu);
+  while (latch.remaining != 0) latch.cv.Wait(latch.mu);
 }
 
 }  // namespace gpar

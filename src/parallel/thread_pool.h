@@ -1,13 +1,14 @@
 #ifndef GPAR_PARALLEL_THREAD_POOL_H_
 #define GPAR_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gpar {
 
@@ -23,23 +24,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) GPAR_EXCLUDES(mu_);
 
   /// Blocks until the queue is drained and all in-flight tasks complete.
-  void Wait();
+  void Wait() GPAR_EXCLUDES(mu_);
 
-  uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
+  uint32_t num_threads() const noexcept {
+    return static_cast<uint32_t>(threads_.size());
+  }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() GPAR_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  uint32_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GPAR_GUARDED_BY(mu_);
+  CondVar task_available_;
+  CondVar all_done_;
+  uint32_t in_flight_ GPAR_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GPAR_GUARDED_BY(mu_) = false;
 };
 
 /// Runs fn(0..n-1) on the pool and waits for completion of exactly those n

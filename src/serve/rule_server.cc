@@ -137,6 +137,9 @@ Status RuleServer::Init(std::shared_ptr<const Graph> g,
 
   num_cache_shards_ = std::max<uint32_t>(options_.cache_shards, 1);
   cache_shards_ = std::make_unique<CacheShard[]>(num_cache_shards_);
+  // Init runs single-threaded, but `state_` is guarded and the lock is
+  // uncontended — take it rather than poke an analysis hole.
+  MutexLock lock(state_mu_);
   state_ = std::move(st);
   return Status::OK();
 }
@@ -206,7 +209,7 @@ std::unique_ptr<RuleServer::WorkerCtx> RuleServer::BuildCtx(
 std::unique_ptr<RuleServer::WorkerCtx> RuleServer::AcquireCtx(
     const State& st) const {
   {
-    std::lock_guard<std::mutex> lock(st.ctx_mu);
+    MutexLock lock(st.ctx_mu);
     if (!st.free_ctxs.empty()) {
       auto ctx = std::move(st.free_ctxs.back());
       st.free_ctxs.pop_back();
@@ -218,12 +221,12 @@ std::unique_ptr<RuleServer::WorkerCtx> RuleServer::AcquireCtx(
 
 void RuleServer::ReleaseCtx(const State& st,
                             std::unique_ptr<WorkerCtx> ctx) const {
-  std::lock_guard<std::mutex> lock(st.ctx_mu);
+  MutexLock lock(st.ctx_mu);
   st.free_ctxs.push_back(std::move(ctx));
 }
 
 std::shared_ptr<const RuleServer::State> RuleServer::AcquireState() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return state_;
 }
 
@@ -299,7 +302,7 @@ Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
     uint8_t qclass = 0;
     {
       CacheShard& sh = ShardFor(c);
-      std::lock_guard<std::mutex> lock(sh.mu);
+      MutexLock lock(sh.mu);
       auto cit = sh.map.find(c);
       if (cit != sh.map.end()) {
         CenterEntry& e = cit->second;
@@ -359,7 +362,7 @@ Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
       stats->cache_probes += std::popcount(item.probed[w]);
     }
     CacheShard& sh = ShardFor(item.center);
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     // Write back only results computed on the CURRENT epoch. A delta
     // publishes the new epoch BEFORE its invalidation walk, so a stale
     // reader either inserts before the walk (and gets invalidated by it)
@@ -469,7 +472,7 @@ Result<SessionReply> RuleServer::Query(const SessionRequest& request) {
 
   stats.latency_seconds = timer.Seconds();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     Accumulate(&lifetime_stats_, stats);
   }
   reply.stats = stats;
@@ -481,7 +484,7 @@ Result<DeltaStats> RuleServer::ApplyDelta(const GraphDelta& delta) {
     return Status::InvalidArgument(
         "shard servers receive deltas from their router (ApplyShardDelta)");
   }
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   const std::shared_ptr<const State> st = AcquireState();
   Timer timer;
   DeltaStats ds;
@@ -512,7 +515,7 @@ Result<DeltaStats> RuleServer::ApplyShardDelta(
   }
   GPAR_ASSIGN_OR_RETURN(GraphDelta delta,
                         GraphDelta::Deserialize(delta_bytes));
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   const std::shared_ptr<const State> st = AcquireState();
   Timer timer;
   DeltaStats ds;
@@ -616,14 +619,16 @@ void RuleServer::SwapStateAndInvalidate(const State& old,
   // slipped a stale writeback past the epoch check did so before the store
   // below, hence before this walk, which then clears it (see EnsureRows).
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     state_ = next;
   }
+  // Release: pairs with the acquire load in EnsureRows — a reader that
+  // observes the new epoch also observes the fully built state above.
   epoch_.store(next->epoch, std::memory_order_release);
 
   for (const auto& [v, dist] : touched) {
     CacheShard& sh = ShardFor(v);
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     auto cit = sh.map.find(v);
     if (cit == sh.map.end()) continue;
     CenterEntry& e = cit->second;
@@ -652,15 +657,16 @@ std::shared_ptr<const Graph> RuleServer::graph_snapshot() const {
 }
 
 ServeStats RuleServer::lifetime_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return lifetime_stats_;
 }
 
 size_t RuleServer::cached_centers() const {
   size_t total = 0;
   for (uint32_t i = 0; i < num_cache_shards_; ++i) {
-    std::lock_guard<std::mutex> lock(cache_shards_[i].mu);
-    total += cache_shards_[i].map.size();
+    const CacheShard& sh = cache_shards_[i];
+    MutexLock lock(sh.mu);
+    total += sh.map.size();
   }
   return total;
 }

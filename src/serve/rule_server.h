@@ -5,14 +5,15 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
 #include "graph/graph_view.h"
@@ -151,7 +152,7 @@ class RuleServer : public ServeSession {
   Result<DeltaStats> ApplyShardDelta(std::shared_ptr<const Graph> new_graph,
                                      std::string_view delta_bytes);
 
-  bool is_shard() const { return is_shard_; }
+  bool is_shard() const noexcept { return is_shard_; }
   /// Shard mode: current fragment view size in nodes (0 otherwise).
   size_t view_members() const;
 
@@ -170,8 +171,8 @@ class RuleServer : public ServeSession {
 
   // ---- Introspection ----
 
-  const Predicate& predicate() const { return q_; }
-  uint32_t max_rule_radius() const { return max_d_; }
+  const Predicate& predicate() const noexcept { return q_; }
+  uint32_t max_rule_radius() const noexcept { return max_d_; }
   size_t cached_centers() const;
   size_t sketches_precomputed() const;
   size_t plans_prepared() const;
@@ -202,8 +203,9 @@ class RuleServer : public ServeSession {
     std::unique_ptr<SearchPlanStore> plan_store;
     SketchStore sketch_store;
 
-    mutable std::mutex ctx_mu;
-    mutable std::vector<std::unique_ptr<WorkerCtx>> free_ctxs;
+    mutable Mutex ctx_mu;
+    mutable std::vector<std::unique_ptr<WorkerCtx>> free_ctxs
+        GPAR_GUARDED_BY(ctx_mu);
   };
 
   /// Cached per-center state; rule memberships are bitsets over the loaded
@@ -219,9 +221,9 @@ class RuleServer : public ServeSession {
   /// untouched membership is valid across deltas, by locality); writers
   /// only insert results computed on the CURRENT epoch — see EnsureRows.
   struct CacheShard {
-    mutable std::mutex mu;
-    std::unordered_map<NodeId, CenterEntry> map;
-    std::list<NodeId> lru;  ///< front = most recently used
+    mutable Mutex mu;
+    std::unordered_map<NodeId, CenterEntry> map GPAR_GUARDED_BY(mu);
+    std::list<NodeId> lru GPAR_GUARDED_BY(mu);  ///< front = most recently used
   };
 
   /// Resolved memberships for one request center.
@@ -250,16 +252,15 @@ class RuleServer : public ServeSession {
   std::unique_ptr<WorkerCtx> AcquireCtx(const State& st) const;
   void ReleaseCtx(const State& st, std::unique_ptr<WorkerCtx> ctx) const;
 
-  std::shared_ptr<const State> AcquireState() const;
+  std::shared_ptr<const State> AcquireState() const GPAR_EXCLUDES(state_mu_);
   /// Builds + publishes the successor state for `new_graph`, then walks
-  /// the cache invalidating what `applied` can have changed. Caller holds
-  /// `writer_mu_`.
+  /// the cache invalidating what `applied` can have changed.
   void SwapStateAndInvalidate(const State& old,
                               std::shared_ptr<const Graph> new_graph,
                               std::span<const EdgeInsert> applied,
-                              DeltaStats* ds);
+                              DeltaStats* ds) GPAR_REQUIRES(writer_mu_);
 
-  size_t rule_words() const { return (sigma_.size() + 63) / 64; }
+  size_t rule_words() const noexcept { return (sigma_.size() + 63) / 64; }
   size_t max_cached_centers() const;
   CacheShard& ShardFor(NodeId center) const;
 
@@ -286,20 +287,20 @@ class RuleServer : public ServeSession {
 
   ThreadPool pool_;
 
-  mutable std::mutex state_mu_;          ///< guards the `state_` pointer only
-  std::shared_ptr<const State> state_;
+  mutable Mutex state_mu_;  ///< guards the `state_` pointer only
+  std::shared_ptr<const State> state_ GPAR_GUARDED_BY(state_mu_);
   /// Epoch of the newest published state. A query writes its results back
   /// into the cache only if this still equals its state's epoch (checked
   /// under the cache-shard lock), so a reader that outlived a delta can
   /// never resurrect stale memberships after the invalidation walk.
   std::atomic<uint64_t> epoch_{0};
-  std::mutex writer_mu_;  ///< serializes ApplyDelta / ApplyShardDelta
+  Mutex writer_mu_;  ///< serializes ApplyDelta / ApplyShardDelta
 
   uint32_t num_cache_shards_ = 1;
   std::unique_ptr<CacheShard[]> cache_shards_;
 
-  mutable std::mutex stats_mu_;
-  ServeStats lifetime_stats_;
+  mutable Mutex stats_mu_;
+  ServeStats lifetime_stats_ GPAR_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace gpar

@@ -80,7 +80,12 @@ Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Create(
       options.router_threads > 0 ? options.router_threads
                                  : options.num_shards);
   server->num_nodes_ = parent->num_nodes();
-  server->graph_ = std::move(parent);
+  {
+    // Create runs single-threaded, but `graph_` is guarded and the lock is
+    // uncontended — take it rather than poke an analysis hole.
+    MutexLock lock(server->graph_mu_);
+    server->graph_ = std::move(parent);
+  }
   return server;
 }
 
@@ -91,39 +96,43 @@ uint32_t ShardedRuleServer::OwnerOf(NodeId center) const {
 }
 
 uint64_t ShardedRuleServer::delta_sequence() const {
-  std::lock_guard<std::mutex> lock(graph_mu_);
+  MutexLock lock(graph_mu_);
   return delta_sequence_;
 }
 
 std::shared_ptr<const Graph> ShardedRuleServer::graph_snapshot() const {
-  std::lock_guard<std::mutex> lock(graph_mu_);
+  MutexLock lock(graph_mu_);
   return graph_;
 }
 
 ServeStats ShardedRuleServer::lifetime_stats() const {
+  // Relaxed: each counter is independently monotonic and the snapshot is
+  // advisory — a read torn ACROSS counters is acceptable, no ordering with
+  // any other memory is implied.
+  const auto get = [](const std::atomic<uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
   ServeStats st;
-  st.requests = lifetime_.requests.load(std::memory_order_relaxed);
-  st.cache_hits = lifetime_.cache_hits.load(std::memory_order_relaxed);
-  st.cache_probes = lifetime_.cache_probes.load(std::memory_order_relaxed);
-  st.centers_evaluated =
-      lifetime_.centers_evaluated.load(std::memory_order_relaxed);
-  st.latency_seconds =
-      static_cast<double>(
-          lifetime_.latency_micros.load(std::memory_order_relaxed)) *
-      1e-6;
+  st.requests = get(lifetime_.requests);
+  st.cache_hits = get(lifetime_.cache_hits);
+  st.cache_probes = get(lifetime_.cache_probes);
+  st.centers_evaluated = get(lifetime_.centers_evaluated);
+  st.latency_seconds = static_cast<double>(get(lifetime_.latency_micros)) * 1e-6;
   return st;
 }
 
 void ShardedRuleServer::RecordRequest(const ServeStats& stats) {
-  lifetime_.requests.fetch_add(1, std::memory_order_relaxed);
-  lifetime_.cache_hits.fetch_add(stats.cache_hits, std::memory_order_relaxed);
-  lifetime_.cache_probes.fetch_add(stats.cache_probes,
-                                   std::memory_order_relaxed);
-  lifetime_.centers_evaluated.fetch_add(stats.centers_evaluated,
-                                        std::memory_order_relaxed);
-  lifetime_.latency_micros.fetch_add(
-      static_cast<uint64_t>(stats.latency_seconds * 1e6),
-      std::memory_order_relaxed);
+  // Relaxed: pure monotonic counters on the router hot path; publishing
+  // request results does not ride on these stores, so no release is needed.
+  const auto add = [](std::atomic<uint64_t>& c, uint64_t v) {
+    c.fetch_add(v, std::memory_order_relaxed);
+  };
+  add(lifetime_.requests, 1);
+  add(lifetime_.cache_hits, stats.cache_hits);
+  add(lifetime_.cache_probes, stats.cache_probes);
+  add(lifetime_.centers_evaluated, stats.centers_evaluated);
+  add(lifetime_.latency_micros,
+      static_cast<uint64_t>(stats.latency_seconds * 1e6));
 }
 
 Result<SessionReply> ShardedRuleServer::Query(const SessionRequest& request) {
@@ -293,7 +302,7 @@ Result<SessionReply> ShardedRuleServer::QueryAll(
 }
 
 Result<DeltaStats> ShardedRuleServer::ApplyDelta(const GraphDelta& delta) {
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   std::shared_ptr<const Graph> cur = graph_snapshot();
   Timer timer;
   DeltaStats ds;
@@ -312,14 +321,13 @@ Result<DeltaStats> ShardedRuleServer::ApplyDelta(const GraphDelta& delta) {
   GraphDelta wire;
   wire.inserts = std::move(patch.applied);
   const uint32_t k = num_shards();
-  std::string bytes;
   std::vector<Status> statuses(k, Status::OK());
   std::vector<DeltaStats> shard_stats(k);
   {
-    std::lock_guard<std::mutex> lock(graph_mu_);
+    MutexLock lock(graph_mu_);
     wire.sequence = ++delta_sequence_;
   }
-  bytes = wire.Serialize();
+  const std::string bytes = wire.Serialize();
   auto ship = [&](uint32_t s) {
     auto r = shards_[s]->ApplyShardDelta(next, bytes);
     if (r.ok()) {
@@ -336,7 +344,7 @@ Result<DeltaStats> ShardedRuleServer::ApplyDelta(const GraphDelta& delta) {
   for (const Status& st : statuses) GPAR_RETURN_NOT_OK(st);
 
   {
-    std::lock_guard<std::mutex> lock(graph_mu_);
+    MutexLock lock(graph_mu_);
     graph_ = next;
   }
   for (const DeltaStats& s : shard_stats) {

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
 #include "parallel/thread_pool.h"
@@ -85,14 +86,14 @@ class ShardedRuleServer : public ServeSession {
 
   // ---- Introspection ----
 
-  uint32_t num_shards() const {
+  uint32_t num_shards() const noexcept {
     return static_cast<uint32_t>(shards_.size());
   }
-  const RuleServer& shard(uint32_t i) const { return *shards_[i]; }
+  const RuleServer& shard(uint32_t i) const noexcept { return *shards_[i]; }
   /// Shard owning `center`, or `num_shards()` when it is not a candidate.
   uint32_t OwnerOf(NodeId center) const;
   /// Sequence number stamped on the next shipped delta batch minus one.
-  uint64_t delta_sequence() const;
+  uint64_t delta_sequence() const GPAR_EXCLUDES(graph_mu_);
 
  private:
   explicit ShardedRuleServer(const ShardedRuleServerOptions& options);
@@ -116,10 +117,10 @@ class ShardedRuleServer : public ServeSession {
   /// must never share a pool with the tasks they wait for.
   std::unique_ptr<ThreadPool> router_pool_;
 
-  mutable std::mutex graph_mu_;
-  std::shared_ptr<const Graph> graph_;
-  std::mutex writer_mu_;  ///< serializes ApplyDelta
-  uint64_t delta_sequence_ = 0;
+  mutable Mutex graph_mu_;
+  std::shared_ptr<const Graph> graph_ GPAR_GUARDED_BY(graph_mu_);
+  Mutex writer_mu_;  ///< serializes ApplyDelta
+  uint64_t delta_sequence_ GPAR_GUARDED_BY(graph_mu_) = 0;
 
   /// Lifetime counters are lock-free (relaxed atomics; latency in
   /// microseconds): the router adds one entry per request, and a shared
