@@ -8,7 +8,7 @@
 namespace gpar {
 
 double ThreadCpuSeconds() {
-  timespec ts;
+  timespec ts{};
   if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
   return static_cast<double>(ts.tv_sec) +
          static_cast<double>(ts.tv_nsec) * 1e-9;

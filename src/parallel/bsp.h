@@ -27,7 +27,7 @@ struct ParallelTimes {
   std::vector<double> worker_total_seconds;  // per worker, cumulative CPU
   uint32_t rounds = 0;
 
-  double SimulatedParallelSeconds() const {
+  double SimulatedParallelSeconds() const noexcept {
     return makespan_seconds + coordinator_seconds;
   }
 };
@@ -69,8 +69,8 @@ class BspRuntime {
   /// Runs (and times) a coordinator section on the calling thread.
   void RunCoordinator(const std::function<void()>& fn);
 
-  uint32_t num_workers() const { return num_workers_; }
-  const ParallelTimes& times() const { return times_; }
+  uint32_t num_workers() const noexcept { return num_workers_; }
+  const ParallelTimes& times() const noexcept { return times_; }
   /// Finalizes wall time; call once when the computation completes.
   ParallelTimes FinishTiming();
 
