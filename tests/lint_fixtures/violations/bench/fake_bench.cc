@@ -1,0 +1,8 @@
+// Fixture bench emitter: names a BENCH_*.json artifact that the fixture's
+// tools/run_bench.sh does not register — a seeded [bench-json] violation.
+
+namespace fixture {
+
+const char* kOut = "BENCH_unregistered.json";
+
+}  // namespace fixture

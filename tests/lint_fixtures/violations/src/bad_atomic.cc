@@ -1,0 +1,16 @@
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+
+int DefaultedOrder() {
+  return counter.load();
+}
+
+void UncommentedStore(int v) {
+
+  counter.store(v, std::memory_order_relaxed);
+}
+
+}  // namespace fixture

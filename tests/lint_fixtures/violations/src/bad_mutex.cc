@@ -1,0 +1,11 @@
+#include <mutex>
+
+namespace fixture {
+
+std::mutex naked_mu;
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(naked_mu);
+}
+
+}  // namespace fixture

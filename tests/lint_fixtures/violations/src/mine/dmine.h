@@ -1,0 +1,13 @@
+#ifndef FIXTURE_DMINE_H_
+#define FIXTURE_DMINE_H_
+
+namespace fixture {
+
+struct DmineOptions {
+  bool enable_tested_flag = true;
+  bool enable_untested_flag = false;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_DMINE_H_

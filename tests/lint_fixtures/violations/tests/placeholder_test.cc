@@ -1,0 +1,11 @@
+// Fixture test file: mentions enable_tested_flag so exactly one of the two
+// DmineOptions fields in ../src/mine/dmine.h counts as covered; the other
+// field is a seeded [ablation-flag] violation and must NOT be named here.
+
+namespace fixture {
+
+void Exercise() {
+  // enable_tested_flag
+}
+
+}  // namespace fixture

@@ -1,0 +1,3 @@
+#!/usr/bin/env bash
+# Fixture runner: intentionally registers no BENCH_*.json artifacts.
+exit 0
