@@ -1,0 +1,13 @@
+// Expected-to-fail TU: acquiring a Mutex that is already held must trip
+// -Werror=thread-safety (it would deadlock at runtime; the analysis
+// catches it statically). Registered (clang only) as a WILL_FAIL build
+// test by tests/CMakeLists.txt; never linked or run.
+
+#include "common/mutex.h"
+
+int main() {
+  gpar::Mutex mu;
+  gpar::MutexLock outer(mu);
+  gpar::MutexLock inner(mu);  // violation: mu already held
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Expected-to-fail TU: calling a GPAR_EXCLUDES(mu) function while holding
+// mu must trip -Werror=thread-safety. This is the self-deadlock shape the
+// annotations on ThreadPool::Submit/Wait exist to prevent (a task body
+// calling back into the pool's own locked API). Registered (clang only)
+// as a WILL_FAIL build test by tests/CMakeLists.txt; never linked or run.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Widget {
+ public:
+  void Refresh() GPAR_EXCLUDES(mu_) {
+    gpar::MutexLock lock(mu_);
+    ++generation_;
+  }
+
+  void RefreshLocked() {
+    gpar::MutexLock lock(mu_);
+    Refresh();  // violation: Refresh excludes mu_, which is held here
+  }
+
+ private:
+  gpar::Mutex mu_;
+  int generation_ GPAR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  w.RefreshLocked();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Expected-to-fail TU: reading a GPAR_GUARDED_BY member without holding
+// its mutex must trip -Werror=thread-safety. Registered (clang only) as a
+// WILL_FAIL build test by tests/CMakeLists.txt; never linked or run.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  gpar::Mutex mu;
+  int value GPAR_GUARDED_BY(mu) = 0;
+};
+
+int ReadUnlocked(Counter& c) {
+  return c.value;  // violation: no lock held
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return ReadUnlocked(c);
+}

@@ -1,0 +1,13 @@
+// Expected-to-fail TU: calling a GPAR_REQUIRES(mu) function without the
+// lock must trip -Werror=thread-safety. CondVar::Wait is the wrapper with
+// that contract. Registered (clang only) as a WILL_FAIL build test by
+// tests/CMakeLists.txt; never linked or run.
+
+#include "common/mutex.h"
+
+int main() {
+  gpar::Mutex mu;
+  gpar::CondVar cv;
+  cv.Wait(mu);  // violation: Wait requires mu held
+  return 0;
+}

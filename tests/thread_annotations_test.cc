@@ -1,0 +1,170 @@
+// The annotated Mutex/MutexLock/CondVar wrappers (common/mutex.h) must
+// behave exactly like the raw std primitives they wrap — same mutual
+// exclusion, same wakeup semantics, same TryLock contract — while adding
+// the clang thread-safety capability types. The compile-time half of the
+// proof lives in tests/negative_compile/ (expected-to-fail TUs registered
+// by tests/CMakeLists.txt under clang); this battery is the runtime half.
+
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "parallel/thread_pool.h"
+
+namespace gpar {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIncrementsPerThread = 5000;
+
+// A counter protocol shared by the wrapper/raw comparison: N threads, M
+// increments each, all under the lock. Any lost update means the lock
+// failed to exclude.
+template <typename LockFn>
+uint64_t HammerCounter(LockFn&& locked_increment) {
+  uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        locked_increment(counter);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return counter;
+}
+
+TEST(ThreadAnnotationsTest, MutexExcludesLikeStdMutex) {
+  Mutex mu;
+  const uint64_t wrapped = HammerCounter([&](uint64_t& c) {
+    MutexLock lock(mu);
+    ++c;
+  });
+
+  std::mutex raw;
+  const uint64_t baseline = HammerCounter([&](uint64_t& c) {
+    std::lock_guard<std::mutex> lock(raw);
+    ++c;
+  });
+
+  EXPECT_EQ(wrapped, uint64_t{kThreads} * kIncrementsPerThread);
+  EXPECT_EQ(wrapped, baseline);
+}
+
+TEST(ThreadAnnotationsTest, ExplicitLockUnlockAlsoExcludes) {
+  Mutex mu;
+  const uint64_t n = HammerCounter([&](uint64_t& c) {
+    mu.Lock();
+    ++c;
+    mu.Unlock();
+  });
+  EXPECT_EQ(n, uint64_t{kThreads} * kIncrementsPerThread);
+}
+
+TEST(ThreadAnnotationsTest, TryLockContractMatchesStdMutex) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // Held: a second claim from another thread must fail (same-thread
+  // re-try-lock is UB for std::mutex, so probe from a helper thread).
+  bool second = true;
+  std::thread probe([&] { second = mu.TryLock(); });
+  probe.join();
+  EXPECT_FALSE(second);
+  mu.Unlock();
+  // Released: claimable again.
+  std::thread reprobe([&] {
+    ASSERT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  reprobe.join();
+}
+
+TEST(ThreadAnnotationsTest, CondVarHandshake) {
+  // Producer/consumer through Wait/NotifyOne with the REQUIRES-style
+  // explicit loop the wrappers mandate. Consumer must see every value.
+  Mutex mu;
+  CondVar ready;
+  CondVar consumed;
+  int slot GPAR_GUARDED_BY(mu) = 0;       // 0 = empty
+  bool done GPAR_GUARDED_BY(mu) = false;
+  constexpr int kItems = 200;
+
+  int sum = 0;
+  std::thread consumer([&] {
+    for (;;) {
+      MutexLock lock(mu);
+      while (slot == 0 && !done) ready.Wait(mu);
+      if (slot == 0) return;  // done and drained
+      sum += slot;
+      slot = 0;
+      consumed.NotifyOne();
+    }
+  });
+  for (int i = 1; i <= kItems; ++i) {
+    MutexLock lock(mu);
+    while (slot != 0) consumed.Wait(mu);
+    slot = i;
+    ready.NotifyOne();
+  }
+  {
+    MutexLock lock(mu);
+    while (slot != 0) consumed.Wait(mu);
+    done = true;
+    ready.NotifyAll();
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}
+
+TEST(ThreadAnnotationsTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go GPAR_GUARDED_BY(mu) = false;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      // Relaxed: join() below is the synchronization point for the check.
+      woke.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& t : waiters) t.join();
+  // Relaxed: joined threads happen-before this load.
+  EXPECT_EQ(woke.load(std::memory_order_relaxed), kThreads);
+}
+
+TEST(ThreadAnnotationsTest, ThreadPoolOnWrappersStillDrains) {
+  // The pool (rebuilt on the annotated primitives) keeps its contract:
+  // Wait() returns only after all submitted tasks ran, and an idle Wait()
+  // returns immediately.
+  ThreadPool pool(4);
+  pool.Wait();  // idle: must not block
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    // Relaxed: Wait() below synchronizes before the assertion reads.
+    pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  // Relaxed: Wait() ordered every task before this load.
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 64);
+}
+
+}  // namespace
+}  // namespace gpar
