@@ -122,6 +122,71 @@ TEST_P(SeededProperty, ParentPruneEquivalence) {
   EXPECT_LE(pruned->stats.exists_calls, unpruned->stats.exists_calls);
 }
 
+TEST_P(SeededProperty, IncrementalDivEquivalence) {
+  // Incremental diversification (incDiv, Section 4.2) maintains the
+  // diversified top-k round-over-round as a 2-approximation, so its
+  // SELECTION may legitimately differ from recomputing greedily from
+  // scratch every round (the DMineno ablation's diversification half).
+  // What the ablation flag must never change is the mining itself: with
+  // reductions disabled on both sides (they are only wired through the
+  // incremental path), the candidate pool, supports, and probe counts are
+  // bit-identical, both top-ks draw only sigma-qualified nontrivial rules,
+  // the objectives stay within the paper's approximation factor of each
+  // other, and the incremental path is deterministic run-over-run.
+  Scenario s = MakeScenario(GetParam());
+  DmineOptions opt;
+  opt.num_workers = 3;
+  opt.k = 4;
+  opt.d = 2;
+  opt.sigma = 2;
+  opt.max_pattern_edges = 3;
+  opt.seed_edge_limit = 6;
+  opt.enable_reduction_rules = false;
+
+  opt.enable_incremental_div = true;
+  auto incremental = Dmine(s.graph, s.q, opt);
+  opt.enable_incremental_div = false;
+  auto scratch = Dmine(s.graph, s.q, opt);
+  ASSERT_TRUE(incremental.ok()) << incremental.status();
+  ASSERT_TRUE(scratch.ok()) << scratch.status();
+
+  // Diversification never feeds back into candidate generation, so the
+  // mined pool is identical either way.
+  EXPECT_EQ(incremental->stats.accepted, scratch->stats.accepted)
+      << "pool diverged at seed " << GetParam();
+  EXPECT_EQ(incremental->stats.trivial_discarded,
+            scratch->stats.trivial_discarded);
+  EXPECT_EQ(incremental->stats.candidates_verified,
+            scratch->stats.candidates_verified);
+  EXPECT_EQ(incremental->stats.exists_calls, scratch->stats.exists_calls);
+
+  // Same k drawn from the same pool, every entry sigma-qualified and
+  // nontrivial, and the two objectives within the 2-approximation band.
+  ASSERT_EQ(incremental->topk.size(), scratch->topk.size());
+  for (const auto& r : incremental->topk) {
+    EXPECT_GE(r->supp, opt.sigma);
+    EXPECT_GT(r->supp_qqbar, 0u);
+  }
+  EXPECT_GT(incremental->objective, 0.0);
+  EXPECT_LE(scratch->objective, 2 * incremental->objective + 1e-9)
+      << "incDiv lost more than the paper's approximation factor at seed "
+      << GetParam();
+  EXPECT_LE(incremental->objective, 2 * scratch->objective + 1e-9);
+
+  // The maintained top-k is deterministic across repeat runs.
+  opt.enable_incremental_div = true;
+  auto repeat = Dmine(s.graph, s.q, opt);
+  ASSERT_TRUE(repeat.ok()) << repeat.status();
+  EXPECT_NEAR(incremental->objective, repeat->objective, 1e-12);
+  ASSERT_EQ(incremental->topk.size(), repeat->topk.size());
+  for (size_t i = 0; i < incremental->topk.size(); ++i) {
+    EXPECT_EQ(IsomorphismBucketKey(incremental->topk[i]->rule.pr()),
+              IsomorphismBucketKey(repeat->topk[i]->rule.pr()))
+        << "incremental top-k not deterministic at seed " << GetParam();
+    EXPECT_EQ(incremental->topk[i]->matches, repeat->topk[i]->matches);
+  }
+}
+
 TEST_P(SeededProperty, MatcherScratchReuseMatchesFreshMatcher) {
   // The matcher reuses scratch state (injectivity bitmap, candidate
   // buffers, plan cache) across searches; a long-lived matcher must answer
