@@ -181,9 +181,32 @@ int main() {
   std::printf("of which %zu have not liked the target genre yet — the "
               "campaign audience.\n", fresh);
 
+  // Churn cleanup: three of those follow edges turn out to be fake-account
+  // activity and are deleted again — the non-monotone direction. Deletes
+  // ride the same GraphDelta batch (a v2 wire frame) and are tolerant: a
+  // delete naming an edge the graph lost already is counted, not fatal.
+  GraphDelta cleanup;
+  cleanup.sequence = delta.sequence + 1;
+  for (size_t i = 0; i < 3 && i < delta.inserts.size(); ++i) {
+    const EdgeInsert& e = delta.inserts[i];
+    cleanup.deletes.push_back({e.src, e.label, e.dst});
+  }
+  auto cds = s.ApplyDelta(cleanup);
+  if (!cds.ok()) return 1;
+  std::printf("cleanup: -%zu fake follow edges (%zu missing) -> %llu "
+              "memberships invalidated (%.2f ms)\n",
+              cds->edges_deleted, cds->deletes_missing,
+              static_cast<unsigned long long>(cds->memberships_invalidated),
+              cds->seconds * 1e3);
+  auto cleaned = s.Query(all_req);
+  if (!cleaned.ok()) return 1;
+  std::printf("re-identification after cleanup: %zu customers (%.1f ms)\n",
+              cleaned->entities.size(),
+              cleaned->stats.latency_seconds * 1e3);
+
   // --- Stage 4: the same session API, sharded. ------------------------------
-  // Load the identical snapshot pair behind a 2-shard router, replay the
-  // delta batch (shipped to the shards as serialized "GPARDLTA" bytes),
+  // Load the identical snapshot pair behind a 2-shard router, replay both
+  // delta batches (shipped to the shards as serialized "GPARDLTA" bytes),
   // and confirm the sharded deployment identifies the same audience.
   ShardedRuleServerOptions shard_opt;
   shard_opt.num_shards = 2;
@@ -212,6 +235,12 @@ int main() {
                  shard_ds.status().ToString().c_str());
     return 1;
   }
+  auto shard_cds = r.ApplyDelta(cleanup);
+  if (!shard_cds.ok()) {
+    std::fprintf(stderr, "sharded cleanup ApplyDelta failed: %s\n",
+                 shard_cds.status().ToString().c_str());
+    return 1;
+  }
   auto shard_audience = r.Query(all_req);
   if (!shard_audience.ok()) {
     std::fprintf(stderr, "sharded Query failed: %s\n",
@@ -221,11 +250,12 @@ int main() {
   std::printf("sharded re-identification: %zu customers (%llu wire bytes "
               "shipped) — %s the single-server answer.\n",
               shard_audience->entities.size(),
-              static_cast<unsigned long long>(shard_ds->wire_bytes),
-              shard_audience->entities == refreshed->entities
+              static_cast<unsigned long long>(shard_ds->wire_bytes +
+                                              shard_cds->wire_bytes),
+              shard_audience->entities == cleaned->entities
                   ? "identical to"
                   : "MISMATCH vs");
-  if (shard_audience->entities != refreshed->entities) return 1;
+  if (shard_audience->entities != cleaned->entities) return 1;
 
   std::remove(graph_snap.c_str());
   std::remove(rules_snap.c_str());

@@ -14,6 +14,121 @@ namespace {
 // so a delta frame fed to the wrong codec fails on the first 8 bytes.
 constexpr uint64_t kDeltaMagic = 0x41544C4452415047ull;
 
+constexpr auto ByEdge = [](const auto& a, const auto& b) {
+  if (a.src != b.src) return a.src < b.src;
+  if (a.label != b.label) return a.label < b.label;
+  return a.dst < b.dst;
+};
+
+// The one merge routine behind all three Patch* entry points: applies the
+// (already normalized) deletes and inserts in a single pass over the
+// out-CSR, then re-derives the in-CSR and label index via the shared
+// assembly routine — the same code path a from-scratch rebuild takes, which
+// is what makes the result bit-identical to one.
+//
+// Preconditions: `dels` sorted/unique with every entry present in `g`;
+// `fresh` sorted/unique with no entry present in `g` *except* those also in
+// `dels` (delete-then-reinsert). Both orders match the (label, other)
+// adjacency sort within each source node.
+Graph MergePatched(const Graph& g, const std::vector<EdgeDelete>& dels,
+                   const std::vector<EdgeInsert>& fresh) {
+  const NodeId n = g.num_nodes();
+  const auto& old_offsets = GraphRawAccess::out_offsets(g);
+  const auto& old_adj = GraphRawAccess::out_adj(g);
+
+  Graph out;
+  GraphRawAccess::labels(out) = g.labels_ptr();
+  GraphRawAccess::node_labels(out) = GraphRawAccess::node_labels(g);
+  auto& offsets = GraphRawAccess::out_offsets(out);
+  auto& adj = GraphRawAccess::out_adj(out);
+  offsets.assign(n + 1, 0);
+  adj.reserve(old_adj.size() + fresh.size() - dels.size());
+
+  size_t next_ins = 0;  // cursor into `fresh`, sorted by src
+  size_t next_del = 0;  // cursor into `dels`, sorted by src
+  for (NodeId v = 0; v < n; ++v) {
+    size_t lo = old_offsets[v], hi = old_offsets[v + 1];
+    while (lo < hi || (next_ins < fresh.size() && fresh[next_ins].src == v)) {
+      // Deletes first: when the next old entry is the next delete's target,
+      // drop it. This must precede the insert comparison so a
+      // delete-then-reinsert of the same edge removes the old copy before
+      // the (equal) insert is spliced in.
+      if (lo < hi && next_del < dels.size() && dels[next_del].src == v) {
+        const AdjEntry de{dels[next_del].label, dels[next_del].dst};
+        if (old_adj[lo] == de) {
+          ++lo;
+          ++next_del;
+          continue;
+        }
+      }
+      const bool has_insert =
+          next_ins < fresh.size() && fresh[next_ins].src == v;
+      if (!has_insert) {
+        adj.push_back(old_adj[lo++]);
+      } else {
+        const AdjEntry ins{fresh[next_ins].label, fresh[next_ins].dst};
+        if (lo < hi && old_adj[lo] < ins) {
+          adj.push_back(old_adj[lo++]);
+        } else {
+          adj.push_back(ins);
+          ++next_ins;
+        }
+      }
+    }
+    offsets[v + 1] = adj.size();
+  }
+  GraphRawAccess::FinishFromOutCsr(out);
+  return out;
+}
+
+Result<GraphPatch> PatchImpl(const Graph& g,
+                             std::span<const EdgeInsert> inserts,
+                             std::span<const EdgeDelete> deletes) {
+  const NodeId n = g.num_nodes();
+  // Inserts stay strict — a dangling endpoint or uninterned label is a
+  // producer bug. Deletes are tolerant (see EdgeDelete): anything that
+  // doesn't name a present edge lands in `missing`.
+  for (const EdgeInsert& e : inserts) {
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument("edge insert endpoint out of range");
+    }
+    if (e.label >= g.labels().size()) {
+      return Status::InvalidArgument("edge insert label not interned");
+    }
+  }
+
+  GraphPatch patch;
+
+  std::vector<EdgeDelete> dels(deletes.begin(), deletes.end());
+  std::sort(dels.begin(), dels.end(), ByEdge);
+  dels.erase(std::unique(dels.begin(), dels.end()), dels.end());
+  std::erase_if(dels, [&](const EdgeDelete& e) {
+    return e.src >= n || e.dst >= n || e.label >= g.labels().size() ||
+           !g.HasEdge(e.src, e.label, e.dst);
+  });
+  patch.missing = deletes.size() - dels.size();
+  patch.edges_deleted = dels.size();
+
+  // Sort + dedup the inserts, then drop ones already present — unless that
+  // same edge is being deleted in this batch, in which case the insert is a
+  // genuine re-add and must survive the filter.
+  std::vector<EdgeInsert> fresh(inserts.begin(), inserts.end());
+  std::sort(fresh.begin(), fresh.end(), ByEdge);
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  std::erase_if(fresh, [&](const EdgeInsert& e) {
+    if (!g.HasEdge(e.src, e.label, e.dst)) return false;
+    const EdgeDelete d{e.src, e.label, e.dst};
+    return !std::binary_search(dels.begin(), dels.end(), d, ByEdge);
+  });
+  patch.duplicates = inserts.size() - fresh.size();
+  patch.edges_inserted = fresh.size();
+
+  patch.graph = MergePatched(g, dels, fresh);
+  patch.applied = std::move(fresh);
+  patch.applied_deletes = std::move(dels);
+  return patch;
+}
+
 }  // namespace
 
 std::string GraphDelta::Serialize() const {
@@ -25,9 +140,21 @@ std::string GraphDelta::Serialize() const {
     PutU32(&payload, e.label);
     PutU32(&payload, e.dst);
   }
+  // Pure-insert batches keep the v1 framing byte-for-byte, so pre-deletion
+  // consumers (and archived v1 frames) stay interoperable in both
+  // directions; only batches that actually delete need v2.
+  const uint32_t version = deletes.empty() ? kFormatVersion : kFormatVersionV2;
+  if (version == kFormatVersionV2) {
+    PutU32(&payload, static_cast<uint32_t>(deletes.size()));
+    for (const EdgeDelete& e : deletes) {
+      PutU32(&payload, e.src);
+      PutU32(&payload, e.label);
+      PutU32(&payload, e.dst);
+    }
+  }
   std::string out;
   PutU64(&out, kDeltaMagic);
-  PutU32(&out, kFormatVersion);
+  PutU32(&out, version);
   PutU64(&out, payload.size());
   PutU64(&out, Fnv1a64(payload));
   out += payload;
@@ -45,7 +172,7 @@ Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
   if (magic != kDeltaMagic) {
     return Status::Corruption("graph delta: bad magic");
   }
-  if (version != kFormatVersion) {
+  if (version != kFormatVersion && version != kFormatVersionV2) {
     return Status::Corruption("graph delta: unsupported version " +
                               std::to_string(version));
   }
@@ -61,6 +188,8 @@ Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
   if (!r.ReadU64(&delta.sequence) || !r.ReadU32(&count)) {
     return Status::Corruption("graph delta: truncated payload");
   }
+  // Reserve bounded by the bytes actually present, so a corrupt count field
+  // can't drive a huge allocation before the loop fails on the first read.
   delta.inserts.reserve(std::min<size_t>(count, r.remaining() / 12));
   for (uint32_t i = 0; i < count; ++i) {
     EdgeInsert e;
@@ -68,6 +197,19 @@ Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
       return Status::Corruption("graph delta: truncated payload");
     }
     delta.inserts.push_back(e);
+  }
+  if (version == kFormatVersionV2) {
+    if (!r.ReadU32(&count)) {
+      return Status::Corruption("graph delta: truncated payload");
+    }
+    delta.deletes.reserve(std::min<size_t>(count, r.remaining() / 12));
+    for (uint32_t i = 0; i < count; ++i) {
+      EdgeDelete e;
+      if (!r.ReadU32(&e.src) || !r.ReadU32(&e.label) || !r.ReadU32(&e.dst)) {
+        return Status::Corruption("graph delta: truncated payload");
+      }
+      delta.deletes.push_back(e);
+    }
   }
   if (!r.exhausted()) {
     return Status::Corruption("graph delta: trailing bytes");
@@ -77,75 +219,21 @@ Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
 
 Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
                                          std::span<const EdgeInsert> inserts) {
-  const NodeId n = g.num_nodes();
-  for (const EdgeInsert& e : inserts) {
-    if (e.src >= n || e.dst >= n) {
-      return Status::InvalidArgument("edge insert endpoint out of range");
-    }
-    if (e.label >= g.labels().size()) {
-      return Status::InvalidArgument("edge insert label not interned");
-    }
-  }
+  return PatchImpl(g, inserts, {});
+}
 
-  // Sort + dedup the batch, then drop inserts already present: the merge
-  // below can then assume every surviving insert is new and unique.
-  std::vector<EdgeInsert> fresh(inserts.begin(), inserts.end());
-  std::sort(fresh.begin(), fresh.end(),
-            [](const EdgeInsert& a, const EdgeInsert& b) {
-              if (a.src != b.src) return a.src < b.src;
-              if (a.label != b.label) return a.label < b.label;
-              return a.dst < b.dst;
-            });
-  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
-  std::erase_if(fresh, [&g](const EdgeInsert& e) {
-    return g.HasEdge(e.src, e.label, e.dst);
-  });
+Result<GraphPatch> PatchGraphWithDeletes(const Graph& g,
+                                         std::span<const EdgeDelete> deletes) {
+  return PatchImpl(g, {}, deletes);
+}
 
-  GraphPatch patch;
-  patch.duplicates = inserts.size() - fresh.size();
-  patch.edges_inserted = fresh.size();
-
-  const auto& old_offsets = GraphRawAccess::out_offsets(g);
-  const auto& old_adj = GraphRawAccess::out_adj(g);
-
-  Graph out;
-  GraphRawAccess::labels(out) = g.labels_ptr();
-  GraphRawAccess::node_labels(out) = GraphRawAccess::node_labels(g);
-  auto& offsets = GraphRawAccess::out_offsets(out);
-  auto& adj = GraphRawAccess::out_adj(out);
-  offsets.assign(n + 1, 0);
-  adj.reserve(old_adj.size() + fresh.size());
-
-  // Single merge pass: per node, splice the (sorted) inserts for that node
-  // into its existing (label, other)-sorted slice.
-  size_t next = 0;  // cursor into `fresh`, which is sorted by src
-  for (NodeId v = 0; v < n; ++v) {
-    size_t lo = old_offsets[v], hi = old_offsets[v + 1];
-    while (lo < hi || (next < fresh.size() && fresh[next].src == v)) {
-      const bool has_insert = next < fresh.size() && fresh[next].src == v;
-      if (!has_insert) {
-        adj.push_back(old_adj[lo++]);
-      } else {
-        AdjEntry ins{fresh[next].label, fresh[next].dst};
-        if (lo < hi && old_adj[lo] < ins) {
-          adj.push_back(old_adj[lo++]);
-        } else {
-          adj.push_back(ins);
-          ++next;
-        }
-      }
-    }
-    offsets[v + 1] = adj.size();
-  }
-  GraphRawAccess::FinishFromOutCsr(out);
-  patch.graph = std::move(out);
-  patch.applied = std::move(fresh);
-  return patch;
+Result<GraphPatch> PatchGraph(const Graph& g, const GraphDelta& delta) {
+  return PatchImpl(g, delta.inserts, delta.deletes);
 }
 
 Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
                                          const GraphDelta& delta) {
-  return PatchGraphWithInserts(g, std::span<const EdgeInsert>(delta.inserts));
+  return PatchGraph(g, delta);
 }
 
 std::vector<std::pair<NodeId, uint32_t>> NodesWithinRadiusOfAny(

@@ -23,37 +23,67 @@ struct EdgeInsert {
   friend bool operator==(const EdgeInsert&, const EdgeInsert&) = default;
 };
 
-/// A versioned batch of edge insertions — the unit mutations travel in:
+/// One edge deletion src --label--> dst. Unlike inserts, deletes are
+/// tolerant by design: a delete naming an edge (or endpoint, or label) the
+/// graph does not have is counted in `GraphPatch::missing`, not rejected —
+/// CDC-style producers routinely replay cleanups against state that
+/// already converged.
+struct EdgeDelete {
+  NodeId src;
+  LabelId label;
+  NodeId dst;
+
+  friend bool operator==(const EdgeDelete&, const EdgeDelete&) = default;
+};
+
+/// A versioned batch of edge mutations — the unit mutations travel in:
 /// `ServeSession::ApplyDelta` takes one, and the sharded serving router
 /// ships the serialized form to its shard servers instead of full graph
 /// snapshots. `sequence` orders batches from a single producer (the router
 /// stamps it; standalone callers may leave it 0).
+///
+/// Within one batch, deletes apply before inserts: an edge that appears in
+/// both lists ends up PRESENT in the patched graph (delete-then-reinsert),
+/// and is counted on both sides of the `GraphPatch` tally.
 struct GraphDelta {
+  /// Insert-only wire format (PR 5/6): no `deletes` section. Still written
+  /// for pure-insert batches, so pre-deletion consumers keep interoperating.
   static constexpr uint32_t kFormatVersion = 1;
+  /// Mutation-stream wire format: `deletes` follow the inserts.
+  static constexpr uint32_t kFormatVersionV2 = 2;
 
   uint64_t sequence = 0;
   std::vector<EdgeInsert> inserts;
+  std::vector<EdgeDelete> deletes;
 
   /// Framed little-endian encoding (see common/binary_io): magic
   /// "GPARDLTA", u32 version, u64 payload size, u64 FNV-1a payload
-  /// checksum, then the payload {u64 sequence, u32 count, count x
-  /// (u32 src, u32 label, u32 dst)}.
+  /// checksum, then the payload {u64 sequence, u32 insert_count,
+  /// insert_count x (u32 src, u32 label, u32 dst)} and — version 2 only —
+  /// {u32 delete_count, delete_count x (u32 src, u32 label, u32 dst)}.
+  /// Batches without deletes serialize as version 1, byte-identical to the
+  /// PR 6 encoding; batches with deletes serialize as version 2.
   std::string Serialize() const;
-  /// Inverse of `Serialize`; Corruption on bad magic/version/checksum or a
-  /// truncated or oversized buffer.
+  /// Inverse of `Serialize`; accepts both wire versions. Corruption on bad
+  /// magic/version/checksum or a truncated or oversized buffer.
   static Result<GraphDelta> Deserialize(std::string_view bytes);
 
   friend bool operator==(const GraphDelta&, const GraphDelta&) = default;
 };
 
-/// Result of `PatchGraphWithInserts`.
+/// Result of patching a graph with a mutation batch.
 struct GraphPatch {
   Graph graph;                ///< the patched graph (shares the interner)
   size_t edges_inserted = 0;  ///< new edges actually added
   size_t duplicates = 0;      ///< inserts already present (or repeated)
+  size_t edges_deleted = 0;   ///< edges actually removed
+  size_t missing = 0;  ///< deletes of absent/out-of-range edges (or repeated)
   /// The inserts that actually changed the graph (sorted, deduplicated,
   /// pre-existing edges removed) — the set delta invalidation starts from.
   std::vector<EdgeInsert> applied;
+  /// The deletes that actually removed an edge (sorted, deduplicated) —
+  /// the other half of the invalidation frontier.
+  std::vector<EdgeDelete> applied_deletes;
 };
 
 /// Applies edge inserts to an immutable CSR graph, producing a new `Graph`
@@ -68,17 +98,32 @@ struct GraphPatch {
 Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
                                          std::span<const EdgeInsert> inserts);
 
-/// Typed-batch form — the primary signature; the span overload above is
-/// kept for callers that assemble inserts ad hoc (tests, tooling).
+/// Deletion counterpart: removes the named edges in the same single merge
+/// pass, bit-identical to a from-scratch rebuild from the shrunken edge
+/// list. Deletes of absent edges (including out-of-range endpoints or
+/// uninterned labels) are counted in `GraphPatch::missing`, never fatal.
+Result<GraphPatch> PatchGraphWithDeletes(const Graph& g,
+                                         std::span<const EdgeDelete> deletes);
+
+/// The unified mutation entry point — applies `delta.deletes` then
+/// `delta.inserts` in ONE merge pass over the CSR, bit-identical to a
+/// from-scratch rebuild from the final edge list
+/// (old edges \ deletes) ∪ inserts.
+Result<GraphPatch> PatchGraph(const Graph& g, const GraphDelta& delta);
+
+/// Typed-batch insert form — kept for PR 5/6 callers; equivalent to
+/// `PatchGraph` when `delta.deletes` is empty.
 Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
                                          const GraphDelta& delta);
 
 /// Distance-bounded invalidation support: for every node within undirected
 /// distance `radius` of any source, its distance to the nearest source.
 /// One multi-source BFS; pairs are returned in BFS order (sources first).
-/// The serving layer uses this on the *patched* graph to find the cache
-/// entries an edge delta can affect (locality, Section 5.1: membership of
-/// v depends only on G_d(v)).
+/// The serving layer uses this to find the cache entries an edge delta can
+/// affect (locality, Section 5.1: membership of v depends only on G_d(v)).
+/// For inserts it runs on the *patched* graph; for deletes it must run on
+/// the *pre-delete* graph too — a center that reached a deleted edge only
+/// through that edge is distant in the patched graph but still stale.
 std::vector<std::pair<NodeId, uint32_t>> NodesWithinRadiusOfAny(
     const Graph& g, std::span<const NodeId> sources, uint32_t radius);
 

@@ -488,18 +488,19 @@ Result<DeltaStats> RuleServer::ApplyDelta(const GraphDelta& delta) {
   const std::shared_ptr<const State> st = AcquireState();
   Timer timer;
   DeltaStats ds;
-  GPAR_ASSIGN_OR_RETURN(GraphPatch patch,
-                        PatchGraphWithInserts(*st->graph, delta));
+  GPAR_ASSIGN_OR_RETURN(GraphPatch patch, PatchGraph(*st->graph, delta));
   ds.edges_inserted = patch.edges_inserted;
   ds.duplicates_ignored = patch.duplicates;
-  if (patch.applied.empty()) {
+  ds.edges_deleted = patch.edges_deleted;
+  ds.deletes_missing = patch.missing;
+  if (patch.applied.empty() && patch.applied_deletes.empty()) {
     // No structural change: every cached answer and sketch stays valid.
     ds.seconds = timer.Seconds();
     return ds;
   }
   SwapStateAndInvalidate(*st,
                          std::make_shared<const Graph>(std::move(patch.graph)),
-                         patch.applied, &ds);
+                         patch.applied, patch.applied_deletes, &ds);
   ds.seconds = timer.Seconds();
   return ds;
 }
@@ -520,11 +521,14 @@ Result<DeltaStats> RuleServer::ApplyShardDelta(
   Timer timer;
   DeltaStats ds;
   ds.wire_bytes = delta_bytes.size();
-  // The router ships only the inserts that actually changed the parent
-  // graph (GraphPatch::applied), already validated against it.
+  // The router ships only the mutations that actually changed the parent
+  // graph (GraphPatch::applied / applied_deletes), already validated
+  // against it.
   ds.edges_inserted = delta.inserts.size();
-  if (!delta.inserts.empty()) {
-    SwapStateAndInvalidate(*st, std::move(new_graph), delta.inserts, &ds);
+  ds.edges_deleted = delta.deletes.size();
+  if (!delta.inserts.empty() || !delta.deletes.empty()) {
+    SwapStateAndInvalidate(*st, std::move(new_graph), delta.inserts,
+                           delta.deletes, &ds);
   }
   ds.seconds = timer.Seconds();
   return ds;
@@ -533,10 +537,18 @@ Result<DeltaStats> RuleServer::ApplyShardDelta(
 void RuleServer::SwapStateAndInvalidate(const State& old,
                                         std::shared_ptr<const Graph> new_graph,
                                         std::span<const EdgeInsert> applied,
+                                        std::span<const EdgeDelete> deleted,
                                         DeltaStats* ds) {
   std::vector<NodeId> endpoints;
+  // q-class depends only on a node's own out-edges, so its invalidation
+  // frontier is the source nodes — of inserts and deletes alike.
   std::unordered_set<NodeId> sources;
   for (const EdgeInsert& e : applied) {
+    endpoints.push_back(e.src);
+    endpoints.push_back(e.dst);
+    sources.insert(e.src);
+  }
+  for (const EdgeDelete& e : deleted) {
     endpoints.push_back(e.src);
     endpoints.push_back(e.dst);
     sources.insert(e.src);
@@ -545,14 +557,30 @@ void RuleServer::SwapStateAndInvalidate(const State& old,
   endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
                   endpoints.end());
 
-  // One multi-source BFS (on the patched graph) to the largest radius any
+  // Multi-source BFS (on the patched graph) to the largest radius any
   // cached state can reach: rule memberships go stale within d(R) hops,
   // stored sketches within k hops.
   uint32_t rmax = max_d_;
   if (old.sketch_store.size() > 0) {
     rmax = std::max(rmax, options_.sketch_hops);
   }
-  const auto touched = NodesWithinRadiusOfAny(*new_graph, endpoints, rmax);
+  auto touched = NodesWithinRadiusOfAny(*new_graph, endpoints, rmax);
+  if (!deleted.empty()) {
+    // Deletions make reach non-monotone: a center whose only path to a
+    // deleted edge ran THROUGH that edge is beyond rmax on the patched
+    // graph yet its d-ball lost the edge. Its pre-delete distance was
+    // within rmax though, so a second BFS on the old graph finds it; union
+    // the two sweeps at minimum distance. (Inserts alone never need this:
+    // the patched graph contains every old path.)
+    auto before = NodesWithinRadiusOfAny(*old.graph, endpoints, rmax);
+    touched.insert(touched.end(), before.begin(), before.end());
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.first == b.first;
+                              }),
+                  touched.end());
+  }
 
   auto next = std::make_shared<State>(options_.sketch_hops);
   next->epoch = old.epoch + 1;
@@ -562,8 +590,11 @@ void RuleServer::SwapStateAndInvalidate(const State& old,
     // Inserted edges can pull new nodes into an owned center's N_d (and
     // chained inserts can do so through nodes that were not members
     // before), so re-derive the d-ball of every owned center the delta can
-    // reach ON THE NEW GRAPH and extend the view. Membership never
-    // shrinks under insert-only deltas.
+    // reach ON THE NEW GRAPH and extend the view. Deletions only shrink
+    // neighborhoods, so the view is kept as a superset of ∪N_d(owned) —
+    // never pruned — which stays exact for view-restricted matching: the
+    // view is a subgraph of the parent (soundness) and still covers every
+    // owned center's G_d (completeness).
     std::vector<NodeId> members = old.members;
     std::vector<NodeId> affected;
     for (const auto& [v, dist] : touched) {
@@ -598,9 +629,10 @@ void RuleServer::SwapStateAndInvalidate(const State& old,
     next->view = std::make_unique<GraphView>(*next->graph, next->members);
   }
 
-  // Components not containing x can match anywhere, so an insert can flip
-  // their satisfiability globally (monotonely, for insert-only deltas); the
-  // raw cached antecedent bits deliberately exclude this factor.
+  // Components not containing x can match anywhere, so any mutation can
+  // flip their satisfiability globally (in either direction, once deletes
+  // are in play); the raw cached antecedent bits deliberately exclude this
+  // factor, so recomputing it here never touches the cache.
   next->other_ok = has_other_components_
                        ? OtherComponentsOk(*next->graph, sigma_)
                        : old.other_ok;
@@ -638,7 +670,7 @@ void RuleServer::SwapStateAndInvalidate(const State& old,
         ++ds->memberships_invalidated;
       }
     }
-    // q-class depends only on v's own out-edges: only insert sources move.
+    // q-class depends only on v's own out-edges: only mutation sources move.
     if ((e.qclass & kQKnown) != 0 && sources.count(v) > 0) {
       e.qclass = 0;
       ++ds->qclass_invalidated;

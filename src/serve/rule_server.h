@@ -124,11 +124,16 @@ class RuleServer : public ServeSession {
 
   Result<SessionReply> Query(const SessionRequest& request) override;
 
-  /// Applies a typed edge-insert batch: patches the CSR into a fresh state
-  /// snapshot, refreshes stale shared sketches, and invalidates cached
-  /// memberships within d(R) hops of the inserted edges' endpoints (per
-  /// rule R). Rejected on shard servers — shards take `ApplyShardDelta`
-  /// from their router.
+  /// Applies a typed edge-mutation batch (deletes, then inserts): patches
+  /// the CSR into a fresh state snapshot, refreshes stale shared sketches,
+  /// and invalidates cached memberships within d(R) hops of the touched
+  /// edges' endpoints (per rule R). Deleted edges make the walk
+  /// non-monotone — memberships can be LOST — so affected (rule, center)
+  /// entries are dropped and re-checked on their next query; the BFS runs
+  /// on the pre-delete graph as well as the patched one, because a center
+  /// whose only path to a deleted edge ran through that edge is out of
+  /// reach afterwards but still stale. Rejected on shard servers — shards
+  /// take `ApplyShardDelta` from their router.
   Result<DeltaStats> ApplyDelta(const GraphDelta& delta) override;
 
   std::shared_ptr<const Graph> graph_snapshot() const override;
@@ -147,8 +152,11 @@ class RuleServer : public ServeSession {
   /// with the already-patched parent graph (shards share the parent CSR,
   /// so the router patches once and ships the cheap delta bytes, not a
   /// graph snapshot). Extends the fragment view where inserted edges pull
-  /// new nodes into an owned center's N_d, then invalidates like
-  /// `ApplyDelta`. Rejected on non-shard servers.
+  /// new nodes into an owned center's N_d — deletions may leave the view a
+  /// superset of the owned centers' neighborhoods, which stays correct
+  /// because view-restricted matching of a center only reads G_d(center) ⊆
+  /// view — then invalidates like `ApplyDelta`. Rejected on non-shard
+  /// servers.
   Result<DeltaStats> ApplyShardDelta(std::shared_ptr<const Graph> new_graph,
                                      std::string_view delta_bytes);
 
@@ -254,10 +262,13 @@ class RuleServer : public ServeSession {
 
   std::shared_ptr<const State> AcquireState() const GPAR_EXCLUDES(state_mu_);
   /// Builds + publishes the successor state for `new_graph`, then walks
-  /// the cache invalidating what `applied` can have changed.
+  /// the cache invalidating what the applied inserts and deletes can have
+  /// changed. The invalidation BFS runs on the new graph and — when there
+  /// are deletes — also on `old`'s graph, unioned at minimum distance.
   void SwapStateAndInvalidate(const State& old,
                               std::shared_ptr<const Graph> new_graph,
                               std::span<const EdgeInsert> applied,
+                              std::span<const EdgeDelete> applied_deletes,
                               DeltaStats* ds) GPAR_REQUIRES(writer_mu_);
 
   size_t rule_words() const noexcept { return (sigma_.size() + 63) / 64; }

@@ -79,7 +79,7 @@ bool TryParseOption(std::string_view cmd, std::string_view token,
 const char* ServeCommandHelp() {
   return "commands: id [rules=i,j] [pr=0|1] <center>... | "
          "all [eta] [rules=i,j] [pr=0|1] | "
-         "delta <src> <elabel> <dst>... | stats | quit";
+         "delta [+|-] <src> <elabel> <dst>... | stats | quit";
 }
 
 Result<ServeCommand> ParseServeCommand(std::string_view line) {
@@ -145,21 +145,36 @@ Result<ServeCommand> ParseServeCommand(std::string_view line) {
   }
   if (cmd == "delta") {
     out.kind = ServeCommand::Kind::kDelta;
+    bool deleting = false;  // lines start in insert mode
     while (ls >> token) {
-      TextEdgeInsert e;
-      if (!ParseNumber(token, &e.src)) {
+      if (token == "+") {
+        deleting = false;
+        continue;
+      }
+      if (token == "-") {
+        deleting = true;
+        continue;
+      }
+      NodeId src;
+      if (!ParseNumber(token, &src)) {
         return Malformed(cmd, "src must be a node id, got '" + token + "'");
       }
-      if (!(ls >> e.label)) {
+      std::string label;
+      if (!(ls >> label)) {
         return Malformed(cmd, "missing edge label after src " + token);
       }
       std::string dst_token;
-      if (!(ls >> dst_token) || !ParseNumber(dst_token, &e.dst)) {
+      NodeId dst;
+      if (!(ls >> dst_token) || !ParseNumber(dst_token, &dst)) {
         return Malformed(cmd, "expects (src, elabel, dst) triples");
       }
-      out.inserts.push_back(std::move(e));
+      if (deleting) {
+        out.deletes.push_back({src, std::move(label), dst});
+      } else {
+        out.inserts.push_back({src, std::move(label), dst});
+      }
     }
-    if (out.inserts.empty()) {
+    if (out.inserts.empty() && out.deletes.empty()) {
       return Malformed(cmd, "expects at least one (src, elabel, dst) triple");
     }
     return out;

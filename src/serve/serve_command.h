@@ -22,6 +22,18 @@ struct TextEdgeInsert {
                          const TextEdgeInsert&) = default;
 };
 
+/// One edge delete with a textual label (the `-` sections of a `delta`
+/// line). A label the session never interned simply names no edge — the
+/// delete is counted missing downstream, per `EdgeDelete` semantics.
+struct TextEdgeDelete {
+  NodeId src = 0;
+  std::string label;
+  NodeId dst = 0;
+
+  friend bool operator==(const TextEdgeDelete&,
+                         const TextEdgeDelete&) = default;
+};
+
 /// A parsed line of the gpar_tool serve protocol.
 struct ServeCommand {
   enum class Kind {
@@ -29,26 +41,29 @@ struct ServeCommand {
     kQuit,   ///< `quit` / `exit`
     kStats,  ///< `stats`
     kQuery,  ///< `id ...` / `all ...` — `request` is filled
-    kDelta,  ///< `delta ...` — `inserts` is filled
+    kDelta,  ///< `delta ...` — `inserts` / `deletes` are filled
   };
   Kind kind = Kind::kHelp;
   SessionRequest request;
   std::vector<TextEdgeInsert> inserts;
+  std::vector<TextEdgeDelete> deletes;
 };
 
 /// Parses one line of the serve loop's protocol into a typed command:
 ///
 ///   id [rules=i,j,...] [pr=0|1] <center> [<center> ...]
 ///   all [eta] [rules=i,j,...] [pr=0|1]
-///   delta <src> <elabel> <dst> [<src> <elabel> <dst> ...]
+///   delta [+|-] <src> <elabel> <dst> [[+|-] <src> <elabel> <dst> ...]
 ///   stats | help | quit | exit
 ///
 /// `rules=` restricts the probe to a rule-index subset; `pr=1` requires
 /// the full P_R (consequent included) instead of the formal antecedent
-/// semantics. Malformed input yields InvalidArgument with a message
-/// naming the offending command and token (unit-covered like
-/// common/flags); rule indices are range-checked by the session, not
-/// here.
+/// semantics. A `delta` line starts in insert mode; a bare `+` / `-`
+/// token switches the following triples to inserts / deletes, so one
+/// line can mix both (`delta 1 follow 2 - 3 follow 4`). Malformed input
+/// yields InvalidArgument with a message naming the offending command
+/// and token (unit-covered like common/flags); rule indices are
+/// range-checked by the session, not here.
 Result<ServeCommand> ParseServeCommand(std::string_view line);
 
 /// The `help` text matching the grammar above.

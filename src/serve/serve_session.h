@@ -68,6 +68,10 @@ struct SessionReply {
 struct DeltaStats {
   size_t edges_inserted = 0;
   size_t duplicates_ignored = 0;
+  size_t edges_deleted = 0;
+  /// Deletes naming an edge the graph did not have (tolerated, per
+  /// `EdgeDelete`), plus repeated deletes of the same edge.
+  size_t deletes_missing = 0;
   uint64_t memberships_invalidated = 0;  ///< known (rule, center) bits cleared
   uint64_t qclass_invalidated = 0;
   uint64_t sketches_refreshed = 0;
@@ -92,8 +96,11 @@ class ServeSession {
   /// Answers one request against the current graph snapshot.
   virtual Result<SessionReply> Query(const SessionRequest& request) = 0;
 
-  /// Applies a typed edge-insert batch: patches the graph and invalidates
-  /// exactly the cached state within reach of the inserted edges.
+  /// Applies a typed edge-mutation batch (inserts and/or deletes): patches
+  /// the graph and invalidates exactly the cached state within reach of the
+  /// touched edges. Deletions are non-monotone — a membership can be LOST —
+  /// so invalidated centers are re-checked on their next query rather than
+  /// monotonely extended.
   virtual Result<DeltaStats> ApplyDelta(const GraphDelta& delta) = 0;
 
   /// The current graph snapshot. Holding the returned pointer keeps that

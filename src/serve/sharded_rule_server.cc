@@ -306,20 +306,24 @@ Result<DeltaStats> ShardedRuleServer::ApplyDelta(const GraphDelta& delta) {
   std::shared_ptr<const Graph> cur = graph_snapshot();
   Timer timer;
   DeltaStats ds;
-  GPAR_ASSIGN_OR_RETURN(GraphPatch patch, PatchGraphWithInserts(*cur, delta));
+  GPAR_ASSIGN_OR_RETURN(GraphPatch patch, PatchGraph(*cur, delta));
   ds.edges_inserted = patch.edges_inserted;
   ds.duplicates_ignored = patch.duplicates;
-  if (patch.applied.empty()) {
+  ds.edges_deleted = patch.edges_deleted;
+  ds.deletes_missing = patch.missing;
+  if (patch.applied.empty() && patch.applied_deletes.empty()) {
     ds.seconds = timer.Seconds();
     return ds;
   }
 
   // Patch the shared parent CSR once, then ship one serialized batch of
-  // the applied inserts to every shard — bytes on the wire instead of k
-  // graph snapshots.
+  // the applied mutations to every shard — bytes on the wire instead of k
+  // graph snapshots. Batches with deletes go out as v2 frames; pure-insert
+  // batches keep the v1 framing.
   auto next = std::make_shared<const Graph>(std::move(patch.graph));
   GraphDelta wire;
   wire.inserts = std::move(patch.applied);
+  wire.deletes = std::move(patch.applied_deletes);
   const uint32_t k = num_shards();
   std::vector<Status> statuses(k, Status::OK());
   std::vector<DeltaStats> shard_stats(k);

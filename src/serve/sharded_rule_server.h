@@ -42,10 +42,14 @@ struct ShardedRuleServerOptions {
 /// is exact because center ownership is disjoint (the paper's summable
 /// local supports, Section 5.1).
 ///
-/// Deltas are applied to the shared parent CSR once, then shipped to every
-/// shard as one serialized `GraphDelta` batch (`common/binary_io` framing)
-/// rather than k graph snapshots; each shard re-derives its own
-/// invalidation and view extension from the batch.
+/// Deltas (inserts and deletes) are applied to the shared parent CSR once,
+/// then shipped to every shard as one serialized `GraphDelta` batch
+/// (`common/binary_io` framing — v2 frames when the batch deletes) rather
+/// than k graph snapshots; each shard re-derives its own invalidation and
+/// view extension from the batch. Deletions shrink neighborhoods, so a
+/// shard's view may become a strict superset of its owned centers' N_d
+/// balls — still exact for view-restricted matching (see
+/// `RuleServer::ApplyShardDelta`).
 ///
 /// Thread-safety: as `ServeSession` — any number of concurrent `Query`
 /// calls, concurrent with at most the internal serialization of
@@ -108,8 +112,8 @@ class ShardedRuleServer : public ServeSession {
   std::vector<RuleRecord> records_;
   std::vector<NodeId> candidates_;  ///< all candidate centers, sorted
   std::vector<uint32_t> owner_;     ///< parallel to candidates_
-  /// Fixed for the server's lifetime (insert-only deltas never add nodes),
-  /// so point-query validation needn't take `graph_mu_`.
+  /// Fixed for the server's lifetime (deltas mutate edges, never the node
+  /// set), so point-query validation needn't take `graph_mu_`.
   NodeId num_nodes_ = 0;
   std::vector<std::unique_ptr<RuleServer>> shards_;
   /// Scatter/ship pool — deliberately separate from the shards' matching

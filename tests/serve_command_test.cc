@@ -73,6 +73,32 @@ TEST(ServeCommandTest, DeltaCommand) {
   ASSERT_EQ(c.inserts.size(), 2u);
   EXPECT_EQ(c.inserts[0], (TextEdgeInsert{1, "follows", 2}));
   EXPECT_EQ(c.inserts[1], (TextEdgeInsert{7, "likes", 9}));
+  EXPECT_TRUE(c.deletes.empty());
+}
+
+TEST(ServeCommandTest, DeltaDeleteSyntax) {
+  // A bare `-` switches to delete mode; the line starts in insert mode.
+  ServeCommand c = MustParse("delta 1 follows 2 - 3 follows 4");
+  EXPECT_EQ(c.kind, ServeCommand::Kind::kDelta);
+  ASSERT_EQ(c.inserts.size(), 1u);
+  EXPECT_EQ(c.inserts[0], (TextEdgeInsert{1, "follows", 2}));
+  ASSERT_EQ(c.deletes.size(), 1u);
+  EXPECT_EQ(c.deletes[0], (TextEdgeDelete{3, "follows", 4}));
+
+  // A pure-delete line.
+  c = MustParse("delta - 1 knows 2 5 likes 6");
+  EXPECT_TRUE(c.inserts.empty());
+  ASSERT_EQ(c.deletes.size(), 2u);
+  EXPECT_EQ(c.deletes[0], (TextEdgeDelete{1, "knows", 2}));
+  EXPECT_EQ(c.deletes[1], (TextEdgeDelete{5, "likes", 6}));
+
+  // `+` switches back, so one line can interleave freely; repeated mode
+  // tokens are harmless.
+  c = MustParse("delta - 1 knows 2 + + 3 knows 4 - 5 knows 6");
+  ASSERT_EQ(c.inserts.size(), 1u);
+  EXPECT_EQ(c.inserts[0], (TextEdgeInsert{3, "knows", 4}));
+  ASSERT_EQ(c.deletes.size(), 2u);
+  EXPECT_EQ(c.deletes[1], (TextEdgeDelete{5, "knows", 6}));
 }
 
 TEST(ServeCommandTest, MalformedInputsNameTheOffendingToken) {
@@ -92,6 +118,15 @@ TEST(ServeCommandTest, MalformedInputsNameTheOffendingToken) {
   ExpectMalformed("delta 1", "missing edge label after src 1");
   ExpectMalformed("delta 1 follows", "(src, elabel, dst) triples");
   ExpectMalformed("delta 1 follows z", "(src, elabel, dst) triples");
+  // Malformed delete sections: mode tokens alone are not triples, and a
+  // broken triple after `-` reports the same diagnostics as inserts.
+  ExpectMalformed("delta -", "at least one (src, elabel, dst) triple");
+  ExpectMalformed("delta + -", "at least one (src, elabel, dst) triple");
+  ExpectMalformed("delta - x follows 2", "src must be a node id, got 'x'");
+  ExpectMalformed("delta - 1", "missing edge label after src 1");
+  ExpectMalformed("delta 1 follows 2 - 3 follows",
+                  "(src, elabel, dst) triples");
+  ExpectMalformed("delta - 1 follows z", "(src, elabel, dst) triples");
   ExpectMalformed("stats now", "takes no arguments, got 'now'");
   ExpectMalformed("frobnicate", "unknown command 'frobnicate'");
 }

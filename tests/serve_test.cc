@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,49 @@ std::vector<EdgeInsert> MakeDelta(const Graph& g, uint64_t seed, size_t k) {
     inserts.push_back({src, l, dst});
   }
   return inserts;
+}
+
+/// Snapshot bytes as a complete graph fingerprint (the snapshot writer is
+/// deterministic, so byte equality means CSR equality).
+std::string GraphBytes(const Graph& g) {
+  std::ostringstream os(std::ios::binary);
+  EXPECT_TRUE(WriteGraphSnapshot(g, os).ok());
+  return os.str();
+}
+
+/// Picks a node with at least one out-edge, scanning forward from a random
+/// start (the synthetic generators leave some nodes bare).
+NodeId PickSourceNode(const Graph& g, std::mt19937_64& rng) {
+  NodeId v = static_cast<NodeId>(rng() % g.num_nodes());
+  while (g.out_edges(v).empty()) v = (v + 1) % g.num_nodes();
+  return v;
+}
+
+/// A mutation batch mixing both directions: `k` random inserts over the
+/// graph's discovered edge labels, `k` deletes of real out-edges, one
+/// delete of a (almost surely) absent edge — tolerated, counted missing —
+/// and, on even seeds, a delete-then-reinsert of one edge within the same
+/// batch, which must leave the edge present.
+GraphDelta MakeMutationDelta(const Graph& g, uint64_t seed, size_t k) {
+  std::mt19937_64 rng(seed);
+  GraphDelta d;
+  d.inserts = MakeDelta(g, seed * 5 + 1, k);
+  for (size_t i = 0; i < k; ++i) {
+    NodeId v = PickSourceNode(g, rng);
+    const auto edges = g.out_edges(v);
+    const AdjEntry& e = edges[rng() % edges.size()];
+    d.deletes.push_back({v, e.label, e.other});
+  }
+  d.deletes.push_back({static_cast<NodeId>(rng() % g.num_nodes()),
+                       static_cast<LabelId>(g.labels().size() - 1),
+                       static_cast<NodeId>(rng() % g.num_nodes())});
+  if (seed % 2 == 0) {
+    NodeId v = PickSourceNode(g, rng);
+    const AdjEntry& e = g.out_edges(v)[0];
+    d.deletes.push_back({v, e.label, e.other});
+    d.inserts.push_back({v, e.label, e.other});
+  }
+  return d;
 }
 
 std::vector<NodeId> SampleCenters(const RuleServer& server, uint64_t seed,
@@ -302,6 +346,179 @@ TEST(ServeEquivalence, DeltaEquivalentToFreshServer) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   ExpectSameAnswer(*a, *b, "delta-maintained vs fresh");
+}
+
+/// The insert+delete acceptance battery: a randomized interleaved mutation
+/// stream, checked against fresh batch mining at cold, warm, mid-stream,
+/// and final checkpoints, and against a from-scratch server on the final
+/// edge list.
+TEST(DeltaStreamEquivalence, InterleavedStreamMatchesBatchAndFresh) {
+  constexpr int kBatches = 4;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Workload w = MakeWorkload(seed);
+
+    // The reference trajectory: the graph after each batch, rebuilt by
+    // PatchGraph outside any server.
+    std::vector<GraphDelta> stream;
+    std::vector<Graph> after;
+    after.reserve(kBatches);
+    for (int b = 0; b < kBatches; ++b) {
+      const Graph& cur = (b == 0) ? w.graph : after.back();
+      GraphDelta d = MakeMutationDelta(cur, seed * 613 + b, 5);
+      d.sequence = static_cast<uint64_t>(b) + 1;
+      auto p = PatchGraph(cur, d);
+      ASSERT_TRUE(p.ok()) << p.status();
+      after.push_back(std::move(p->graph));
+      stream.push_back(std::move(d));
+    }
+    const Graph& mid_graph = after[kBatches / 2 - 1];
+    const Graph& final_graph = after.back();
+
+    EipResult batch_cold = BatchIdentify(w.graph, w.sigma, 0.5, false);
+    EipResult batch_mid = BatchIdentify(mid_graph, w.sigma, 0.5, false);
+    EipResult batch_final = BatchIdentify(final_graph, w.sigma, 0.5, false);
+
+    for (uint32_t n : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("n=" + std::to_string(n));
+      RuleServerOptions opt;
+      opt.num_workers = n;
+      auto server = RuleServer::Create(w.graph, w.records, opt);
+      ASSERT_TRUE(server.ok()) << server.status();
+      RuleServer& s = **server;
+
+      // Cold, then warm (all from cache).
+      auto cold = s.IdentifyAll(0.5);
+      ASSERT_TRUE(cold.ok()) << cold.status();
+      ExpectSameAnswer(*cold, batch_cold, "cold");
+      ServeStats warm_stats;
+      auto warm = s.IdentifyAll(0.5, false, &warm_stats);
+      ASSERT_TRUE(warm.ok());
+      ExpectSameAnswer(*warm, batch_cold, "warm");
+      EXPECT_EQ(warm_stats.cache_probes, 0u);
+
+      // Mid-stream checkpoint.
+      for (int b = 0; b < kBatches / 2; ++b) {
+        auto ds = s.ApplyDelta(stream[b]);
+        ASSERT_TRUE(ds.ok()) << ds.status();
+      }
+      auto mid = s.IdentifyAll(0.5);
+      ASSERT_TRUE(mid.ok());
+      ExpectSameAnswer(*mid, batch_mid, "mid-stream");
+
+      // Final checkpoint, against batch AND a fresh server on the final
+      // edge list.
+      for (int b = kBatches / 2; b < kBatches; ++b) {
+        auto ds = s.ApplyDelta(stream[b]);
+        ASSERT_TRUE(ds.ok()) << ds.status();
+      }
+      EXPECT_EQ(GraphBytes(s.graph()), GraphBytes(final_graph));
+      auto fin = s.IdentifyAll(0.5);
+      ASSERT_TRUE(fin.ok());
+      ExpectSameAnswer(*fin, batch_final, "final vs batch");
+
+      auto fresh = RuleServer::Create(final_graph, w.records, opt);
+      ASSERT_TRUE(fresh.ok());
+      auto fresh_ans = (*fresh)->IdentifyAll(0.5);
+      ASSERT_TRUE(fresh_ans.ok());
+      ExpectSameAnswer(*fin, *fresh_ans, "final vs fresh server");
+
+      // Point queries against the fresh-match oracle on the final graph.
+      ServeRequest req;
+      req.centers = SampleCenters(s, seed * 7 + n, 5);
+      auto reply = s.Serve(req);
+      ASSERT_TRUE(reply.ok()) << reply.status();
+      for (size_t i = 0; i < req.centers.size(); ++i) {
+        EXPECT_EQ(reply->matched[i],
+                  OracleMatched(final_graph, w.sigma, req.centers[i], false))
+            << "center " << req.centers[i];
+      }
+    }
+  }
+}
+
+/// Deleting every q-edge out of every candidate drives supp(q) to zero —
+/// the non-monotone direction a pure-insert pipeline never exercises.
+TEST(DeltaStreamEquivalence, DeletesCollapseSupportBelowSigma) {
+  Workload w = MakeWorkload(1);
+  auto server = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(server.ok());
+  RuleServer& s = **server;
+  auto before = s.IdentifyAll(0.5);
+  ASSERT_TRUE(before.ok());
+  EXPECT_GT(before->supp_q, 0u);
+
+  const Predicate& q = s.predicate();
+  GraphDelta wipe;
+  wipe.sequence = 1;
+  for (NodeId c : s.candidates()) {
+    for (const AdjEntry& e : w.graph.out_edges(c)) {
+      if (e.label == q.edge_label &&
+          w.graph.node_label(e.other) == q.y_label) {
+        wipe.deletes.push_back({c, e.label, e.other});
+      }
+    }
+  }
+  ASSERT_FALSE(wipe.deletes.empty());
+  auto ds = s.ApplyDelta(wipe);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->edges_deleted, wipe.deletes.size());
+  EXPECT_EQ(ds->deletes_missing, 0u);
+
+  auto p = PatchGraph(w.graph, wipe);
+  ASSERT_TRUE(p.ok());
+  auto shrunk = s.IdentifyAll(0.5);
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_EQ(shrunk->supp_q, 0u);
+  ExpectSameAnswer(*shrunk, BatchIdentify(p->graph, w.sigma, 0.5, false),
+                   "support wiped vs batch");
+  auto fresh = RuleServer::Create(p->graph, w.records);
+  ASSERT_TRUE(fresh.ok());
+  auto f = (*fresh)->IdentifyAll(0.5);
+  ASSERT_TRUE(f.ok());
+  ExpectSameAnswer(*shrunk, *f, "support wiped vs fresh server");
+}
+
+/// Drop a handful of real edges, then reinsert them in a later batch: the
+/// maintained graph must come back byte-identical and every answer with
+/// it. The sampled batch may delete the same edge twice — tolerated.
+TEST(DeltaStreamEquivalence, DeleteThenReinsertRestoresAnswers) {
+  Workload w = MakeWorkload(2);
+  EipResult batch = BatchIdentify(w.graph, w.sigma, 0.5, false);
+  auto server = RuleServer::Create(w.graph, w.records);
+  ASSERT_TRUE(server.ok());
+  RuleServer& s = **server;
+  ASSERT_TRUE(s.IdentifyAll(0.5).ok());  // warm up pre-delete
+
+  std::mt19937_64 rng(99);
+  GraphDelta drop;
+  drop.sequence = 1;
+  for (int i = 0; i < 8; ++i) {
+    NodeId v = PickSourceNode(w.graph, rng);
+    const auto edges = w.graph.out_edges(v);
+    const AdjEntry& e = edges[rng() % edges.size()];
+    drop.deletes.push_back({v, e.label, e.other});
+  }
+  auto ds1 = s.ApplyDelta(drop);
+  ASSERT_TRUE(ds1.ok()) << ds1.status();
+  auto p = PatchGraph(w.graph, drop);
+  ASSERT_TRUE(p.ok());
+  auto shrunk = s.IdentifyAll(0.5);
+  ASSERT_TRUE(shrunk.ok());
+  ExpectSameAnswer(*shrunk, BatchIdentify(p->graph, w.sigma, 0.5, false),
+                   "after drop");
+
+  GraphDelta put;
+  put.sequence = 2;
+  for (const EdgeDelete& e : drop.deletes) {
+    put.inserts.push_back({e.src, e.label, e.dst});
+  }
+  auto ds2 = s.ApplyDelta(put);
+  ASSERT_TRUE(ds2.ok()) << ds2.status();
+  EXPECT_EQ(GraphBytes(s.graph()), GraphBytes(w.graph));
+  auto back = s.IdentifyAll(0.5);
+  ASSERT_TRUE(back.ok());
+  ExpectSameAnswer(*back, batch, "after reinsert");
 }
 
 TEST(RuleServerTest, DuplicateDeltaIsNoOp) {

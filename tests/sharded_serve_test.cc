@@ -6,6 +6,7 @@
 #include <atomic>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -109,6 +110,45 @@ std::vector<EdgeInsert> MakeDelta(const Graph& g, uint64_t seed, size_t k) {
   return inserts;
 }
 
+/// Snapshot bytes as a complete graph fingerprint.
+std::string GraphBytes(const Graph& g) {
+  std::ostringstream os(std::ios::binary);
+  EXPECT_TRUE(WriteGraphSnapshot(g, os).ok());
+  return os.str();
+}
+
+NodeId PickSourceNode(const Graph& g, std::mt19937_64& rng) {
+  NodeId v = static_cast<NodeId>(rng() % g.num_nodes());
+  while (g.out_edges(v).empty()) v = (v + 1) % g.num_nodes();
+  return v;
+}
+
+/// A mutation batch mixing both directions, mirroring the single-server
+/// DeltaStreamEquivalence battery: `k` random inserts, `k` deletes of real
+/// edges, one (almost surely) missing delete, plus a delete-then-reinsert
+/// pair on even seeds.
+GraphDelta MakeMutationDelta(const Graph& g, uint64_t seed, size_t k) {
+  std::mt19937_64 rng(seed);
+  GraphDelta d;
+  d.inserts = MakeDelta(g, seed * 5 + 1, k);
+  for (size_t i = 0; i < k; ++i) {
+    NodeId v = PickSourceNode(g, rng);
+    const auto edges = g.out_edges(v);
+    const AdjEntry& e = edges[rng() % edges.size()];
+    d.deletes.push_back({v, e.label, e.other});
+  }
+  d.deletes.push_back({static_cast<NodeId>(rng() % g.num_nodes()),
+                       static_cast<LabelId>(g.labels().size() - 1),
+                       static_cast<NodeId>(rng() % g.num_nodes())});
+  if (seed % 2 == 0) {
+    NodeId v = PickSourceNode(g, rng);
+    const AdjEntry& e = g.out_edges(v)[0];
+    d.deletes.push_back({v, e.label, e.other});
+    d.inserts.push_back({v, e.label, e.other});
+  }
+  return d;
+}
+
 std::vector<NodeId> SampleCenters(const ServeSession& session, uint64_t seed,
                                   size_t k) {
   std::mt19937_64 rng(seed);
@@ -136,7 +176,8 @@ TEST(ShardedServeEquivalence, ColdWarmAndDeltaMatchSingleAndBatch) {
     EipResult batch_pr = BatchIdentify(w.graph, w.sigma, 0.5, true);
 
     GraphDelta delta{.sequence = 0,
-                     .inserts = MakeDelta(w.graph, seed * 977 + 5, 6)};
+                     .inserts = MakeDelta(w.graph, seed * 977 + 5, 6),
+                     .deletes = {}};
     auto patchref = PatchGraphWithInserts(w.graph, delta);
     ASSERT_TRUE(patchref.ok());
     EipResult batch_patched =
@@ -203,6 +244,104 @@ TEST(ShardedServeEquivalence, ColdWarmAndDeltaMatchSingleAndBatch) {
       ASSERT_TRUE(reply2.ok());
       EXPECT_EQ(reply2->matched, single_point_patched->matched);
       EXPECT_EQ(reply2->entities, single_point_patched->entities);
+    }
+  }
+}
+
+/// The sharded insert+delete battery: a randomized interleaved mutation
+/// stream shipped through the router must keep every shard deployment
+/// equal to a delta-maintained single server, to fresh batch mining, and
+/// to a from-scratch server on the final edge list — even when deletions
+/// shrink neighborhoods across shard seams.
+TEST(ShardedDeltaStreamEquivalence, InterleavedStreamMatchesSingleAndBatch) {
+  constexpr int kBatches = 4;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Workload w = MakeWorkload(seed);
+
+    // Reference trajectory, patched outside any server.
+    std::vector<GraphDelta> stream;
+    std::vector<Graph> after;
+    after.reserve(kBatches);
+    for (int b = 0; b < kBatches; ++b) {
+      const Graph& cur = (b == 0) ? w.graph : after.back();
+      GraphDelta d = MakeMutationDelta(cur, seed * 739 + b, 5);
+      d.sequence = static_cast<uint64_t>(b);
+      auto p = PatchGraph(cur, d);
+      ASSERT_TRUE(p.ok()) << p.status();
+      after.push_back(std::move(p->graph));
+      stream.push_back(std::move(d));
+    }
+    const Graph& mid_graph = after[kBatches / 2 - 1];
+    const Graph& final_graph = after.back();
+
+    EipResult batch_cold = BatchIdentify(w.graph, w.sigma, 0.5, false);
+    EipResult batch_mid = BatchIdentify(mid_graph, w.sigma, 0.5, false);
+    EipResult batch_final = BatchIdentify(final_graph, w.sigma, 0.5, false);
+
+    // A delta-maintained single server as the point-query reference.
+    auto singleref = RuleServer::Create(w.graph, w.records);
+    ASSERT_TRUE(singleref.ok()) << singleref.status();
+    ServeSession& single = **singleref;
+    SessionRequest point;
+    point.centers = SampleCenters(single, seed + 67, 6);
+    for (const GraphDelta& d : stream) {
+      ASSERT_TRUE(single.ApplyDelta(d).ok());
+    }
+    auto single_final = single.Query(point);
+    ASSERT_TRUE(single_final.ok());
+
+    for (uint32_t k : {1u, 2u, 4u}) {
+      SCOPED_TRACE("k=" + std::to_string(k));
+      ShardedRuleServerOptions sopt;
+      sopt.num_shards = k;
+      sopt.shard_options.num_workers = 2;
+      auto server = ShardedRuleServer::Create(w.graph, w.records, sopt);
+      ASSERT_TRUE(server.ok()) << server.status();
+      ShardedRuleServer& s = **server;
+
+      // Cold, then warm from the shard caches.
+      auto cold = s.Query(AllRequest(0.5));
+      ASSERT_TRUE(cold.ok()) << cold.status();
+      ExpectSameAsBatch(*cold, batch_cold, "cold");
+      auto warm = s.Query(AllRequest(0.5));
+      ASSERT_TRUE(warm.ok());
+      ExpectSameAsBatch(*warm, batch_cold, "warm");
+      EXPECT_EQ(warm->stats.cache_probes, 0u);
+
+      // Mid-stream checkpoint.
+      for (int b = 0; b < kBatches / 2; ++b) {
+        auto ds = s.ApplyDelta(stream[b]);
+        ASSERT_TRUE(ds.ok()) << ds.status();
+      }
+      auto mid = s.Query(AllRequest(0.5));
+      ASSERT_TRUE(mid.ok());
+      ExpectSameAsBatch(*mid, batch_mid, "mid-stream");
+
+      // Final checkpoint: batch, fresh sharded server, and the maintained
+      // single server all agree; the router's parent CSR is byte-identical
+      // to the from-scratch rebuild.
+      for (int b = kBatches / 2; b < kBatches; ++b) {
+        auto ds = s.ApplyDelta(stream[b]);
+        ASSERT_TRUE(ds.ok()) << ds.status();
+      }
+      EXPECT_EQ(GraphBytes(*s.graph_snapshot()), GraphBytes(final_graph));
+      auto fin = s.Query(AllRequest(0.5));
+      ASSERT_TRUE(fin.ok());
+      ExpectSameAsBatch(*fin, batch_final, "final vs batch");
+
+      auto fresh = ShardedRuleServer::Create(final_graph, w.records, sopt);
+      ASSERT_TRUE(fresh.ok());
+      auto fresh_ans = (*fresh)->Query(AllRequest(0.5));
+      ASSERT_TRUE(fresh_ans.ok());
+      EXPECT_EQ(fin->entities, fresh_ans->entities);
+      EXPECT_EQ(fin->supp_q, fresh_ans->supp_q);
+      EXPECT_EQ(fin->supp_qbar, fresh_ans->supp_qbar);
+
+      auto reply = s.Query(point);
+      ASSERT_TRUE(reply.ok()) << reply.status();
+      EXPECT_EQ(reply->matched, single_final->matched);
+      EXPECT_EQ(reply->entities, single_final->entities);
     }
   }
 }
@@ -301,7 +440,8 @@ TEST(ShardedServeEquivalence, ShardSeamRejectsWrongDeltaEntryPoint) {
 
   // A shard refuses direct ApplyDelta: deltas come from the router.
   auto& shard = const_cast<RuleServer&>((*server)->shard(0));
-  GraphDelta delta{.sequence = 1, .inserts = MakeDelta(w.graph, 7, 2)};
+  GraphDelta delta{
+      .sequence = 1, .inserts = MakeDelta(w.graph, 7, 2), .deletes = {}};
   EXPECT_FALSE(shard.ApplyDelta(delta).ok());
 
   // A non-shard server refuses the shard-side entry point.
@@ -383,9 +523,10 @@ TEST(ShardedServeEquivalence, ConcurrentQueriesSharded) {
 }
 
 /// Deltas never block or corrupt in-flight queries: readers hammer the
-/// session while a writer applies a stream of insert batches. During the
-/// race replies just have to be well-formed; after the writer finishes,
-/// the session must answer exactly like a fresh server on the final graph.
+/// session while a writer applies a stream of mixed insert+delete batches.
+/// During the race replies just have to be well-formed; after the writer
+/// finishes, the session must answer exactly like a fresh server on the
+/// final graph.
 void StressQueriesUnderDeltas(ServeSession& session, const Workload& w,
                               uint32_t num_readers, uint32_t num_batches) {
   std::vector<SessionRequest> points(num_readers);
@@ -411,9 +552,9 @@ void StressQueriesUnderDeltas(ServeSession& session, const Workload& w,
 
   Graph current = w.graph;
   for (uint32_t b = 0; b < num_batches; ++b) {
-    GraphDelta delta{.sequence = 0,
-                     .inserts = MakeDelta(current, 900 + b * 13, 3)};
-    auto want = PatchGraphWithInserts(current, delta);
+    GraphDelta delta = MakeMutationDelta(current, 900 + b * 13, 3);
+    delta.sequence = b;
+    auto want = PatchGraph(current, delta);
     ASSERT_TRUE(want.ok());
     current = std::move(want)->graph;
     auto ds = session.ApplyDelta(delta);

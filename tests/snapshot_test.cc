@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <span>
 #include <sstream>
 #include <string>
@@ -264,6 +265,102 @@ TEST(GraphDeltaTest, PatchedEqualsRebuilt) {
   EXPECT_EQ(patch->applied.size(), patch->edges_inserted);
 }
 
+/// From-scratch reference for the patch bit-identity checks: rebuild on
+/// the same interner from the final edge list (old edges \ deletes) ∪
+/// inserts, through the ordinary builder path.
+Graph RebuildWith(const Graph& g, const std::vector<EdgeDelete>& deletes,
+                  const std::vector<EdgeInsert>& inserts) {
+  GraphBuilder b(g.labels_ptr());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) b.AddNode(g.node_label(v));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.out_edges(v)) {
+      if (std::find(deletes.begin(), deletes.end(),
+                    EdgeDelete{v, e.label, e.other}) != deletes.end()) {
+        continue;
+      }
+      EXPECT_TRUE(b.AddEdge(v, e.label, e.other).ok());
+    }
+  }
+  for (const EdgeInsert& e : inserts) {
+    EXPECT_TRUE(b.AddEdge(e.src, e.label, e.dst).ok());
+  }
+  return std::move(b).Build();
+}
+
+TEST(GraphDeltaTest, PureDeletePatchEqualsRebuilt) {
+  Graph g = MakeSynthetic(200, 500, 12, 5);
+  ASSERT_GT(g.out_edges(1).size(), 0u);
+  ASSERT_GT(g.out_edges(2).size(), 0u);
+  const AdjEntry e1 = g.out_edges(1)[0];
+  const AdjEntry e2 = g.out_edges(2).back();
+  std::vector<EdgeDelete> deletes{
+      {1, e1.label, e1.other},
+      {1, e1.label, e1.other},  // duplicate delete: counted, not fatal
+      {2, e2.label, e2.other},
+      {3, e1.label, 199},   // (almost surely) absent edge
+      {999, e1.label, 0},   // endpoint out of range
+      {0, static_cast<LabelId>(g.labels().size() + 3), 1},  // bogus label
+  };
+  const bool absent_really_absent = !g.HasEdge(3, e1.label, 199);
+
+  auto patch = PatchGraphWithDeletes(g, deletes);
+  ASSERT_TRUE(patch.ok()) << patch.status();
+  EXPECT_EQ(GraphBytes(patch->graph),
+            GraphBytes(RebuildWith(g, deletes, {})));
+  EXPECT_EQ(patch->edges_deleted, absent_really_absent ? 2u : 3u);
+  EXPECT_EQ(patch->missing, deletes.size() - patch->edges_deleted);
+  EXPECT_EQ(patch->applied_deletes.size(), patch->edges_deleted);
+  EXPECT_EQ(patch->edges_inserted, 0u);
+  EXPECT_EQ(patch->graph.num_edges(), g.num_edges() - patch->edges_deleted);
+}
+
+TEST(GraphDeltaTest, MixedPatchEqualsRebuilt) {
+  Graph g = MakeSynthetic(200, 500, 12, 7);
+  LabelId like = g.mutable_labels()->Intern("churn_like");
+  // Two distinct nodes that actually have out-edges (the synthetic
+  // generator leaves some nodes bare).
+  NodeId a = 0;
+  while (g.out_edges(a).empty()) ++a;
+  NodeId b = a + 1;
+  while (g.out_edges(b).empty()) ++b;
+  const AdjEntry gone = g.out_edges(a)[0];
+  const AdjEntry back = g.out_edges(b)[0];
+
+  GraphDelta delta;
+  delta.deletes = {
+      {a, gone.label, gone.other},
+      {b, back.label, back.other},  // delete-then-reinsert within the batch
+      {6, like, 7},                 // `like` is new: nothing to delete
+  };
+  delta.inserts = {
+      {b, back.label, back.other},  // the reinsert
+      {9, like, 12},
+      {9, like, 12},  // repeated in the batch
+  };
+
+  auto patch = PatchGraph(g, delta);
+  ASSERT_TRUE(patch.ok()) << patch.status();
+  EXPECT_EQ(GraphBytes(patch->graph),
+            GraphBytes(RebuildWith(g, delta.deletes, delta.inserts)));
+  // The reinserted edge is present again and counted on both sides.
+  EXPECT_TRUE(patch->graph.HasEdge(b, back.label, back.other));
+  EXPECT_FALSE(patch->graph.HasEdge(a, gone.label, gone.other));
+  EXPECT_EQ(patch->edges_deleted, 2u);
+  EXPECT_EQ(patch->missing, 1u);
+  EXPECT_EQ(patch->edges_inserted, 2u);
+  EXPECT_EQ(patch->duplicates, 1u);
+
+  // The three entry points agree where their domains overlap.
+  GraphDelta insert_only;
+  insert_only.inserts = delta.inserts;
+  auto via_typed = PatchGraphWithInserts(g, insert_only);
+  auto via_span =
+      PatchGraphWithInserts(g, std::span<const EdgeInsert>(delta.inserts));
+  ASSERT_TRUE(via_typed.ok());
+  ASSERT_TRUE(via_span.ok());
+  EXPECT_EQ(GraphBytes(via_typed->graph), GraphBytes(via_span->graph));
+}
+
 TEST(GraphDeltaTest, ValidatesInserts) {
   Graph g = MakeSynthetic(10, 20, 3, 1);
   LabelId l = g.node_label(0);
@@ -306,6 +403,60 @@ TEST(GraphDeltaTest, WireRoundTrip) {
   EXPECT_EQ(*back2, empty);
 }
 
+TEST(GraphDeltaTest, WireRoundTripV2) {
+  GraphDelta delta;
+  delta.sequence = 99;
+  delta.inserts = {{3, 1, 9}, {17, 0, 4}};
+  delta.deletes = {{8, 2, 5}, {1, 1, 1}, {0, 0, 0}};
+  const std::string bytes = delta.Serialize();
+  // Version field (after the 8-byte magic) says 2 once deletes ride along.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), 2u);
+
+  auto back = GraphDelta::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, delta);
+
+  // Delete-only batches are legal wire units too.
+  GraphDelta wipe;
+  wipe.deletes = {{4, 4, 4}};
+  auto back2 = GraphDelta::Deserialize(wipe.Serialize());
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(*back2, wipe);
+}
+
+TEST(GraphDeltaTest, WireV1BackCompat) {
+  // Pure-insert batches keep the v1 framing byte for byte — archived PR 5/6
+  // frames and pre-deletion consumers interoperate in both directions.
+  GraphDelta delta;
+  delta.sequence = 13;
+  delta.inserts = {{1, 0, 2}, {2, 1, 3}};
+  const std::string bytes = delta.Serialize();
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), 1u);
+
+  // A v1 buffer assembled by hand (the PR 6 layout, independent of
+  // Serialize) still deserializes, with empty deletes.
+  std::string payload;
+  PutU64(&payload, delta.sequence);
+  PutU32(&payload, 2);
+  for (const EdgeInsert& e : delta.inserts) {
+    PutU32(&payload, e.src);
+    PutU32(&payload, e.label);
+    PutU32(&payload, e.dst);
+  }
+  std::string v1;
+  PutU64(&v1, 0x41544C4452415047ull);  // "GPARDLTA"
+  PutU32(&v1, 1);
+  PutU64(&v1, payload.size());
+  PutU64(&v1, Fnv1a64(payload));
+  v1 += payload;
+  EXPECT_EQ(v1, bytes);
+
+  auto back = GraphDelta::Deserialize(v1);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, delta);
+  EXPECT_TRUE(back->deletes.empty());
+}
+
 TEST(GraphDeltaTest, WireRejectsCorruption) {
   GraphDelta delta;
   delta.sequence = 7;
@@ -335,6 +486,65 @@ TEST(GraphDeltaTest, WireRejectsCorruption) {
     std::string bad = bytes;
     bad[bytes.size() - 1] ^= 0x5A;  // payload bit-flip breaks the checksum
     expect_corrupt(bad, "checksum mismatch");
+  }
+}
+
+TEST(GraphDeltaTest, WireV2RejectsCorruption) {
+  GraphDelta delta;
+  delta.sequence = 7;
+  delta.inserts = {{1, 0, 2}, {2, 1, 3}};
+  delta.deletes = {{5, 0, 6}};
+  const std::string bytes = delta.Serialize();
+
+  auto expect_corrupt = [](const std::string& bad, const std::string& what) {
+    auto r = GraphDelta::Deserialize(bad);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << what;
+  };
+
+  // Truncation at EVERY byte boundary — which covers every field boundary
+  // (header fields, sequence, both counts, every triple) — must fail
+  // cleanly: either a short header or a payload-size mismatch.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    expect_corrupt(bytes.substr(0, cut),
+                   "truncated at byte " + std::to_string(cut));
+  }
+  expect_corrupt(bytes + "x", "trailing byte");
+  {
+    std::string bad = bytes;
+    bad[0] ^= 0xFF;
+    expect_corrupt(bad, "bad magic");
+  }
+  {
+    std::string bad = bytes;
+    bad[8] = 3;  // a version this codec does not speak
+    expect_corrupt(bad, "unsupported version");
+  }
+  {
+    std::string bad = bytes;
+    bad.back() ^= 0x11;
+    expect_corrupt(bad, "checksum mismatch");
+  }
+
+  // Oversized counts inside a correctly checksummed payload must be
+  // bounded by the bytes present (no giant allocation), then rejected.
+  auto restamp = [](std::string frame) {
+    std::string sum;
+    PutU64(&sum, Fnv1a64(frame.substr(28)));
+    for (int i = 0; i < 8; ++i) frame[20 + i] = sum[i];
+    return frame;
+  };
+  {
+    std::string bad = bytes;
+    for (int i = 0; i < 4; ++i) bad[28 + 8 + i] = static_cast<char>(0xff);
+    expect_corrupt(restamp(bad), "oversized insert count");
+  }
+  {
+    // Delete count sits after sequence + insert count + 2 triples.
+    const size_t off = 28 + 8 + 4 + 2 * 12;
+    std::string bad = bytes;
+    for (int i = 0; i < 4; ++i) bad[off + i] = static_cast<char>(0xff);
+    expect_corrupt(restamp(bad), "oversized delete count");
   }
 }
 

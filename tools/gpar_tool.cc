@@ -435,6 +435,11 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
           delta.inserts.push_back(
               {e.src, session->InternLabel(e.label), e.dst});
         }
+        delta.deletes.reserve(parsed->deletes.size());
+        for (const TextEdgeDelete& e : parsed->deletes) {
+          delta.deletes.push_back(
+              {e.src, session->InternLabel(e.label), e.dst});
+        }
         auto ds = session->ApplyDelta(delta);
         if (!ds.ok()) {
           std::printf("error: %s\n", ds.status().ToString().c_str());
@@ -442,10 +447,12 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
           break;
         }
         std::printf(
-            "  +%zu edges (%zu dup), %llu memberships + %llu q-classes "
+            "  +%zu edges (%zu dup), -%zu edges (%zu missing), "
+            "%llu memberships + %llu q-classes "
             "invalidated, %llu sketches refreshed, %llu view nodes added, "
             "%llu wire bytes, %.2f ms\n",
-            ds->edges_inserted, ds->duplicates_ignored,
+            ds->edges_inserted, ds->duplicates_ignored, ds->edges_deleted,
+            ds->deletes_missing,
             static_cast<unsigned long long>(ds->memberships_invalidated),
             static_cast<unsigned long long>(ds->qclass_invalidated),
             static_cast<unsigned long long>(ds->sketches_refreshed),

@@ -23,9 +23,14 @@
 # the k=4 vs k=1 scaling ratio in "totals"), plus p50/p99 request latency
 # under a mixed query + delta workload.
 #
+# A sixth JSON report (CHURN_JSON) comes from a CI-sized exp7_delta_churn
+# run: maintained ApplyDelta + requery cost vs a from-scratch server
+# rebuild under a CDC-style insert+delete churn stream, plus the fraction
+# of (rule, center) cache entries each batch invalidates.
+#
 # Usage:
 #   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON] [PARTITION_JSON] \
-#                      [SERVE_JSON] [SHARDED_JSON]
+#                      [SERVE_JSON] [SHARDED_JSON] [CHURN_JSON]
 #
 # Environment:
 #   GPAR_BENCH_BIN_DIR   directory holding the bench binaries
@@ -43,6 +48,7 @@ dmine_out="${2:-BENCH_dmine.json}"
 partition_out="${3:-BENCH_partition.json}"
 serve_out="${4:-BENCH_serve.json}"
 sharded_out="${5:-BENCH_sharded_serve.json}"
+churn_out="${6:-BENCH_delta_churn.json}"
 bin_dir="${GPAR_BENCH_BIN_DIR:-build/release/bench}"
 
 if [[ ! -d "${bin_dir}" ]]; then
@@ -90,6 +96,16 @@ if [[ -x "${sharded_bin}" ]]; then
     "${sharded_bin}"
 else
   echo "warning: ${sharded_bin} not built; skipping ${sharded_out}" >&2
+fi
+
+# Delta churn sweep (maintained insert+delete stream vs fresh rebuild).
+churn_bin="${bin_dir}/exp7_delta_churn"
+if [[ -x "${churn_bin}" ]]; then
+  echo "== exp7_delta_churn -> ${churn_out}" >&2
+  GPAR_BENCH_SMALL="${GPAR_BENCH_SMALL:-1}" GPAR_BENCH_JSON="${churn_out}" \
+    "${churn_bin}"
+else
+  echo "warning: ${churn_bin} not built; skipping ${churn_out}" >&2
 fi
 
 shopt -s nullglob
