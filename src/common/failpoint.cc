@@ -1,0 +1,99 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace gpar {
+
+namespace internal {
+std::atomic<int> g_armed_failpoints{0};
+}  // namespace internal
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& site, FailpointSpec spec) {
+  MutexLock lock(mu_);
+  auto [it, inserted] = sites_.try_emplace(site);
+  it->second.spec = std::move(spec);
+  it->second.rng.seed(it->second.spec.seed);
+  it->second.passes = 0;
+  it->second.fired = 0;
+  if (inserted) {
+    // Relaxed: the macro fast path only needs to eventually observe a
+    // nonzero count; Check() itself synchronizes through mu_.
+    internal::g_armed_failpoints.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  MutexLock lock(mu_);
+  if (sites_.erase(site) > 0) {
+    // Relaxed: see Arm — the count is advisory for the fast path only.
+    internal::g_armed_failpoints.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  MutexLock lock(mu_);
+  // Relaxed: see Arm — the count is advisory for the fast path only.
+  internal::g_armed_failpoints.fetch_sub(static_cast<int>(sites_.size()),
+                                         std::memory_order_relaxed);
+  sites_.clear();
+}
+
+uint64_t FailpointRegistry::Passes(const std::string& site) const {
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.passes;
+}
+
+uint64_t FailpointRegistry::Fires(const std::string& site) const {
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+bool FailpointRegistry::PassFires(const char* site, FailpointSpec* spec) {
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Armed& armed = it->second;
+  const uint64_t pass = armed.passes++;
+  if (pass < armed.spec.skip) return false;
+  if (armed.spec.fires != 0 && armed.fired >= armed.spec.fires) return false;
+  if (armed.spec.probability < 1.0) {
+    std::uniform_real_distribution<double> draw(0.0, 1.0);
+    if (draw(armed.rng) >= armed.spec.probability) return false;
+  }
+  ++armed.fired;
+  *spec = armed.spec;
+  return true;
+}
+
+Status FailpointRegistry::Check(const char* site) {
+  FailpointSpec spec;
+  if (!PassFires(site, &spec)) return Status::OK();
+  if (spec.latency_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(spec.latency_micros));
+  }
+  return Status::FromCode(spec.code, std::string("failpoint ") + site + ": " +
+                                         spec.message);
+}
+
+size_t FailpointRegistry::TornWriteLimit(const char* site, size_t size) {
+  FailpointSpec spec;
+  if (!PassFires(site, &spec)) return size;
+  if (spec.torn_bytes < 0) return size;
+  if (spec.latency_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(spec.latency_micros));
+  }
+  const size_t cap = size == 0 ? 0 : size - 1;
+  return std::min<size_t>(static_cast<size_t>(spec.torn_bytes), cap);
+}
+
+}  // namespace gpar

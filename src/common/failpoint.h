@@ -1,0 +1,138 @@
+#ifndef GPAR_COMMON_FAILPOINT_H_
+#define GPAR_COMMON_FAILPOINT_H_
+
+#include "common/require_cxx20.h"  // IWYU pragma: keep
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace gpar {
+
+/// Deterministic fault injection for the serving tier's durability layer.
+///
+/// Code marks named *sites* with `GPAR_FAILPOINT("journal.append")`; tests
+/// arm a site with a `FailpointSpec` describing *what* to inject (a
+/// `Status` error, a latency spike, a torn write) and *when* (skip the
+/// first N passes, fire M times, optionally with a seeded per-pass
+/// probability). Unarmed sites cost one relaxed atomic load — the macros
+/// never take a lock, allocate, or branch into the registry unless at
+/// least one site is armed anywhere in the process.
+///
+/// Determinism: firing depends only on the spec and the site's pass
+/// counter (plus an RNG seeded from `spec.seed` when `probability < 1`),
+/// never on wall-clock time — a failing injection run replays exactly.
+struct FailpointSpec {
+  /// Error to inject on a fire. `kOk` fires without an error — useful for
+  /// pure latency spikes that should not fail the call.
+  StatusCode code = StatusCode::kUnavailable;
+  /// Appended to the generated "failpoint <site>" message.
+  std::string message = "injected";
+  /// Passes through the site before the first fire.
+  uint32_t skip = 0;
+  /// Number of fires before the site goes quiet again; 0 = every pass
+  /// after `skip` fires (a permanently failing site).
+  uint32_t fires = 1;
+  /// Per-pass fire probability once past `skip`; draws come from an RNG
+  /// seeded with `seed`, so a given (spec, pass history) always fires the
+  /// same way.
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// Injected latency per fire, before the status is returned.
+  uint32_t latency_micros = 0;
+  /// Torn-write sites only (`GPAR_FAILPOINT_TORN`): how many bytes of the
+  /// write actually reach the file on a fire. Negative = not a torn spec
+  /// (the site fires as a plain error). Clamped below the full size, so a
+  /// torn write is always genuinely torn.
+  int64_t torn_bytes = -1;
+};
+
+namespace internal {
+/// Count of armed sites, process-wide. Read by the macro fast path.
+extern std::atomic<int> g_armed_failpoints;
+}  // namespace internal
+
+/// True when any failpoint is armed anywhere in the process.
+inline bool FailpointsActive() noexcept {
+  // Relaxed: a racing Arm/Disarm at worst sends one pass down the wrong
+  // path (Check() re-checks under the registry mutex); no other memory
+  // rides on this load.
+  return internal::g_armed_failpoints.load(std::memory_order_relaxed) > 0;
+}
+
+/// Process-wide registry of armed failpoint sites. All methods are
+/// thread-safe; tests typically Arm/Disarm from the main thread while
+/// server threads pass through Check concurrently.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// Arms (or re-arms, resetting counters) `site` with `spec`.
+  void Arm(const std::string& site, FailpointSpec spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Total passes through `site` while armed (diagnostics).
+  uint64_t Passes(const std::string& site) const;
+  /// Total fires at `site` since it was (re-)armed.
+  uint64_t Fires(const std::string& site) const;
+
+  /// The macro's slow path: counts a pass and, when the armed spec elects
+  /// to fire, injects the configured latency and returns the configured
+  /// status. OK when the site is unarmed, skipped, or exhausted.
+  Status Check(const char* site);
+
+  /// Torn-write support: byte budget for a `size`-byte write at `site`.
+  /// Returns `size` unless the site is armed with `torn_bytes >= 0` and
+  /// elects to fire, in which case the budget is `min(torn_bytes,
+  /// size - 1)` — the caller writes that prefix and reports an IO error.
+  size_t TornWriteLimit(const char* site, size_t size);
+
+ private:
+  struct Armed {
+    FailpointSpec spec;
+    std::mt19937_64 rng;
+    uint64_t passes = 0;
+    uint64_t fired = 0;
+  };
+
+  FailpointRegistry() = default;
+
+  /// Pass/fire bookkeeping shared by Check and TornWriteLimit: returns
+  /// whether this pass fires and copies the spec out for lock-free use.
+  bool PassFires(const char* site, FailpointSpec* spec)
+      GPAR_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Armed> sites_ GPAR_GUARDED_BY(mu_);
+};
+
+}  // namespace gpar
+
+/// Marks an injectable fault site in a function returning `Status` or
+/// `Result<T>`: when the named site is armed and fires, the injected
+/// status is returned from the enclosing function. Zero-cost (one relaxed
+/// atomic load) while no failpoint is armed.
+#define GPAR_FAILPOINT(site)                                              \
+  do {                                                                    \
+    if (::gpar::FailpointsActive()) {                                     \
+      ::gpar::Status _gpar_fp =                                           \
+          ::gpar::FailpointRegistry::Instance().Check(site);              \
+      if (!_gpar_fp.ok()) return _gpar_fp;                                \
+    }                                                                     \
+  } while (false)
+
+/// Torn-write budget for a `size`-byte write at `site`: evaluates to the
+/// byte count to actually write (== `size` when unarmed or not firing).
+#define GPAR_FAILPOINT_TORN(site, size)                                   \
+  (::gpar::FailpointsActive()                                             \
+       ? ::gpar::FailpointRegistry::Instance().TornWriteLimit(site, size) \
+       : (size))
+
+#endif  // GPAR_COMMON_FAILPOINT_H_

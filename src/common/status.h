@@ -20,6 +20,11 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  /// Transient failure (an injected fault, a shard mid-resync): safe to
+  /// retry. The serving router's retry policy keys on this code.
+  kUnavailable,
+  /// A per-request deadline budget ran out before the work completed.
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object returned by fallible operations.
@@ -53,6 +58,19 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Constructs from a runtime code — for layers (like the failpoint
+  /// registry) that inject configured, not hardcoded, error categories.
+  /// A `kOk` code yields OK and drops the message.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +100,8 @@ class Status {
       case StatusCode::kCorruption: return "Corruption";
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -142,14 +142,24 @@ std::string GraphDelta::Serialize() const {
   }
   // Pure-insert batches keep the v1 framing byte-for-byte, so pre-deletion
   // consumers (and archived v1 frames) stay interoperable in both
-  // directions; only batches that actually delete need v2.
-  const uint32_t version = deletes.empty() ? kFormatVersion : kFormatVersionV2;
-  if (version == kFormatVersionV2) {
+  // directions; batches that delete need v2, and only frames that carry
+  // their own label dictionary (the journaled/shipped ones) pay for v3.
+  const uint32_t version = !label_defs.empty() ? kFormatVersionV3
+                           : deletes.empty()   ? kFormatVersion
+                                               : kFormatVersionV2;
+  if (version >= kFormatVersionV2) {
     PutU32(&payload, static_cast<uint32_t>(deletes.size()));
     for (const EdgeDelete& e : deletes) {
       PutU32(&payload, e.src);
       PutU32(&payload, e.label);
       PutU32(&payload, e.dst);
+    }
+  }
+  if (version >= kFormatVersionV3) {
+    PutU32(&payload, static_cast<uint32_t>(label_defs.size()));
+    for (const LabelDef& def : label_defs) {
+      PutU32(&payload, def.id);
+      PutString(&payload, def.name);
     }
   }
   std::string out;
@@ -159,6 +169,24 @@ std::string GraphDelta::Serialize() const {
   PutU64(&out, Fnv1a64(payload));
   out += payload;
   return out;
+}
+
+Result<size_t> GraphDelta::FrameSize(std::string_view bytes) {
+  ByteReader r(bytes);
+  uint64_t magic, payload_size;
+  uint32_t version;
+  if (!r.ReadU64(&magic) || !r.ReadU32(&version) ||
+      !r.ReadU64(&payload_size)) {
+    return Status::Corruption("graph delta: truncated header");
+  }
+  if (magic != kDeltaMagic) {
+    return Status::Corruption("graph delta: bad magic");
+  }
+  if (version < kFormatVersion || version > kFormatVersionV3) {
+    return Status::Corruption("graph delta: unsupported version " +
+                              std::to_string(version));
+  }
+  return static_cast<size_t>(kFrameHeaderBytes + payload_size);
 }
 
 Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
@@ -172,7 +200,7 @@ Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
   if (magic != kDeltaMagic) {
     return Status::Corruption("graph delta: bad magic");
   }
-  if (version != kFormatVersion && version != kFormatVersionV2) {
+  if (version < kFormatVersion || version > kFormatVersionV3) {
     return Status::Corruption("graph delta: unsupported version " +
                               std::to_string(version));
   }
@@ -198,7 +226,7 @@ Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
     }
     delta.inserts.push_back(e);
   }
-  if (version == kFormatVersionV2) {
+  if (version >= kFormatVersionV2) {
     if (!r.ReadU32(&count)) {
       return Status::Corruption("graph delta: truncated payload");
     }
@@ -211,10 +239,68 @@ Result<GraphDelta> GraphDelta::Deserialize(std::string_view bytes) {
       delta.deletes.push_back(e);
     }
   }
+  if (version >= kFormatVersionV3) {
+    if (!r.ReadU32(&count)) {
+      return Status::Corruption("graph delta: truncated payload");
+    }
+    delta.label_defs.reserve(std::min<size_t>(count, r.remaining() / 8));
+    for (uint32_t i = 0; i < count; ++i) {
+      LabelDef def;
+      if (!r.ReadU32(&def.id) || !r.ReadString(&def.name)) {
+        return Status::Corruption("graph delta: truncated payload");
+      }
+      delta.label_defs.push_back(std::move(def));
+    }
+  }
   if (!r.exhausted()) {
     return Status::Corruption("graph delta: trailing bytes");
   }
   return delta;
+}
+
+void CollectLabelDefs(const Interner& labels, GraphDelta* delta) {
+  std::vector<LabelId> ids;
+  ids.reserve(delta->inserts.size() + delta->deletes.size());
+  for (const EdgeInsert& e : delta->inserts) ids.push_back(e.label);
+  for (const EdgeDelete& e : delta->deletes) ids.push_back(e.label);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  delta->label_defs.clear();
+  delta->label_defs.reserve(ids.size());
+  for (LabelId id : ids) {
+    // An id the dictionary does not know cannot be named; leave it out —
+    // `PatchGraph` rejects the edge that references it anyway.
+    if (id >= labels.size()) continue;
+    delta->label_defs.push_back({id, labels.Name(id)});
+  }
+}
+
+Status ApplyLabelDefs(const GraphDelta& delta, Interner* labels) {
+  for (const LabelDef& def : delta.label_defs) {
+    if (def.id < labels->size()) {
+      if (labels->Name(def.id) != def.name) {
+        return Status::Corruption("label def mismatch: id " +
+                                  std::to_string(def.id) + " is \"" +
+                                  labels->Name(def.id) + "\", frame says \"" +
+                                  def.name + "\"");
+      }
+      continue;
+    }
+    // Defs are sorted by id and frames replay in append order, so a
+    // well-formed journal only ever extends the dictionary one id at a
+    // time, exactly the way the live server interned it.
+    if (def.id != labels->size()) {
+      return Status::Corruption("label def skips ids: frame defines id " +
+                                std::to_string(def.id) +
+                                " but the dictionary has " +
+                                std::to_string(labels->size()) + " labels");
+    }
+    if (labels->Intern(def.name) != def.id) {
+      return Status::Corruption("label \"" + def.name +
+                                "\" already interned under another id");
+    }
+  }
+  return Status::OK();
 }
 
 Result<GraphPatch> PatchGraphWithInserts(const Graph& g,

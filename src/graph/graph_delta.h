@@ -36,6 +36,20 @@ struct EdgeDelete {
   friend bool operator==(const EdgeDelete&, const EdgeDelete&) = default;
 };
 
+/// One label-dictionary definition carried alongside a serialized delta:
+/// the interned id and the name it stands for. Deltas reference labels by
+/// id, which is only meaningful against the producer's dictionary — a
+/// journal frame replayed against a freshly loaded snapshot may reference
+/// labels interned live *after* that snapshot was written. Frames carry
+/// their own definitions so replay can re-intern exactly the ids it needs
+/// (see `ApplyLabelDefs`).
+struct LabelDef {
+  LabelId id;
+  std::string name;
+
+  friend bool operator==(const LabelDef&, const LabelDef&) = default;
+};
+
 /// A versioned batch of edge mutations — the unit mutations travel in:
 /// `ServeSession::ApplyDelta` takes one, and the sharded serving router
 /// ships the serialized form to its shard servers instead of full graph
@@ -51,22 +65,42 @@ struct GraphDelta {
   static constexpr uint32_t kFormatVersion = 1;
   /// Mutation-stream wire format: `deletes` follow the inserts.
   static constexpr uint32_t kFormatVersionV2 = 2;
+  /// Durable wire format: a `label_defs` section follows the deletes, so a
+  /// journaled frame is self-describing — replay against a snapshot older
+  /// than the frame re-interns the label names the frame minted.
+  static constexpr uint32_t kFormatVersionV3 = 3;
 
   uint64_t sequence = 0;
   std::vector<EdgeInsert> inserts;
   std::vector<EdgeDelete> deletes;
+  /// Definitions for every distinct label the edges reference (sorted by
+  /// id). Empty for in-process deltas; the servers fill it at journal and
+  /// ship time via `CollectLabelDefs`.
+  std::vector<LabelDef> label_defs;
 
   /// Framed little-endian encoding (see common/binary_io): magic
   /// "GPARDLTA", u32 version, u64 payload size, u64 FNV-1a payload
   /// checksum, then the payload {u64 sequence, u32 insert_count,
-  /// insert_count x (u32 src, u32 label, u32 dst)} and — version 2 only —
-  /// {u32 delete_count, delete_count x (u32 src, u32 label, u32 dst)}.
-  /// Batches without deletes serialize as version 1, byte-identical to the
-  /// PR 6 encoding; batches with deletes serialize as version 2.
+  /// insert_count x (u32 src, u32 label, u32 dst)}, — version >= 2 —
+  /// {u32 delete_count, delete_count x (u32 src, u32 label, u32 dst)},
+  /// and — version 3 — {u32 def_count, def_count x (u32 id, u32 name_len,
+  /// name bytes)}. The writer picks the lowest version that can carry the
+  /// batch: no deletes and no defs -> 1 (byte-identical to the PR 6
+  /// encoding), deletes but no defs -> 2, any defs -> 3.
   std::string Serialize() const;
-  /// Inverse of `Serialize`; accepts both wire versions. Corruption on bad
-  /// magic/version/checksum or a truncated or oversized buffer.
+  /// Inverse of `Serialize`; accepts all three wire versions. Corruption
+  /// on bad magic/version/checksum or a truncated or oversized buffer.
   static Result<GraphDelta> Deserialize(std::string_view bytes);
+
+  /// Serialized frame header length (magic + version + payload size +
+  /// checksum) — frames are self-delimiting, which is what lets the delta
+  /// journal detect a torn tail without a separate length index.
+  static constexpr size_t kFrameHeaderBytes = 8 + 4 + 8 + 8;
+  /// Total on-disk frame length (header + payload) declared by the header
+  /// at the start of `bytes`. Validates magic and version only — the
+  /// payload need not be present (or intact) yet; `bytes` may extend past
+  /// the frame. Corruption when even the header is truncated or foreign.
+  static Result<size_t> FrameSize(std::string_view bytes);
 
   friend bool operator==(const GraphDelta&, const GraphDelta&) = default;
 };
@@ -85,6 +119,23 @@ struct GraphPatch {
   /// the other half of the invalidation frontier.
   std::vector<EdgeDelete> applied_deletes;
 };
+
+/// Fills `delta->label_defs` with a definition for every distinct label id
+/// its edges reference (sorted by id), named from `labels`. The servers
+/// call this right before serializing a frame for the journal or the shard
+/// wire, which is what makes those frames replayable against an older
+/// snapshot. Ids the dictionary does not know are skipped — `PatchGraph`
+/// rejects such a delta anyway.
+void CollectLabelDefs(const Interner& labels, GraphDelta* delta);
+
+/// Replays `delta.label_defs` into `labels`: a def naming the next unseen
+/// id is interned, a def for an existing id must match its name, and
+/// anything out of order (an id past the end, a name already interned
+/// under a different id) is `Corruption` — journal frames replay in append
+/// order, so a well-formed journal only ever extends the dictionary the
+/// way the live server did. Safe to call with defs the dictionary already
+/// has (the live shard-wire path): those verify and no-op.
+Status ApplyLabelDefs(const GraphDelta& delta, Interner* labels);
 
 /// Applies edge inserts to an immutable CSR graph, producing a new `Graph`
 /// that is bit-identical to rebuilding from scratch with the extended edge

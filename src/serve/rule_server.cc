@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "graph/graph_snapshot.h"
 #include "match/guided.h"
@@ -50,12 +51,26 @@ RuleServer::RuleServer(std::vector<RuleRecord> rules,
 Result<std::unique_ptr<RuleServer>> RuleServer::Load(
     const std::string& graph_snapshot_path,
     const std::string& rules_snapshot_path, const RuleServerOptions& options) {
+  GPAR_FAILPOINT("snapshot.load");
   auto g = ReadGraphSnapshotFile(graph_snapshot_path);
   if (!g.ok()) return g.status();
   auto rules =
       ReadRuleSetSnapshotFile(rules_snapshot_path, g->mutable_labels());
   if (!rules.ok()) return rules.status();
   return Create(std::move(g).value(), std::move(rules).value(), options);
+}
+
+Result<std::unique_ptr<RuleServer>> RuleServer::Recover(
+    const std::string& graph_snapshot_path,
+    const std::string& rules_snapshot_path, const std::string& journal_path,
+    const RuleServerOptions& options,
+    const DeltaJournalOptions& journal_options, JournalReplayStats* replay) {
+  GPAR_ASSIGN_OR_RETURN(
+      std::unique_ptr<RuleServer> server,
+      Load(graph_snapshot_path, rules_snapshot_path, options));
+  GPAR_RETURN_NOT_OK(
+      server->AttachJournal(journal_path, journal_options, replay));
+  return server;
 }
 
 Result<std::unique_ptr<RuleServer>> RuleServer::Create(
@@ -397,6 +412,11 @@ Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
 }
 
 Result<SessionReply> RuleServer::Query(const SessionRequest& request) {
+  if (is_shard_) {
+    // Simulated shard failure on the query path — what the router's
+    // degraded mode and per-request retries are tested against.
+    GPAR_FAILPOINT("shard.query");
+  }
   Timer timer;
   GPAR_ASSIGN_OR_RETURN(std::vector<uint32_t> selected,
                         NormalizeRuleSelection(request.rules, sigma_.size()));
@@ -485,24 +505,91 @@ Result<DeltaStats> RuleServer::ApplyDelta(const GraphDelta& delta) {
         "shard servers receive deltas from their router (ApplyShardDelta)");
   }
   MutexLock writer(writer_mu_);
+  return ApplyDeltaLocked(delta, /*journal=*/true);
+}
+
+Result<DeltaStats> RuleServer::ApplyDeltaLocked(const GraphDelta& delta,
+                                                bool journal) {
   const std::shared_ptr<const State> st = AcquireState();
   Timer timer;
   DeltaStats ds;
+  // Replayed journal frames carry their own label dictionary (v3 wire);
+  // re-intern before patching so a frame minted after the snapshot was
+  // written still resolves. Live deltas have no defs — this is free.
+  GPAR_RETURN_NOT_OK(ApplyLabelDefs(delta, interner_.get()));
   GPAR_ASSIGN_OR_RETURN(GraphPatch patch, PatchGraph(*st->graph, delta));
   ds.edges_inserted = patch.edges_inserted;
   ds.duplicates_ignored = patch.duplicates;
   ds.edges_deleted = patch.edges_deleted;
   ds.deletes_missing = patch.missing;
   if (patch.applied.empty() && patch.applied_deletes.empty()) {
-    // No structural change: every cached answer and sketch stays valid.
+    // No structural change: every cached answer and sketch stays valid —
+    // and nothing is journaled, so replay reproduces only real mutations.
     ds.seconds = timer.Seconds();
     return ds;
   }
+  if (journal && journal_ != nullptr) {
+    // Append-before-publish, and journal the APPLIED mutations rather than
+    // the raw input: duplicates and missing deletes are already filtered,
+    // so snapshot + replay re-derives this exact graph bit-for-bit. An
+    // append failure leaves the served state untouched.
+    GraphDelta wire;
+    wire.sequence = journal_->last_sequence() + 1;
+    wire.inserts = patch.applied;
+    wire.deletes = patch.applied_deletes;
+    // Frames name the labels they reference, so replay against an older
+    // snapshot re-interns live-minted labels instead of failing.
+    CollectLabelDefs(*interner_, &wire);
+    const uint64_t bytes_before = journal_->size_bytes();
+    GPAR_RETURN_NOT_OK(journal_->Append(wire));
+    ds.sequence = wire.sequence;
+    ds.journal_bytes = journal_->size_bytes() - bytes_before;
+  }
+  // The crash window recovery must close: the frame is on disk but not yet
+  // published. Replay applies it, converging with the no-crash timeline.
+  GPAR_FAILPOINT("serve.publish");
   SwapStateAndInvalidate(*st,
                          std::make_shared<const Graph>(std::move(patch.graph)),
                          patch.applied, patch.applied_deletes, &ds);
   ds.seconds = timer.Seconds();
   return ds;
+}
+
+Status RuleServer::AttachJournal(const std::string& path,
+                                 const DeltaJournalOptions& options,
+                                 JournalReplayStats* replay) {
+  if (is_shard_) {
+    return Status::InvalidArgument(
+        "shard servers do not journal; attach at the router");
+  }
+  MutexLock writer(writer_mu_);
+  if (journal_ != nullptr) {
+    return Status::InvalidArgument("a journal is already attached");
+  }
+  JournalReplayStats stats;
+  GPAR_ASSIGN_OR_RETURN(std::vector<GraphDelta> frames,
+                        DeltaJournal::ReadAll(path, &stats));
+  for (const GraphDelta& frame : frames) {
+    // Replay without re-journaling — these frames ARE the journal. The
+    // checkpoint floor marker (an empty frame) falls out as a no-op.
+    auto applied = ApplyDeltaLocked(frame, /*journal=*/false);
+    if (!applied.ok()) return applied.status();
+  }
+  GPAR_ASSIGN_OR_RETURN(journal_, DeltaJournal::Open(path, options));
+  if (replay != nullptr) *replay = stats;
+  return Status::OK();
+}
+
+Status RuleServer::Checkpoint(const std::string& graph_snapshot_path) {
+  MutexLock writer(writer_mu_);
+  if (journal_ == nullptr) {
+    return Status::InvalidArgument("checkpoint requires an attached journal");
+  }
+  const std::shared_ptr<const State> st = AcquireState();
+  GPAR_RETURN_NOT_OK(WriteGraphSnapshotFile(*st->graph, graph_snapshot_path));
+  // The snapshot now carries every journaled frame's effects; compaction
+  // keeps only the sequence floor.
+  return journal_->Compact();
 }
 
 Result<DeltaStats> RuleServer::ApplyShardDelta(
@@ -516,11 +603,25 @@ Result<DeltaStats> RuleServer::ApplyShardDelta(
   }
   GPAR_ASSIGN_OR_RETURN(GraphDelta delta,
                         GraphDelta::Deserialize(delta_bytes));
+  // Simulated shard failure during ingestion — the router's retry and
+  // resync paths are exercised by arming this site.
+  GPAR_FAILPOINT("shard.apply_delta");
   MutexLock writer(writer_mu_);
-  const std::shared_ptr<const State> st = AcquireState();
   Timer timer;
   DeltaStats ds;
+  // Shards share the router's dictionary, so the defs usually verify as
+  // no-ops — but a shard brought up against an older snapshot (sharded
+  // recovery) interns here, keeping the wire self-contained.
+  GPAR_RETURN_NOT_OK(ApplyLabelDefs(delta, interner_.get()));
   ds.wire_bytes = delta_bytes.size();
+  if (delta.sequence != 0 && delta.sequence <= shard_sequence_) {
+    // Already applied: a router retry of an acknowledged-then-failed ship
+    // must be a no-op, never a double-apply.
+    ds.sequence = delta.sequence;
+    ds.seconds = timer.Seconds();
+    return ds;
+  }
+  const std::shared_ptr<const State> st = AcquireState();
   // The router ships only the mutations that actually changed the parent
   // graph (GraphPatch::applied / applied_deletes), already validated
   // against it.
@@ -530,8 +631,25 @@ Result<DeltaStats> RuleServer::ApplyShardDelta(
     SwapStateAndInvalidate(*st, std::move(new_graph), delta.inserts,
                            delta.deletes, &ds);
   }
+  if (delta.sequence != 0) shard_sequence_ = delta.sequence;
+  ds.sequence = delta.sequence;
   ds.seconds = timer.Seconds();
   return ds;
+}
+
+uint64_t RuleServer::shard_sequence() const {
+  MutexLock writer(writer_mu_);
+  return shard_sequence_;
+}
+
+bool RuleServer::journal_attached() const {
+  MutexLock writer(writer_mu_);
+  return journal_ != nullptr;
+}
+
+uint64_t RuleServer::journal_sequence() const {
+  MutexLock writer(writer_mu_);
+  return journal_ != nullptr ? journal_->last_sequence() : 0;
 }
 
 void RuleServer::SwapStateAndInvalidate(const State& old,

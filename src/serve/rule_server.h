@@ -102,6 +102,18 @@ class RuleServer : public ServeSession {
       const std::string& rules_snapshot_path,
       const RuleServerOptions& options = {});
 
+  /// Crash recovery: loads the snapshot pair, then attaches the journal
+  /// at `journal_path` — which replays its valid frame prefix (torn tail
+  /// truncated) and leaves the journal live for later appends. The result
+  /// is byte-equivalent to a server that applied those deltas and never
+  /// crashed.
+  static Result<std::unique_ptr<RuleServer>> Recover(
+      const std::string& graph_snapshot_path,
+      const std::string& rules_snapshot_path,
+      const std::string& journal_path, const RuleServerOptions& options = {},
+      const DeltaJournalOptions& journal_options = {},
+      JournalReplayStats* replay = nullptr);
+
   /// Builds a session from in-memory state (tests, single-process use).
   static Result<std::unique_ptr<RuleServer>> Create(
       Graph g, std::vector<RuleRecord> rules,
@@ -136,6 +148,11 @@ class RuleServer : public ServeSession {
   /// take `ApplyShardDelta` from their router.
   Result<DeltaStats> ApplyDelta(const GraphDelta& delta) override;
 
+  Status AttachJournal(const std::string& path,
+                       const DeltaJournalOptions& options = {},
+                       JournalReplayStats* replay = nullptr) override;
+  Status Checkpoint(const std::string& graph_snapshot_path) override;
+
   std::shared_ptr<const Graph> graph_snapshot() const override;
   const std::vector<RuleRecord>& rules() const override { return records_; }
   const std::vector<NodeId>& candidates() const override {
@@ -163,6 +180,13 @@ class RuleServer : public ServeSession {
   bool is_shard() const noexcept { return is_shard_; }
   /// Shard mode: current fragment view size in nodes (0 otherwise).
   size_t view_members() const;
+  /// Shard mode: sequence of the last batch this shard applied — the
+  /// router's resync logic compares it against its own delta sequence.
+  uint64_t shard_sequence() const GPAR_EXCLUDES(writer_mu_);
+
+  bool journal_attached() const GPAR_EXCLUDES(writer_mu_);
+  /// Last sequence the attached journal holds (0 when none is attached).
+  uint64_t journal_sequence() const GPAR_EXCLUDES(writer_mu_);
 
   // ---- Deprecated PR 5 surface (thin shims over Query/ApplyDelta) ----
 
@@ -254,6 +278,12 @@ class RuleServer : public ServeSession {
   RuleServer(std::vector<RuleRecord> rules, const RuleServerOptions& options);
 
   Status Init(std::shared_ptr<const Graph> g, std::vector<NodeId> members);
+  /// The body of `ApplyDelta`: patches, optionally journals the applied
+  /// mutations (appends-before-publish), then swaps + invalidates.
+  /// `journal` is false on the replay path — those frames are already on
+  /// disk.
+  Result<DeltaStats> ApplyDeltaLocked(const GraphDelta& delta, bool journal)
+      GPAR_REQUIRES(writer_mu_);
   void PreparePlans(SearchPlanStore* store) const;
   void PrecomputeSketches(State* st) const;
   std::unique_ptr<WorkerCtx> BuildCtx(const State& st) const;
@@ -305,7 +335,14 @@ class RuleServer : public ServeSession {
   /// under the cache-shard lock), so a reader that outlived a delta can
   /// never resurrect stale memberships after the invalidation walk.
   std::atomic<uint64_t> epoch_{0};
-  Mutex writer_mu_;  ///< serializes ApplyDelta / ApplyShardDelta
+  mutable Mutex writer_mu_;  ///< serializes ApplyDelta / ApplyShardDelta
+  /// Attach-journal mode (non-shard servers): applied mutations are
+  /// appended here before they are published.
+  std::unique_ptr<DeltaJournal> journal_ GPAR_GUARDED_BY(writer_mu_);
+  /// Shard mode: sequence of the last applied batch. Retried ships of an
+  /// already-applied frame are recognized here and become no-ops, so a
+  /// router retry can never double-apply a delta.
+  uint64_t shard_sequence_ GPAR_GUARDED_BY(writer_mu_) = 0;
 
   uint32_t num_cache_shards_ = 1;
   std::unique_ptr<CacheShard[]> cache_shards_;

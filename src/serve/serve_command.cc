@@ -79,7 +79,8 @@ bool TryParseOption(std::string_view cmd, std::string_view token,
 const char* ServeCommandHelp() {
   return "commands: id [rules=i,j] [pr=0|1] <center>... | "
          "all [eta] [rules=i,j] [pr=0|1] | "
-         "delta [+|-] <src> <elabel> <dst>... | stats | quit";
+         "delta [+|-] <src> <elabel> <dst>... | "
+         "checkpoint [path] | recover | stats | quit";
 }
 
 Result<ServeCommand> ParseServeCommand(std::string_view line) {
@@ -100,6 +101,25 @@ Result<ServeCommand> ParseServeCommand(std::string_view line) {
       return Malformed(cmd, "takes no arguments, got '" + token + "'");
     }
     out.kind = ServeCommand::Kind::kStats;
+    return out;
+  }
+  if (cmd == "checkpoint") {
+    out.kind = ServeCommand::Kind::kCheckpoint;
+    if (ls >> token) {
+      out.path = std::move(token);
+      std::string extra;
+      if (ls >> extra) {
+        return Malformed(cmd,
+                         "takes at most one path, got '" + extra + "'");
+      }
+    }
+    return out;
+  }
+  if (cmd == "recover") {
+    if (ls >> token) {
+      return Malformed(cmd, "takes no arguments, got '" + token + "'");
+    }
+    out.kind = ServeCommand::Kind::kRecover;
     return out;
   }
   if (cmd == "id") {

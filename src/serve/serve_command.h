@@ -37,16 +37,21 @@ struct TextEdgeDelete {
 /// A parsed line of the gpar_tool serve protocol.
 struct ServeCommand {
   enum class Kind {
-    kHelp,   ///< `help` or an empty line
-    kQuit,   ///< `quit` / `exit`
-    kStats,  ///< `stats`
-    kQuery,  ///< `id ...` / `all ...` — `request` is filled
-    kDelta,  ///< `delta ...` — `inserts` / `deletes` are filled
+    kHelp,        ///< `help` or an empty line
+    kQuit,        ///< `quit` / `exit`
+    kStats,       ///< `stats`
+    kQuery,       ///< `id ...` / `all ...` — `request` is filled
+    kDelta,       ///< `delta ...` — `inserts` / `deletes` are filled
+    kCheckpoint,  ///< `checkpoint [path]` — `path` is filled (may be empty)
+    kRecover,     ///< `recover`
   };
   Kind kind = Kind::kHelp;
   SessionRequest request;
   std::vector<TextEdgeInsert> inserts;
   std::vector<TextEdgeDelete> deletes;
+  /// `checkpoint` only: snapshot destination; empty = the path the serving
+  /// graph snapshot was loaded from.
+  std::string path;
 };
 
 /// Parses one line of the serve loop's protocol into a typed command:
@@ -54,7 +59,14 @@ struct ServeCommand {
 ///   id [rules=i,j,...] [pr=0|1] <center> [<center> ...]
 ///   all [eta] [rules=i,j,...] [pr=0|1]
 ///   delta [+|-] <src> <elabel> <dst> [[+|-] <src> <elabel> <dst> ...]
+///   checkpoint [path]
+///   recover
 ///   stats | help | quit | exit
+///
+/// `checkpoint` snapshots the served graph (to `path`, default the loaded
+/// snapshot path) and compacts the attached journal; `recover` rebuilds
+/// the session from snapshot + journal replay. Both require the serve
+/// loop to have a journal attached (`--journal`).
 ///
 /// `rules=` restricts the probe to a rule-index subset; `pr=1` requires
 /// the full P_R (consequent included) instead of the formal antecedent

@@ -11,6 +11,7 @@
 #include "graph/graph_delta.h"
 #include "identify/eip.h"
 #include "rule/rule_snapshot.h"
+#include "serve/delta_journal.h"
 
 namespace gpar {
 
@@ -34,6 +35,11 @@ struct SessionRequest {
   /// False (default): a rule matches a center when its antecedent Q does
   /// (the formal Σ(x, G, η) semantics). True: require the full P_R.
   bool require_consequent = false;
+  /// Per-request time budget in seconds; 0 = unbounded. The sharded
+  /// router checks it on entry and lets it cap the retry/backoff budget
+  /// for failing shards (an in-flight shard call is never cancelled — the
+  /// budget bounds how long the router keeps TRYING, not a hard wall).
+  double deadline_seconds = 0;
 };
 
 /// Per-request (and accumulated lifetime) serving statistics.
@@ -42,6 +48,8 @@ struct ServeStats {
   uint64_t cache_hits = 0;    ///< (rule, center) memberships answered from cache
   uint64_t cache_probes = 0;  ///< memberships computed by pattern matching
   uint64_t centers_evaluated = 0;  ///< centers that needed any matching work
+  uint64_t shards_failed = 0;  ///< shards that contributed nothing (degraded)
+  uint64_t retries = 0;        ///< transient shard errors retried
   double latency_seconds = 0;
 };
 
@@ -61,6 +69,13 @@ struct SessionReply {
   std::vector<EipRuleEval> rule_evals;
   uint64_t supp_q = 0;     ///< candidates matching the consequent q(x, y)
   uint64_t supp_qbar = 0;  ///< LCWA negatives (no q-edge at all)
+  /// Degraded mode (sharded router only): one or more shards contributed
+  /// nothing, so matched rows of their owned centers are empty and the
+  /// supports/confidences are sums over the SURVIVING shards — exact for
+  /// the surviving shards' centers, a lower bound globally.
+  bool degraded = false;
+  /// The shards that contributed nothing (sorted), when `degraded`.
+  std::vector<uint32_t> failed_shards;
   ServeStats stats;
 };
 
@@ -77,6 +92,11 @@ struct DeltaStats {
   uint64_t sketches_refreshed = 0;
   uint64_t members_extended = 0;  ///< shard mode: nodes pulled into the view
   uint64_t wire_bytes = 0;        ///< serialized delta bytes shipped to shards
+  uint64_t sequence = 0;       ///< journal/router sequence stamped on the batch
+  uint64_t journal_bytes = 0;  ///< frame bytes appended to an attached journal
+  /// Router only: shards that did not acknowledge this batch (they answer
+  /// no queries — degraded mode — until a journal resync catches them up).
+  size_t shards_lagging = 0;
   double seconds = 0;
 };
 
@@ -102,6 +122,20 @@ class ServeSession {
   /// so invalidated centers are re-checked on their next query rather than
   /// monotonely extended.
   virtual Result<DeltaStats> ApplyDelta(const GraphDelta& delta) = 0;
+
+  /// Attach-journal mode: replays any frames already in the journal at
+  /// `path` (so attaching IS recovering — a fresh session + a populated
+  /// journal converge to the journaled state), then appends the applied
+  /// mutations of every later `ApplyDelta` BEFORE publishing them.
+  /// `replay`, when non-null, reports what the attach scan found.
+  virtual Status AttachJournal(const std::string& path,
+                               const DeltaJournalOptions& options = {},
+                               JournalReplayStats* replay = nullptr) = 0;
+
+  /// Checkpoint: writes the current graph to `graph_snapshot_path` and
+  /// compacts the attached journal behind it (keeping the sequence
+  /// floor). Requires an attached journal; serialized against deltas.
+  virtual Status Checkpoint(const std::string& graph_snapshot_path) = 0;
 
   /// The current graph snapshot. Holding the returned pointer keeps that
   /// version alive across subsequent deltas.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <utility>
 
-#include "common/timer.h"
+#include "common/failpoint.h"
 #include "graph/graph_snapshot.h"
 #include "graph/partition.h"
 #include "identify/eip.h"
@@ -20,6 +22,14 @@ void Accumulate(ServeStats* into, const ServeStats& s) {
   into->centers_evaluated += s.centers_evaluated;
 }
 
+/// The retry policy's transience test: Unavailable is transient by
+/// definition, IoError covers injected torn writes and flaky storage.
+/// Everything else (InvalidArgument, Corruption, ...) propagates at once.
+bool IsTransient(const Status& st) {
+  return st.code() == StatusCode::kUnavailable ||
+         st.code() == StatusCode::kIoError;
+}
+
 }  // namespace
 
 ShardedRuleServer::ShardedRuleServer(const ShardedRuleServerOptions& options)
@@ -29,12 +39,26 @@ Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Load(
     const std::string& graph_snapshot_path,
     const std::string& rules_snapshot_path,
     const ShardedRuleServerOptions& options) {
+  GPAR_FAILPOINT("snapshot.load");
   auto g = ReadGraphSnapshotFile(graph_snapshot_path);
   if (!g.ok()) return g.status();
   auto rules =
       ReadRuleSetSnapshotFile(rules_snapshot_path, g->mutable_labels());
   if (!rules.ok()) return rules.status();
   return Create(std::move(g).value(), std::move(rules).value(), options);
+}
+
+Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Recover(
+    const std::string& graph_snapshot_path,
+    const std::string& rules_snapshot_path, const std::string& journal_path,
+    const ShardedRuleServerOptions& options,
+    const DeltaJournalOptions& journal_options, JournalReplayStats* replay) {
+  GPAR_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedRuleServer> server,
+      Load(graph_snapshot_path, rules_snapshot_path, options));
+  GPAR_RETURN_NOT_OK(
+      server->AttachJournal(journal_path, journal_options, replay));
+  return server;
 }
 
 Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Create(
@@ -85,6 +109,7 @@ Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Create(
     // uncontended — take it rather than poke an analysis hole.
     MutexLock lock(server->graph_mu_);
     server->graph_ = std::move(parent);
+    server->shard_acked_.assign(server->shards_.size(), 0);
   }
   return server;
 }
@@ -98,6 +123,20 @@ uint32_t ShardedRuleServer::OwnerOf(NodeId center) const {
 uint64_t ShardedRuleServer::delta_sequence() const {
   MutexLock lock(graph_mu_);
   return delta_sequence_;
+}
+
+size_t ShardedRuleServer::lagging_shards() const {
+  MutexLock lock(graph_mu_);
+  size_t lagging = 0;
+  for (uint64_t acked : shard_acked_) {
+    if (acked != delta_sequence_) ++lagging;
+  }
+  return lagging;
+}
+
+bool ShardedRuleServer::journal_attached() const {
+  MutexLock writer(writer_mu_);
+  return journal_ != nullptr;
 }
 
 std::shared_ptr<const Graph> ShardedRuleServer::graph_snapshot() const {
@@ -117,6 +156,8 @@ ServeStats ShardedRuleServer::lifetime_stats() const {
   st.cache_hits = get(lifetime_.cache_hits);
   st.cache_probes = get(lifetime_.cache_probes);
   st.centers_evaluated = get(lifetime_.centers_evaluated);
+  st.shards_failed = get(lifetime_.shards_failed);
+  st.retries = get(lifetime_.retries);
   st.latency_seconds = static_cast<double>(get(lifetime_.latency_micros)) * 1e-6;
   return st;
 }
@@ -131,6 +172,8 @@ void ShardedRuleServer::RecordRequest(const ServeStats& stats) {
   add(lifetime_.cache_hits, stats.cache_hits);
   add(lifetime_.cache_probes, stats.cache_probes);
   add(lifetime_.centers_evaluated, stats.centers_evaluated);
+  add(lifetime_.shards_failed, stats.shards_failed);
+  add(lifetime_.retries, stats.retries);
   add(lifetime_.latency_micros,
       static_cast<uint64_t>(stats.latency_seconds * 1e6));
 }
@@ -139,8 +182,37 @@ Result<SessionReply> ShardedRuleServer::Query(const SessionRequest& request) {
   GPAR_ASSIGN_OR_RETURN(
       std::vector<uint32_t> selected,
       NormalizeRuleSelection(request.rules, records_.size()));
+  if (request.deadline_seconds < 0) {
+    return Status::InvalidArgument("deadline_seconds must be non-negative");
+  }
   return request.all_centers ? QueryAll(request, selected)
                              : QueryPoint(request, selected);
+}
+
+Status ShardedRuleServer::CallWithRetry(const std::function<Status()>& call,
+                                        double deadline_seconds,
+                                        const Timer& timer,
+                                        uint64_t* retries) const {
+  Status st = call();
+  for (uint32_t attempt = 0;
+       !st.ok() && IsTransient(st) && attempt < options_.max_shard_retries;
+       ++attempt) {
+    const uint64_t backoff_micros =
+        static_cast<uint64_t>(options_.retry_backoff_micros) << attempt;
+    if (deadline_seconds > 0 &&
+        timer.Seconds() + static_cast<double>(backoff_micros) * 1e-6 >
+            deadline_seconds) {
+      // Honest semantics: the budget bounds how long we keep TRYING; the
+      // in-flight call that just failed was never cancelled.
+      return Status::DeadlineExceeded(
+          "retry budget exhausted after " + std::to_string(attempt) +
+          " retries: " + st.message());
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
+    ++*retries;
+    st = call();
+  }
+  return st;
 }
 
 Result<SessionReply> ShardedRuleServer::QueryPoint(
@@ -172,19 +244,39 @@ Result<SessionReply> ShardedRuleServer::QueryPoint(
     if (!batches[s].centers.empty()) involved.push_back(s);
   }
 
+  // Health snapshot: a shard behind the delta sequence would answer from
+  // a stale graph, so it fails fast here and the reply degrades around it.
+  std::vector<char> healthy(k, 1);
+  {
+    MutexLock lock(graph_mu_);
+    for (uint32_t s = 0; s < k; ++s) {
+      healthy[s] = shard_acked_[s] == delta_sequence_ ? 1 : 0;
+    }
+  }
+
   std::vector<Status> statuses(involved.size(), Status::OK());
   std::vector<SessionReply> shard_replies(involved.size());
+  std::vector<uint64_t> retries(involved.size(), 0);
   auto run = [&](uint32_t idx) {
+    const uint32_t s = involved[idx];
+    if (healthy[s] == 0) {
+      statuses[idx] = Status::Unavailable(
+          "shard " + std::to_string(s) +
+          " is lagging behind the delta sequence");
+      return;
+    }
     SessionRequest sub;
-    sub.centers = std::move(batches[involved[idx]].centers);
+    sub.centers = std::move(batches[s].centers);
     sub.rules = selected;
     sub.require_consequent = request.require_consequent;
-    auto r = shards_[involved[idx]]->Query(sub);
-    if (r.ok()) {
-      shard_replies[idx] = std::move(r).value();
-    } else {
-      statuses[idx] = r.status();
-    }
+    statuses[idx] = CallWithRetry(
+        [&]() {
+          auto r = shards_[s]->Query(sub);
+          if (!r.ok()) return r.status();
+          shard_replies[idx] = std::move(r).value();
+          return Status::OK();
+        },
+        request.deadline_seconds, timer, &retries[idx]);
   };
   // Single-shard requests (the common point-lookup case under center
   // affinity) skip the router pool entirely and run on the caller.
@@ -193,13 +285,22 @@ Result<SessionReply> ShardedRuleServer::QueryPoint(
   } else if (!involved.empty()) {
     ParallelFor(*router_pool_, static_cast<uint32_t>(involved.size()), run);
   }
-  for (const Status& st : statuses) GPAR_RETURN_NOT_OK(st);
 
   SessionReply reply;
   reply.matched.assign(request.centers.size(), {});
   ServeStats stats;
   stats.requests = 1;
+  for (uint64_t r : retries) stats.retries += r;
   for (size_t bi = 0; bi < involved.size(); ++bi) {
+    if (!statuses[bi].ok()) {
+      if (!options_.degrade_on_shard_failure) return statuses[bi];
+      // Degrade: this shard's centers keep their empty matched rows —
+      // exactly what the failed_shards marker tells the caller to expect.
+      reply.degraded = true;
+      reply.failed_shards.push_back(involved[bi]);
+      ++stats.shards_failed;
+      continue;
+    }
     const ShardBatch& batch = batches[involved[bi]];
     SessionReply& sub = shard_replies[bi];
     for (size_t j = 0; j < batch.positions.size(); ++j) {
@@ -237,32 +338,60 @@ Result<SessionReply> ShardedRuleServer::QueryAll(
   sub.eta = request.eta;
   sub.require_consequent = request.require_consequent;
 
+  // Health snapshot, as in QueryPoint: lagging shards fail fast.
+  std::vector<char> healthy(k, 1);
+  {
+    MutexLock lock(graph_mu_);
+    for (uint32_t s = 0; s < k; ++s) {
+      healthy[s] = shard_acked_[s] == delta_sequence_ ? 1 : 0;
+    }
+  }
+
   std::vector<Status> statuses(k, Status::OK());
   std::vector<SessionReply> shard_replies(k);
+  std::vector<uint64_t> retries(k, 0);
   auto run = [&](uint32_t s) {
-    auto r = shards_[s]->Query(sub);
-    if (r.ok()) {
-      shard_replies[s] = std::move(r).value();
-    } else {
-      statuses[s] = r.status();
+    if (healthy[s] == 0) {
+      statuses[s] = Status::Unavailable(
+          "shard " + std::to_string(s) +
+          " is lagging behind the delta sequence");
+      return;
     }
+    statuses[s] = CallWithRetry(
+        [&]() {
+          auto r = shards_[s]->Query(sub);
+          if (!r.ok()) return r.status();
+          shard_replies[s] = std::move(r).value();
+          return Status::OK();
+        },
+        request.deadline_seconds, timer, &retries[s]);
   };
   if (k == 1) {
     run(0);
   } else {
     ParallelFor(*router_pool_, k, run);
   }
-  for (const Status& st : statuses) GPAR_RETURN_NOT_OK(st);
 
   // Gather: center ownership is disjoint, so the per-shard partial
   // supports sum to the global ones; confidences must be computed HERE,
   // from the global sums — shard-local confidences are meaningless.
+  // Failed shards contribute nothing: their owned centers keep empty
+  // matched rows and the sums cover the SURVIVING shards only (exact for
+  // survivors' centers, a lower bound globally).
   SessionReply reply;
   reply.matched.assign(candidates_.size(), {});
   reply.rule_evals.assign(records_.size(), {});
   ServeStats stats;
   stats.requests = 1;
+  for (uint64_t r : retries) stats.retries += r;
   for (uint32_t s = 0; s < k; ++s) {
+    if (!statuses[s].ok()) {
+      if (!options_.degrade_on_shard_failure) return statuses[s];
+      reply.degraded = true;
+      reply.failed_shards.push_back(s);
+      ++stats.shards_failed;
+      continue;
+    }
     SessionReply& sub_reply = shard_replies[s];
     const std::vector<NodeId>& owned = shards_[s]->candidates();
     for (size_t j = 0; j < owned.size(); ++j) {
@@ -303,15 +432,45 @@ Result<SessionReply> ShardedRuleServer::QueryAll(
 
 Result<DeltaStats> ShardedRuleServer::ApplyDelta(const GraphDelta& delta) {
   MutexLock writer(writer_mu_);
-  std::shared_ptr<const Graph> cur = graph_snapshot();
+  // Heal first: a lagging shard must not receive this batch on top of a
+  // gap (it would miss the intermediate invalidations). Shards that are
+  // still lagging afterwards are excluded from the ship below and stay
+  // degraded.
+  Status resync = ResyncLaggingShardsLocked();
+  (void)resync;
+  return ApplyDeltaLocked(delta, /*journal=*/true, /*replay_sequence=*/0);
+}
+
+Result<DeltaStats> ShardedRuleServer::ApplyDeltaLocked(
+    const GraphDelta& delta, bool journal, uint64_t replay_sequence) {
+  std::shared_ptr<const Graph> cur;
+  {
+    MutexLock lock(graph_mu_);
+    cur = graph_;
+  }
   Timer timer;
   DeltaStats ds;
+  // Replayed journal frames carry their own label dictionary (v3 wire);
+  // re-intern before patching so a frame minted after the snapshot was
+  // written still resolves. Live deltas have no defs — this is free.
+  GPAR_RETURN_NOT_OK(ApplyLabelDefs(delta, interner_.get()));
   GPAR_ASSIGN_OR_RETURN(GraphPatch patch, PatchGraph(*cur, delta));
   ds.edges_inserted = patch.edges_inserted;
   ds.duplicates_ignored = patch.duplicates;
   ds.edges_deleted = patch.edges_deleted;
   ds.deletes_missing = patch.missing;
   if (patch.applied.empty() && patch.applied_deletes.empty()) {
+    if (replay_sequence != 0) {
+      // Replayed no-op (the checkpoint floor marker): nothing to ship,
+      // but the sequence must advance — and shards that were current stay
+      // current over an empty frame.
+      MutexLock lock(graph_mu_);
+      for (uint64_t& acked : shard_acked_) {
+        if (acked == delta_sequence_) acked = replay_sequence;
+      }
+      delta_sequence_ = replay_sequence;
+      ds.sequence = replay_sequence;
+    }
     ds.seconds = timer.Seconds();
     return ds;
   }
@@ -324,42 +483,234 @@ Result<DeltaStats> ShardedRuleServer::ApplyDelta(const GraphDelta& delta) {
   GraphDelta wire;
   wire.inserts = std::move(patch.applied);
   wire.deletes = std::move(patch.applied_deletes);
-  const uint32_t k = num_shards();
-  std::vector<Status> statuses(k, Status::OK());
-  std::vector<DeltaStats> shard_stats(k);
+  // Frames name the labels they reference, so journal replay against an
+  // older snapshot re-interns live-minted labels instead of failing.
+  CollectLabelDefs(*interner_, &wire);
   {
     MutexLock lock(graph_mu_);
-    wire.sequence = ++delta_sequence_;
+    wire.sequence =
+        replay_sequence != 0 ? replay_sequence : delta_sequence_ + 1;
   }
+  if (journal && journal_ != nullptr) {
+    // Append-before-ship: on an append failure nothing has advanced and
+    // nothing was shipped, so the deployment is exactly as before.
+    const uint64_t bytes_before = journal_->size_bytes();
+    GPAR_RETURN_NOT_OK(journal_->Append(wire));
+    ds.journal_bytes = journal_->size_bytes() - bytes_before;
+  }
+  // The crash window recovery must close: the frame is journaled but not
+  // yet shipped or published. Replay applies it.
+  GPAR_FAILPOINT("serve.publish");
+
+  const uint32_t k = num_shards();
   const std::string bytes = wire.Serialize();
-  auto ship = [&](uint32_t s) {
-    auto r = shards_[s]->ApplyShardDelta(next, bytes);
-    if (r.ok()) {
-      shard_stats[s] = std::move(r).value();
-    } else {
-      statuses[s] = r.status();
+  std::vector<char> ship_to(k, 1);
+  {
+    MutexLock lock(graph_mu_);
+    for (uint32_t s = 0; s < k; ++s) {
+      ship_to[s] = shard_acked_[s] + 1 == wire.sequence ? 1 : 0;
     }
+  }
+  std::vector<Status> statuses(k, Status::OK());
+  std::vector<DeltaStats> shard_stats(k);
+  std::vector<uint64_t> retries(k, 0);
+  auto ship = [&](uint32_t s) {
+    if (ship_to[s] == 0) return;
+    statuses[s] = CallWithRetry(
+        [&]() {
+          auto r = shards_[s]->ApplyShardDelta(next, bytes);
+          if (!r.ok()) return r.status();
+          shard_stats[s] = std::move(r).value();
+          return Status::OK();
+        },
+        /*deadline_seconds=*/0, timer, &retries[s]);
   };
   if (k == 1) {
     ship(0);
   } else {
     ParallelFor(*router_pool_, k, ship);
   }
-  for (const Status& st : statuses) GPAR_RETURN_NOT_OK(st);
+
+  uint64_t total_retries = 0;
+  for (uint64_t r : retries) total_retries += r;
+  // Relaxed: pure monotonic counter off the query path, no ordering with
+  // other memory implied.
+  lifetime_.retries.fetch_add(total_retries, std::memory_order_relaxed);
+
+  if (!options_.degrade_on_shard_failure) {
+    for (uint32_t s = 0; s < k; ++s) {
+      // Strict mode: propagate the first ship failure without publishing.
+      // (A journaled frame stays journaled — the journal is the source of
+      // truth, and recovery replays it.)
+      if (ship_to[s] != 0) GPAR_RETURN_NOT_OK(statuses[s]);
+    }
+  }
 
   {
     MutexLock lock(graph_mu_);
     graph_ = next;
+    delta_sequence_ = wire.sequence;
+    for (uint32_t s = 0; s < k; ++s) {
+      if (ship_to[s] != 0 && statuses[s].ok()) {
+        shard_acked_[s] = wire.sequence;
+      }
+    }
+    for (uint64_t acked : shard_acked_) {
+      if (acked != wire.sequence) ++ds.shards_lagging;
+    }
   }
-  for (const DeltaStats& s : shard_stats) {
-    ds.memberships_invalidated += s.memberships_invalidated;
-    ds.qclass_invalidated += s.qclass_invalidated;
-    ds.sketches_refreshed += s.sketches_refreshed;
-    ds.members_extended += s.members_extended;
-    ds.wire_bytes += s.wire_bytes;
+  ds.sequence = wire.sequence;
+
+  // Keep the frame for pending-tail resync until every shard acked it,
+  // bounded: a shard lagging past the cap resyncs from the journal or not
+  // at all.
+  pending_.push_back(PendingFrame{wire.sequence, std::move(wire)});
+  {
+    MutexLock lock(graph_mu_);
+    uint64_t min_acked = delta_sequence_;
+    for (uint64_t acked : shard_acked_) min_acked = std::min(min_acked, acked);
+    while (!pending_.empty() && pending_.front().sequence <= min_acked) {
+      pending_.pop_front();
+    }
+  }
+  constexpr size_t kMaxPendingFrames = 4096;
+  while (pending_.size() > kMaxPendingFrames) pending_.pop_front();
+
+  for (uint32_t s = 0; s < k; ++s) {
+    if (ship_to[s] == 0 || !statuses[s].ok()) continue;
+    const DeltaStats& st = shard_stats[s];
+    ds.memberships_invalidated += st.memberships_invalidated;
+    ds.qclass_invalidated += st.qclass_invalidated;
+    ds.sketches_refreshed += st.sketches_refreshed;
+    ds.members_extended += st.members_extended;
+    ds.wire_bytes += st.wire_bytes;
   }
   ds.seconds = timer.Seconds();
   return ds;
+}
+
+Status ShardedRuleServer::ResyncLaggingShards() {
+  MutexLock writer(writer_mu_);
+  return ResyncLaggingShardsLocked();
+}
+
+Status ShardedRuleServer::ResyncLaggingShardsLocked() {
+  const uint32_t k = num_shards();
+  uint64_t cur = 0;
+  std::vector<uint64_t> acked;
+  std::shared_ptr<const Graph> g;
+  {
+    MutexLock lock(graph_mu_);
+    cur = delta_sequence_;
+    acked = shard_acked_;
+    g = graph_;
+  }
+  Status first_failure = Status::OK();
+  auto note = [&first_failure](Status st) {
+    if (first_failure.ok()) first_failure = std::move(st);
+  };
+  for (uint32_t s = 0; s < k; ++s) {
+    if (acked[s] >= cur) continue;
+    // Collect the frames this shard missed — exactly (acked, cur], every
+    // sequence accounted for. The journal (durable, survives restarts) is
+    // preferred; the in-memory pending tail covers frames a compaction
+    // already dropped. Floor markers are empty stand-ins for compacted
+    // frames, not the frames themselves, so they never count as coverage.
+    const uint64_t needed = cur - acked[s];
+    std::vector<const GraphDelta*> missed;
+    std::vector<GraphDelta> journal_frames;
+    auto covered = [&]() {
+      return missed.size() == needed &&
+             missed.front()->sequence == acked[s] + 1 &&
+             missed.back()->sequence == cur;
+    };
+    if (journal_ != nullptr) {
+      auto all = DeltaJournal::ReadAll(journal_->path());
+      if (all.ok()) {
+        journal_frames = std::move(all).value();
+        for (const GraphDelta& f : journal_frames) {
+          if (f.sequence > acked[s] && f.sequence <= cur &&
+              !(f.inserts.empty() && f.deletes.empty())) {
+            missed.push_back(&f);
+          }
+        }
+      }
+    }
+    if (missed.empty() || !covered()) {
+      missed.clear();
+      for (const PendingFrame& f : pending_) {
+        if (f.sequence > acked[s] && f.sequence <= cur) {
+          missed.push_back(&f.delta);
+        }
+      }
+    }
+    if (missed.empty() || !covered()) {
+      note(Status::Unavailable(
+          "shard " + std::to_string(s) + " cannot be resynced: frames (" +
+          std::to_string(acked[s]) + ", " + std::to_string(cur) +
+          "] are no longer available"));
+      continue;
+    }
+    // One merged catch-up batch at the current sequence, shipped with the
+    // current parent graph. Safe: the shard served nothing while lagging,
+    // so no intermediate state was ever observable, and the endpoint
+    // union (an edge inserted then deleted in the window contributes
+    // both) is exactly what its invalidation walk needs.
+    GraphDelta merged;
+    merged.sequence = cur;
+    for (const GraphDelta* f : missed) {
+      merged.inserts.insert(merged.inserts.end(), f->inserts.begin(),
+                            f->inserts.end());
+      merged.deletes.insert(merged.deletes.end(), f->deletes.begin(),
+                            f->deletes.end());
+    }
+    CollectLabelDefs(*interner_, &merged);
+    auto r = shards_[s]->ApplyShardDelta(g, merged.Serialize());
+    if (r.ok()) {
+      MutexLock lock(graph_mu_);
+      shard_acked_[s] = std::max(shard_acked_[s], cur);
+    } else {
+      note(r.status());
+    }
+  }
+  return first_failure;
+}
+
+Status ShardedRuleServer::AttachJournal(const std::string& path,
+                                        const DeltaJournalOptions& options,
+                                        JournalReplayStats* replay) {
+  MutexLock writer(writer_mu_);
+  if (journal_ != nullptr) {
+    return Status::InvalidArgument("a journal is already attached");
+  }
+  JournalReplayStats stats;
+  GPAR_ASSIGN_OR_RETURN(std::vector<GraphDelta> frames,
+                        DeltaJournal::ReadAll(path, &stats));
+  for (const GraphDelta& frame : frames) {
+    // Replay through the normal ship path, pinned to the journaled
+    // sequence (not re-journaled — these frames ARE the journal).
+    auto applied = ApplyDeltaLocked(frame, /*journal=*/false, frame.sequence);
+    if (!applied.ok()) return applied.status();
+  }
+  GPAR_ASSIGN_OR_RETURN(journal_, DeltaJournal::Open(path, options));
+  if (replay != nullptr) *replay = stats;
+  return Status::OK();
+}
+
+Status ShardedRuleServer::Checkpoint(const std::string& graph_snapshot_path) {
+  MutexLock writer(writer_mu_);
+  if (journal_ == nullptr) {
+    return Status::InvalidArgument("checkpoint requires an attached journal");
+  }
+  std::shared_ptr<const Graph> g;
+  {
+    MutexLock lock(graph_mu_);
+    g = graph_;
+  }
+  GPAR_RETURN_NOT_OK(WriteGraphSnapshotFile(*g, graph_snapshot_path));
+  // The snapshot now carries every journaled frame's effects; compaction
+  // keeps only the sequence floor.
+  return journal_->Compact();
 }
 
 }  // namespace gpar

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -11,6 +13,7 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
+#include "common/timer.h"
 #include "graph/graph.h"
 #include "graph/graph_delta.h"
 #include "parallel/thread_pool.h"
@@ -30,6 +33,19 @@ struct ShardedRuleServerOptions {
   uint32_t router_threads = 0;
   /// Per-shard serving options (worker threads, cache size, ...).
   RuleServerOptions shard_options;
+  /// Bounded retry of TRANSIENT shard errors (Unavailable / IoError) on
+  /// the query and delta-ship paths; other codes propagate immediately.
+  uint32_t max_shard_retries = 2;
+  /// Backoff before the first retry, doubling per attempt. The retry loop
+  /// never sleeps past a request's `deadline_seconds`.
+  uint32_t retry_backoff_micros = 200;
+  /// When a shard keeps failing: answer from the surviving shards with
+  /// `SessionReply::degraded` set (owned-center supports of survivors stay
+  /// exact) instead of failing the request; a shard that misses a delta is
+  /// likewise left lagging — excluded from queries until a journal/pending
+  /// resync catches it up — rather than failing the `ApplyDelta`. False
+  /// restores strict all-or-nothing semantics.
+  bool degrade_on_shard_failure = true;
 };
 
 /// A sharded serving deployment: the graph is split once at load with the
@@ -69,6 +85,18 @@ class ShardedRuleServer : public ServeSession {
       Graph g, std::vector<RuleRecord> rules,
       const ShardedRuleServerOptions& options = {});
 
+  /// Crash recovery: loads the snapshot pair, then attaches the journal at
+  /// `journal_path` — replaying its valid frame prefix through the normal
+  /// ship path, so the rebuilt deployment is result-identical to one that
+  /// applied those deltas and never crashed.
+  static Result<std::unique_ptr<ShardedRuleServer>> Recover(
+      const std::string& graph_snapshot_path,
+      const std::string& rules_snapshot_path,
+      const std::string& journal_path,
+      const ShardedRuleServerOptions& options = {},
+      const DeltaJournalOptions& journal_options = {},
+      JournalReplayStats* replay = nullptr);
+
   ShardedRuleServer(const ShardedRuleServer&) = delete;
   ShardedRuleServer& operator=(const ShardedRuleServer&) = delete;
 
@@ -76,6 +104,10 @@ class ShardedRuleServer : public ServeSession {
 
   Result<SessionReply> Query(const SessionRequest& request) override;
   Result<DeltaStats> ApplyDelta(const GraphDelta& delta) override;
+  Status AttachJournal(const std::string& path,
+                       const DeltaJournalOptions& options = {},
+                       JournalReplayStats* replay = nullptr) override;
+  Status Checkpoint(const std::string& graph_snapshot_path) override;
   std::shared_ptr<const Graph> graph_snapshot() const override;
   const std::vector<RuleRecord>& rules() const override { return records_; }
   const std::vector<NodeId>& candidates() const override {
@@ -98,6 +130,20 @@ class ShardedRuleServer : public ServeSession {
   uint32_t OwnerOf(NodeId center) const;
   /// Sequence number stamped on the next shipped delta batch minus one.
   uint64_t delta_sequence() const GPAR_EXCLUDES(graph_mu_);
+  /// Shards currently behind `delta_sequence()` (they answer no queries —
+  /// the router degrades around them — until a resync catches them up).
+  size_t lagging_shards() const GPAR_EXCLUDES(graph_mu_);
+  bool journal_attached() const GPAR_EXCLUDES(writer_mu_);
+
+  /// Replays the frames a lagging shard missed — from the attached
+  /// journal when possible, else from the in-memory pending tail — merged
+  /// into one catch-up batch shipped with the current parent graph. Safe
+  /// because a lagging shard serves nothing until it is current again, so
+  /// it never exposes an intermediate state. Called automatically at the
+  /// top of every `ApplyDelta`; public so operators (and tests) can heal a
+  /// deployment without waiting for the next delta. Returns the first
+  /// resync failure, with the still-lagging shards left lagging.
+  Status ResyncLaggingShards() GPAR_EXCLUDES(writer_mu_);
 
  private:
   explicit ShardedRuleServer(const ShardedRuleServerOptions& options);
@@ -106,6 +152,19 @@ class ShardedRuleServer : public ServeSession {
                                   const std::vector<uint32_t>& selected);
   Result<SessionReply> QueryAll(const SessionRequest& request,
                                 const std::vector<uint32_t>& selected);
+  /// The body of `ApplyDelta`. `journal` is false on the replay path;
+  /// `replay_sequence`, when nonzero, pins the batch's sequence to a
+  /// journaled frame's instead of stamping the next one.
+  Result<DeltaStats> ApplyDeltaLocked(const GraphDelta& delta, bool journal,
+                                      uint64_t replay_sequence)
+      GPAR_REQUIRES(writer_mu_);
+  Status ResyncLaggingShardsLocked() GPAR_REQUIRES(writer_mu_);
+  /// Runs `call` under the retry policy: transient failures back off
+  /// (doubling, bounded by `deadline_seconds` on `timer` when positive)
+  /// and retry up to `max_shard_retries` times, counting into `retries`.
+  Status CallWithRetry(const std::function<Status()>& call,
+                       double deadline_seconds, const Timer& timer,
+                       uint64_t* retries) const;
 
   ShardedRuleServerOptions options_;
   std::shared_ptr<Interner> interner_;
@@ -123,8 +182,24 @@ class ShardedRuleServer : public ServeSession {
 
   mutable Mutex graph_mu_;
   std::shared_ptr<const Graph> graph_ GPAR_GUARDED_BY(graph_mu_);
-  Mutex writer_mu_;  ///< serializes ApplyDelta
+  /// Serializes ApplyDelta / AttachJournal / Checkpoint / resync.
+  mutable Mutex writer_mu_;
   uint64_t delta_sequence_ GPAR_GUARDED_BY(graph_mu_) = 0;
+  /// Per-shard last acknowledged batch sequence. A shard is healthy iff
+  /// its entry equals `delta_sequence_`; queries route around the rest.
+  std::vector<uint64_t> shard_acked_ GPAR_GUARDED_BY(graph_mu_);
+  /// Attach-journal mode: batches are appended here (applied mutations,
+  /// stamped sequence) BEFORE being shipped to any shard.
+  std::unique_ptr<DeltaJournal> journal_ GPAR_GUARDED_BY(writer_mu_);
+  /// Recent shipped batches kept in memory for journal-free resync (and
+  /// for frames a compaction already dropped from the journal). Pruned
+  /// once every shard has acked; capped — a shard that lags past the cap
+  /// with no journal coverage stays degraded until the process restarts.
+  struct PendingFrame {
+    uint64_t sequence = 0;
+    GraphDelta delta;
+  };
+  std::deque<PendingFrame> pending_ GPAR_GUARDED_BY(writer_mu_);
 
   /// Lifetime counters are lock-free (relaxed atomics; latency in
   /// microseconds): the router adds one entry per request, and a shared
@@ -134,6 +209,8 @@ class ShardedRuleServer : public ServeSession {
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> cache_probes{0};
     std::atomic<uint64_t> centers_evaluated{0};
+    std::atomic<uint64_t> shards_failed{0};
+    std::atomic<uint64_t> retries{0};
     std::atomic<uint64_t> latency_micros{0};
   };
   AtomicStats lifetime_;

@@ -1,0 +1,164 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace gpar {
+namespace {
+
+/// Every test leaves the process-wide registry clean — a leaked armed site
+/// would leak injected failures into unrelated tests in this binary.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+/// Stand-in for an instrumented function: one failpoint site, then OK.
+Status GuardedOp() {
+  GPAR_FAILPOINT("test.site");
+  return Status::OK();
+}
+
+/// Stand-in for an instrumented write: reports how many of `size` bytes
+/// the torn-write budget let through.
+size_t GuardedWrite(size_t size) {
+  return GPAR_FAILPOINT_TORN("test.torn", size);
+}
+
+TEST_F(FailpointTest, UnarmedSitesPassAndCostNothing) {
+  EXPECT_FALSE(FailpointsActive());
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_EQ(GuardedWrite(100), 100u);
+  // The pass was never counted: the registry was not even consulted.
+  EXPECT_EQ(FailpointRegistry::Instance().Passes("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedSiteInjectsConfiguredStatus) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kIoError;
+  spec.message = "disk on fire";
+  FailpointRegistry::Instance().Arm("test.site", spec);
+  EXPECT_TRUE(FailpointsActive());
+
+  Status st = GuardedOp();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("test.site"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("disk on fire"), std::string::npos) << st;
+
+  // Default fires = 1: the site is quiet again.
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_EQ(FailpointRegistry::Instance().Fires("test.site"), 1u);
+  EXPECT_EQ(FailpointRegistry::Instance().Passes("test.site"), 2u);
+
+  FailpointRegistry::Instance().Disarm("test.site");
+  EXPECT_FALSE(FailpointsActive());
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+TEST_F(FailpointTest, SkipAndFiresWindowTheInjection) {
+  FailpointSpec spec;
+  spec.skip = 2;
+  spec.fires = 3;
+  FailpointRegistry::Instance().Arm("test.site", spec);
+  std::vector<bool> ok;
+  for (int i = 0; i < 8; ++i) ok.push_back(GuardedOp().ok());
+  EXPECT_EQ(ok, (std::vector<bool>{true, true, false, false, false, true,
+                                   true, true}));
+  EXPECT_EQ(FailpointRegistry::Instance().Fires("test.site"), 3u);
+  EXPECT_EQ(FailpointRegistry::Instance().Passes("test.site"), 8u);
+}
+
+TEST_F(FailpointTest, ZeroFiresMeansPermanentFailure) {
+  FailpointSpec spec;
+  spec.fires = 0;
+  FailpointRegistry::Instance().Arm("test.site", spec);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(GuardedOp().ok());
+}
+
+TEST_F(FailpointTest, RearmResetsCounters) {
+  FailpointSpec spec;
+  FailpointRegistry::Instance().Arm("test.site", spec);
+  EXPECT_FALSE(GuardedOp().ok());
+  EXPECT_TRUE(GuardedOp().ok());  // exhausted
+  FailpointRegistry::Instance().Arm("test.site", spec);
+  EXPECT_FALSE(GuardedOp().ok());  // fires again from a fresh counter
+  EXPECT_EQ(FailpointRegistry::Instance().Passes("test.site"), 1u);
+}
+
+TEST_F(FailpointTest, SeededProbabilityIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    FailpointSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    spec.fires = 0;  // every elected pass fires
+    FailpointRegistry::Instance().Arm("test.site", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!GuardedOp().ok());
+    FailpointRegistry::Instance().Disarm("test.site");
+    return fired;
+  };
+  std::vector<bool> a = run(7);
+  std::vector<bool> b = run(7);
+  EXPECT_EQ(a, b);  // same seed, same fire pattern — replays exactly
+
+  // A fair coin over 64 passes virtually surely fires at least once and
+  // passes at least once.
+  size_t fires = 0;
+  for (bool f : a) fires += f;
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+
+  std::vector<bool> c = run(8);
+  EXPECT_NE(a, c);  // (with overwhelming probability for these seeds)
+}
+
+TEST_F(FailpointTest, OkCodeInjectsLatencyWithoutFailing) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kOk;
+  spec.latency_micros = 20000;
+  FailpointRegistry::Instance().Arm("test.site", spec);
+  Timer t;
+  EXPECT_TRUE(GuardedOp().ok());
+  EXPECT_GE(t.Micros(), 15000);  // sleep granularity slack
+  EXPECT_EQ(FailpointRegistry::Instance().Fires("test.site"), 1u);
+}
+
+TEST_F(FailpointTest, TornWriteBudgetIsAlwaysGenuinelyTorn) {
+  FailpointSpec spec;
+  spec.torn_bytes = 10;
+  spec.fires = 0;
+  FailpointRegistry::Instance().Arm("test.torn", spec);
+  EXPECT_EQ(GuardedWrite(100), 10u);
+  // Clamped below the full size even when the budget would cover it.
+  EXPECT_EQ(GuardedWrite(5), 4u);
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(GuardedWrite(100), 100u);
+}
+
+TEST_F(FailpointTest, NonTornSpecDoesNotTearWrites) {
+  // A plain error spec on a torn site leaves the byte budget whole — the
+  // torn macro only tears when torn_bytes >= 0.
+  FailpointSpec spec;
+  spec.fires = 0;
+  FailpointRegistry::Instance().Arm("test.torn", spec);
+  EXPECT_EQ(GuardedWrite(100), 100u);
+}
+
+TEST_F(FailpointTest, DisarmAllQuiescesEverySite) {
+  FailpointSpec spec;
+  spec.fires = 0;
+  FailpointRegistry::Instance().Arm("test.site", spec);
+  FailpointRegistry::Instance().Arm("test.other", spec);
+  EXPECT_TRUE(FailpointsActive());
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_FALSE(FailpointsActive());
+  EXPECT_TRUE(GuardedOp().ok());
+}
+
+}  // namespace
+}  // namespace gpar

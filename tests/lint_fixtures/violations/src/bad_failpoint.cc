@@ -1,0 +1,12 @@
+// Seeded [failpoint-site] violation: a registered failpoint site whose
+// name appears in no test under tests/ — an uninjectable failure path.
+#include "common/failpoint.h"
+
+namespace gpar {
+
+Status UntestedGuardedOp() {
+  GPAR_FAILPOINT("fixture.untested_site");
+  return Status::OK();
+}
+
+}  // namespace gpar

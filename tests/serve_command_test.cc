@@ -101,6 +101,27 @@ TEST(ServeCommandTest, DeltaDeleteSyntax) {
   EXPECT_EQ(c.deletes[1], (TextEdgeDelete{5, "knows", 6}));
 }
 
+TEST(ServeCommandTest, CheckpointCommand) {
+  // Bare checkpoint: path left empty — the serve loop substitutes the
+  // loaded snapshot path.
+  ServeCommand c = MustParse("checkpoint");
+  EXPECT_EQ(c.kind, ServeCommand::Kind::kCheckpoint);
+  EXPECT_TRUE(c.path.empty());
+
+  c = MustParse("checkpoint /tmp/fresh.snap");
+  EXPECT_EQ(c.kind, ServeCommand::Kind::kCheckpoint);
+  EXPECT_EQ(c.path, "/tmp/fresh.snap");
+  EXPECT_NE(std::string(ServeCommandHelp()).find("checkpoint"),
+            std::string::npos);
+}
+
+TEST(ServeCommandTest, RecoverCommand) {
+  ServeCommand c = MustParse("recover");
+  EXPECT_EQ(c.kind, ServeCommand::Kind::kRecover);
+  EXPECT_NE(std::string(ServeCommandHelp()).find("recover"),
+            std::string::npos);
+}
+
 TEST(ServeCommandTest, MalformedInputsNameTheOffendingToken) {
   ExpectMalformed("id", "at least one center");
   ExpectMalformed("id x7", "center must be a node id, got 'x7'");
@@ -128,6 +149,8 @@ TEST(ServeCommandTest, MalformedInputsNameTheOffendingToken) {
                   "(src, elabel, dst) triples");
   ExpectMalformed("delta - 1 follows z", "(src, elabel, dst) triples");
   ExpectMalformed("stats now", "takes no arguments, got 'now'");
+  ExpectMalformed("checkpoint a b", "takes at most one path, got 'b'");
+  ExpectMalformed("recover now", "takes no arguments, got 'now'");
   ExpectMalformed("frobnicate", "unknown command 'frobnicate'");
 }
 

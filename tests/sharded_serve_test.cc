@@ -177,7 +177,8 @@ TEST(ShardedServeEquivalence, ColdWarmAndDeltaMatchSingleAndBatch) {
 
     GraphDelta delta{.sequence = 0,
                      .inserts = MakeDelta(w.graph, seed * 977 + 5, 6),
-                     .deletes = {}};
+                     .deletes = {},
+                     .label_defs = {}};
     auto patchref = PatchGraphWithInserts(w.graph, delta);
     ASSERT_TRUE(patchref.ok());
     EipResult batch_patched =
@@ -440,8 +441,10 @@ TEST(ShardedServeEquivalence, ShardSeamRejectsWrongDeltaEntryPoint) {
 
   // A shard refuses direct ApplyDelta: deltas come from the router.
   auto& shard = const_cast<RuleServer&>((*server)->shard(0));
-  GraphDelta delta{
-      .sequence = 1, .inserts = MakeDelta(w.graph, 7, 2), .deletes = {}};
+  GraphDelta delta{.sequence = 1,
+                   .inserts = MakeDelta(w.graph, 7, 2),
+                   .deletes = {},
+                   .label_defs = {}};
   EXPECT_FALSE(shard.ApplyDelta(delta).ok());
 
   // A non-shard server refuses the shard-side entry point.

@@ -424,6 +424,78 @@ TEST(GraphDeltaTest, WireRoundTripV2) {
   EXPECT_EQ(*back2, wipe);
 }
 
+TEST(GraphDeltaTest, WireRoundTripV3LabelDefs) {
+  GraphDelta delta;
+  delta.sequence = 7;
+  delta.inserts = {{3, 1, 9}, {17, 5, 4}};
+  delta.label_defs = {{1, "knows"}, {5, "follows"}};
+  const std::string bytes = delta.Serialize();
+  // Any label defs promote the frame to v3, even without deletes.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), 3u);
+
+  auto back = GraphDelta::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, delta);
+
+  // Defs + deletes ride in one v3 frame.
+  delta.deletes = {{8, 1, 5}};
+  auto back2 = GraphDelta::Deserialize(delta.Serialize());
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(*back2, delta);
+}
+
+TEST(GraphDeltaTest, LabelDefsCollectAndReintern) {
+  Interner live;
+  const LabelId a = live.Intern("a");
+  const LabelId b = live.Intern("b");
+  const LabelId minted = live.Intern("minted_live");
+
+  GraphDelta delta;
+  delta.inserts = {{0, minted, 1}, {2, a, 3}, {4, minted, 5}};
+  delta.deletes = {{6, b, 7}};
+  CollectLabelDefs(live, &delta);
+  ASSERT_EQ(delta.label_defs.size(), 3u);  // distinct ids, sorted
+  EXPECT_EQ(delta.label_defs[0], (LabelDef{a, "a"}));
+  EXPECT_EQ(delta.label_defs[1], (LabelDef{b, "b"}));
+  EXPECT_EQ(delta.label_defs[2], (LabelDef{minted, "minted_live"}));
+
+  // A dictionary from an older snapshot (no "minted_live") learns it.
+  Interner older;
+  older.Intern("a");
+  older.Intern("b");
+  ASSERT_TRUE(ApplyLabelDefs(delta, &older).ok());
+  EXPECT_EQ(older.Lookup("minted_live"), minted);
+  // Idempotent: everything now verifies as a no-op.
+  ASSERT_TRUE(ApplyLabelDefs(delta, &older).ok());
+  EXPECT_EQ(older.size(), live.size());
+
+  // A name clash on an existing id is data corruption, not interning.
+  Interner clash;
+  clash.Intern("a");
+  clash.Intern("NOT_b");
+  EXPECT_FALSE(ApplyLabelDefs(delta, &clash).ok());
+
+  // In-order defs may extend the dictionary by more than one id (a frame
+  // that minted several labels) — but a def that SKIPS ids cannot come
+  // from in-order replay.
+  Interner fresh;
+  ASSERT_TRUE(ApplyLabelDefs(delta, &fresh).ok());
+  EXPECT_EQ(fresh.size(), 3u);
+  GraphDelta skipper;
+  skipper.label_defs = {{2, "minted_live"}};
+  Interner gap;
+  gap.Intern("a");
+  EXPECT_FALSE(ApplyLabelDefs(skipper, &gap).ok());
+
+  // A name already interned under a different id is corruption too.
+  GraphDelta dup;
+  dup.label_defs = {{2, "a"}};
+  Interner two;
+  two.Intern("a");
+  two.Intern("b");
+  EXPECT_FALSE(ApplyLabelDefs(dup, &two).ok());
+}
+
 TEST(GraphDeltaTest, WireV1BackCompat) {
   // Pure-insert batches keep the v1 framing byte for byte — archived PR 5/6
   // frames and pre-deletion consumers interoperate in both directions.

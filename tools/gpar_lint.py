@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """gpar_lint: repo-specific static checks clang cannot express.
 
-Four rules, each encoding a project invariant that has bitten (or would
+Five rules, each encoding a project invariant that has bitten (or would
 bite) the concurrent serving tier:
 
   [atomic-order]   Every std::atomic access through .load/.store/.exchange/
@@ -25,6 +25,12 @@ bite) the concurrent serving tier:
   [bench-json]     Every BENCH_*.json artifact name mentioned by a bench
                    emitter (bench/*.cc) must be registered in
                    tools/run_bench.sh, or CI quietly stops tracking it.
+
+  [failpoint-site] Every GPAR_FAILPOINT / GPAR_FAILPOINT_TORN site name in
+                   src/ must appear in at least one test in tests/*.cc. An
+                   untested failpoint is an untested failure path — the
+                   whole point of registering the site was to inject faults
+                   through it.
 
 Usage:
   tools/gpar_lint.py [--root DIR]
@@ -56,6 +62,7 @@ NAKED_PRIMITIVE_RE = re.compile(
 NAKED_INCLUDE_RE = re.compile(r'#\s*include\s*<(mutex|condition_variable|shared_mutex)>')
 BOOL_FIELD_RE = re.compile(r"^\s*bool\s+(\w+)\s*=")
 BENCH_JSON_RE = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
+FAILPOINT_SITE_RE = re.compile(r'\bGPAR_FAILPOINT(?:_TORN)?\(\s*"([^"]+)"')
 
 # Files allowed to touch the raw primitives: the annotated wrappers
 # themselves (and the macro header they depend on).
@@ -221,6 +228,27 @@ class Linter:
                             "tools/run_bench.sh",
                         )
 
+    # -- rule: failpoint-site ----------------------------------------------
+
+    def check_failpoint_sites(self) -> None:
+        test_dir = self.root / "tests"
+        test_text = "".join(
+            p.read_text(encoding="utf-8", errors="replace")
+            for p in sorted(test_dir.glob("*.cc"))
+        ) if test_dir.is_dir() else ""
+        for path in self._source_files("src"):
+            if path.name in ("failpoint.h", "failpoint.cc"):
+                continue  # the registry itself, not an instrumented site
+            for i, line in enumerate(self._read_lines(path)):
+                for site in FAILPOINT_SITE_RE.findall(line):
+                    if f'"{site}"' not in test_text:
+                        self.report(
+                            path, i + 1, "failpoint-site",
+                            f'failpoint site "{site}" is never armed by any '
+                            "test in tests/*.cc — every registered site "
+                            "needs fault-injection coverage",
+                        )
+
     # -- driver ------------------------------------------------------------
 
     def run(self) -> int:
@@ -228,6 +256,7 @@ class Linter:
         self.check_naked_mutexes()
         self.check_ablation_flags()
         self.check_bench_registration()
+        self.check_failpoint_sites()
         for finding in self.findings:
             print(finding)
         if self.findings:

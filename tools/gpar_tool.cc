@@ -11,13 +11,19 @@
 //                      [--rules rules.txt --rules-out rules.snap]
 //   gpar_tool serve    --graph-snapshot g.snap --rules-snapshot rules.snap
 //                      [--workers 4 --cache 1048576 --shards 1 --strict 0]
+//                      [--journal deltas.wal]
 //                      (query loop on stdin; type `help` at the prompt;
 //                      --shards k > 1 serves from a k-shard deployment;
 //                      --strict 1 exits with code 3 on the first malformed
-//                      or failed query instead of continuing)
+//                      or failed query instead of continuing; --journal
+//                      attaches a write-ahead delta journal — existing
+//                      frames replay at startup, every later delta is
+//                      appended before it is published, and the
+//                      `checkpoint [path]` / `recover` loop commands
+//                      snapshot+compact / rebuild from snapshot+journal)
 //
 // Exit codes: 0 ok, 1 load/runtime error, 2 usage error, 3 malformed query
-// in --strict mode.
+// or failed checkpoint/recover in --strict mode.
 //
 // Graphs use the `v/e` text format of graph_io.h; rule files use the
 // Gpar::SerializeSet format (pattern codec blocks separated by `---`);
@@ -323,34 +329,62 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   opt.cache_capacity = NumFlagOr<size_t>(flags, "cache", 1048576);
   const uint32_t shards = NumFlagOr<uint32_t>(flags, "shards", 1);
   const bool strict = NumFlagOr<int>(flags, "strict", 0) != 0;
-  const std::string graph_path = RequireFlag(flags, "graph-snapshot");
+  // Not const: `checkpoint <path>` moves the snapshot-of-record there (the
+  // journal is compacted against the NEW snapshot, so a later `recover`
+  // must rebuild from it — the original file no longer pairs with the
+  // journal's sequence floor).
+  std::string graph_path = RequireFlag(flags, "graph-snapshot");
   const std::string rules_path = RequireFlag(flags, "rules-snapshot");
+  const std::string journal_path = FlagOr(flags, "journal", "");
 
   std::unique_ptr<RuleServer> single;
   std::unique_ptr<ShardedRuleServer> sharded;
   ServeSession* session = nullptr;
-  if (shards > 1) {
-    ShardedRuleServerOptions sopt;
-    sopt.num_shards = shards;
-    sopt.shard_options = opt;
-    auto s = ShardedRuleServer::Load(graph_path, rules_path, sopt);
-    if (!s.ok()) {
-      std::fprintf(stderr, "cannot load server: %s\n",
-                   s.status().ToString().c_str());
-      return 1;
+  // Builds (or, for `recover`, rebuilds) the session from the snapshot
+  // pair, then attaches the journal — which replays its frames, so the
+  // loaded state is snapshot + journal, not just the snapshot.
+  auto load_session = [&]() -> bool {
+    single.reset();
+    sharded.reset();
+    session = nullptr;
+    if (shards > 1) {
+      ShardedRuleServerOptions sopt;
+      sopt.num_shards = shards;
+      sopt.shard_options = opt;
+      auto s = ShardedRuleServer::Load(graph_path, rules_path, sopt);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cannot load server: %s\n",
+                     s.status().ToString().c_str());
+        return false;
+      }
+      sharded = std::move(s).value();
+      session = sharded.get();
+    } else {
+      auto s = RuleServer::Load(graph_path, rules_path, opt);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cannot load server: %s\n",
+                     s.status().ToString().c_str());
+        return false;
+      }
+      single = std::move(s).value();
+      session = single.get();
     }
-    sharded = std::move(s).value();
-    session = sharded.get();
-  } else {
-    auto s = RuleServer::Load(graph_path, rules_path, opt);
-    if (!s.ok()) {
-      std::fprintf(stderr, "cannot load server: %s\n",
-                   s.status().ToString().c_str());
-      return 1;
+    if (!journal_path.empty()) {
+      JournalReplayStats replay;
+      Status st = session->AttachJournal(journal_path, {}, &replay);
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot attach journal %s: %s\n",
+                     journal_path.c_str(), st.ToString().c_str());
+        return false;
+      }
+      std::printf("journal %s: replayed %zu frames to sequence %llu%s\n",
+                  journal_path.c_str(), replay.frames,
+                  static_cast<unsigned long long>(replay.last_sequence),
+                  replay.tail_truncated ? " (torn tail truncated)" : "");
     }
-    single = std::move(s).value();
-    session = single.get();
-  }
+    return true;
+  };
+  if (!load_session()) return 1;
 
   {
     const auto g = session->graph_snapshot();
@@ -459,6 +493,33 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
             static_cast<unsigned long long>(ds->members_extended),
             static_cast<unsigned long long>(ds->wire_bytes),
             ds->seconds * 1e3);
+        break;
+      }
+      case ServeCommand::Kind::kCheckpoint: {
+        const std::string out =
+            parsed->path.empty() ? graph_path : parsed->path;
+        Status st = session->Checkpoint(out);
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+          if (strict) return 3;
+          break;
+        }
+        std::printf("  checkpointed graph to %s, journal compacted\n",
+                    out.c_str());
+        graph_path = out;
+        break;
+      }
+      case ServeCommand::Kind::kRecover: {
+        if (journal_path.empty()) {
+          std::printf("error: recover requires --journal\n");
+          if (strict) return 3;
+          break;
+        }
+        // Simulated crash recovery: drop the live session and rebuild it
+        // from snapshot + journal replay. A failed rebuild is fatal — there
+        // is no session left to serve from.
+        if (!load_session()) return 1;
+        std::printf("  recovered\n");
         break;
       }
     }

@@ -28,9 +28,16 @@
 # rebuild under a CDC-style insert+delete churn stream, plus the fraction
 # of (rule, center) cache entries each batch invalidates.
 #
+# A seventh JSON report (RECOVERY_JSON) comes from a CI-sized exp8_recovery
+# run: the write-ahead journal's ApplyDelta overhead (off / journal /
+# fsync), journal replay throughput through RuleServer::Recover, and
+# degraded-mode QPS of a k=4 sharded deployment with failpoint-injected
+# shard loss.
+#
 # Usage:
 #   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON] [PARTITION_JSON] \
-#                      [SERVE_JSON] [SHARDED_JSON] [CHURN_JSON]
+#                      [SERVE_JSON] [SHARDED_JSON] [CHURN_JSON] \
+#                      [RECOVERY_JSON]
 #
 # Environment:
 #   GPAR_BENCH_BIN_DIR   directory holding the bench binaries
@@ -49,6 +56,7 @@ partition_out="${3:-BENCH_partition.json}"
 serve_out="${4:-BENCH_serve.json}"
 sharded_out="${5:-BENCH_sharded_serve.json}"
 churn_out="${6:-BENCH_delta_churn.json}"
+recovery_out="${7:-BENCH_recovery.json}"
 bin_dir="${GPAR_BENCH_BIN_DIR:-build/release/bench}"
 
 if [[ ! -d "${bin_dir}" ]]; then
@@ -106,6 +114,16 @@ if [[ -x "${churn_bin}" ]]; then
     "${churn_bin}"
 else
   echo "warning: ${churn_bin} not built; skipping ${churn_out}" >&2
+fi
+
+# Fault-tolerance sweep (journal overhead, replay throughput, degraded QPS).
+recovery_bin="${bin_dir}/exp8_recovery"
+if [[ -x "${recovery_bin}" ]]; then
+  echo "== exp8_recovery -> ${recovery_out}" >&2
+  GPAR_BENCH_SMALL="${GPAR_BENCH_SMALL:-1}" GPAR_BENCH_JSON="${recovery_out}" \
+    "${recovery_bin}"
+else
+  echo "warning: ${recovery_bin} not built; skipping ${recovery_out}" >&2
 fi
 
 shopt -s nullglob
