@@ -52,6 +52,13 @@ class ByteReader {
  public:
   explicit ByteReader(std::string_view data) : data_(data) {}
 
+  bool ReadU8(uint8_t* v) {
+    if (data_.size() - pos_ < 1) return false;
+    *v = static_cast<unsigned char>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+
   bool ReadU32(uint32_t* v) {
     if (data_.size() - pos_ < 4) return false;
     uint32_t out = 0;

@@ -351,4 +351,38 @@ std::vector<std::pair<NodeId, uint32_t>> NodesWithinRadiusOfAny(
   return out;
 }
 
+std::vector<std::pair<NodeId, uint32_t>> DeltaAffectedRegion(
+    const Graph& old_g, const Graph& new_g,
+    std::span<const EdgeInsert> applied,
+    std::span<const EdgeDelete> applied_deletes, uint32_t radius) {
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * (applied.size() + applied_deletes.size()));
+  for (const EdgeInsert& e : applied) {
+    endpoints.push_back(e.src);
+    endpoints.push_back(e.dst);
+  }
+  for (const EdgeDelete& e : applied_deletes) {
+    endpoints.push_back(e.src);
+    endpoints.push_back(e.dst);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+
+  auto touched = NodesWithinRadiusOfAny(new_g, endpoints, radius);
+  if (!applied_deletes.empty()) {
+    auto before = NodesWithinRadiusOfAny(old_g, endpoints, radius);
+    touched.insert(touched.end(), before.begin(), before.end());
+  }
+  // Sorting pairs lexicographically keeps the minimum distance first among
+  // duplicates, so the unique pass below retains it.
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                touched.end());
+  return touched;
+}
+
 }  // namespace gpar

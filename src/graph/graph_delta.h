@@ -178,6 +178,26 @@ Result<GraphPatch> PatchGraphWithInserts(const Graph& g,
 std::vector<std::pair<NodeId, uint32_t>> NodesWithinRadiusOfAny(
     const Graph& g, std::span<const NodeId> sources, uint32_t radius);
 
+/// The delta-affected region at radius `radius`: every node whose
+/// r-neighborhood G_r(v) (r <= radius) can differ between `old_g` and
+/// `new_g` after applying exactly `applied` + `applied_deletes`, paired
+/// with its minimum distance to a touched endpoint. By the locality
+/// property (Section 5.1) these are the only nodes whose membership in any
+/// pattern of eval radius <= `radius` can have changed — the shared
+/// invalidation/re-probe frontier of the serving tier (cache invalidation,
+/// shard view extension) and the rule maintainer (evidence patching).
+///
+/// The BFS runs on the patched graph and — when deletes are present — on
+/// the pre-delete graph too, unioned at minimum distance: a center whose
+/// only path to a deleted edge ran THROUGH that edge is beyond `radius` on
+/// the patched graph but its d-ball still lost the edge (non-monotone
+/// reach). Pure-insert batches skip the second sweep (the patched graph
+/// contains every old path). Pairs come back sorted by node id.
+std::vector<std::pair<NodeId, uint32_t>> DeltaAffectedRegion(
+    const Graph& old_g, const Graph& new_g,
+    std::span<const EdgeInsert> applied,
+    std::span<const EdgeDelete> applied_deletes, uint32_t radius);
+
 }  // namespace gpar
 
 #endif  // GPAR_GRAPH_GRAPH_DELTA_H_

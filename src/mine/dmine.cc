@@ -12,6 +12,7 @@
 #include "pattern/bisimulation.h"
 #include "pattern/pattern_ops.h"
 #include "rule/diversity.h"
+#include "rule/match_delta.h"
 #include "rule/metrics.h"
 
 namespace gpar {
@@ -104,6 +105,8 @@ struct WorkerState {
   uint64_t supp_qbar_local = 0;
   uint64_t exists_calls = 0;
   uint64_t centers_skipped = 0;
+  uint64_t evidence_bytes_full = 0;
+  uint64_t evidence_bytes_delta = 0;
 };
 
 /// Local statistics for one candidate GPAR at one fragment.
@@ -114,10 +117,23 @@ struct LocalStats {
   bool extendable = false;
   std::vector<NodeId> matches_global;
   // Parent sets handed to this candidate's own extensions (collected only
-  // under enable_parent_prune; ascending center indices).
+  // under enable_parent_prune; ascending center indices). Scratch while the
+  // worker probes; the message to the coordinator ships the delta forms.
   std::vector<uint32_t> pr_centers;
   std::vector<uint32_t> ant_centers;
+  // The lineage sets as shipped: deltas against the pool each side was
+  // probed from (anti-monotone subsets — see match_delta.h). The
+  // coordinator decodes them against the same pools; DmineStats accounts
+  // the bytes this saves over raw center lists.
+  MatchSetDelta pr_delta;
+  MatchSetDelta ant_delta;
 };
+
+// Serialized size of one shipped lineage delta (u8 mode + u32 count +
+// count x u32 — the PutMatchSetDelta wire form).
+uint64_t DeltaWireBytes(const MatchSetDelta& d) {
+  return 1 + 4 + 4 * static_cast<uint64_t>(d.payload.size());
+}
 
 }  // namespace
 
@@ -560,20 +576,34 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
             if (prune) ls.pr_centers.push_back(c);
           }
         }
-        if (!other_ok[ci]) continue;
         // Antecedent membership: x-component locally (exact within the
         // d-hop fragment), remaining components pre-checked globally.
         std::span<const uint32_t> ant_pool =
             parent ? std::span<const uint32_t>(parent->frag_ant_centers[i])
                    : std::span<const uint32_t>(w.qbar_centers);
-        w.centers_skipped += w.qbar_centers.size() - ant_pool.size();
-        for (uint32_t c : ant_pool) {
-          const NodeId probe = w.frag->MatchId(w.frag->centers[c]);
-          ++w.exists_calls;
-          if (w.matcher->ExistsAt(r.x_component(), probe)) {
-            ++ls.supp_qqbar;
-            if (prune) ls.ant_centers.push_back(c);
+        if (other_ok[ci]) {
+          w.centers_skipped += w.qbar_centers.size() - ant_pool.size();
+          for (uint32_t c : ant_pool) {
+            const NodeId probe = w.frag->MatchId(w.frag->centers[c]);
+            ++w.exists_calls;
+            if (w.matcher->ExistsAt(r.x_component(), probe)) {
+              ++ls.supp_qqbar;
+              if (prune) ls.ant_centers.push_back(c);
+            }
           }
+        }
+        if (prune) {
+          // Ship the lineage as deltas against the probed pools (the
+          // match-set-delta BSP message); the coordinator decodes against
+          // the identical pools at assembly.
+          ls.pr_delta = EncodeMatchSet(ls.pr_centers, pr_pool);
+          ls.ant_delta = EncodeMatchSet(ls.ant_centers, ant_pool);
+          w.evidence_bytes_full += FullEncodedBytes(ls.pr_centers.size()) +
+                                   FullEncodedBytes(ls.ant_centers.size());
+          w.evidence_bytes_delta +=
+              DeltaWireBytes(ls.pr_delta) + DeltaWireBytes(ls.ant_delta);
+          ls.pr_centers = {};
+          ls.ant_centers = {};
         }
       }
     });
@@ -585,6 +615,10 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
         auto rule = std::make_shared<MinedRule>();
         rule->rule = candidates[ci];
         uint64_t usupp = 0;
+        const MinedRule* parent = nullptr;
+        if (prune && cand_parent[ci] != kRootParent) {
+          parent = m_parents[cand_parent[ci]].get();
+        }
         if (prune) {
           rule->frag_pr_centers.resize(options.num_workers);
           rule->frag_ant_centers.resize(options.num_workers);
@@ -598,8 +632,20 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
           rule->matches.insert(rule->matches.end(), ls.matches_global.begin(),
                                ls.matches_global.end());
           if (prune) {
-            rule->frag_pr_centers[i] = std::move(ls.pr_centers);
-            rule->frag_ant_centers[i] = std::move(ls.ant_centers);
+            // Decode the shipped lineage deltas against the same pools the
+            // worker encoded them from. The round trip is exact (the worker
+            // encoded a true subset), so lineage is byte-identical to the
+            // pre-delta raw lists.
+            std::span<const uint32_t> pr_pool =
+                parent ? std::span<const uint32_t>(parent->frag_pr_centers[i])
+                       : std::span<const uint32_t>(workers[i].q_centers);
+            std::span<const uint32_t> ant_pool =
+                parent ? std::span<const uint32_t>(parent->frag_ant_centers[i])
+                       : std::span<const uint32_t>(workers[i].qbar_centers);
+            auto pr = DecodeMatchSet(ls.pr_delta, pr_pool);
+            auto ant = DecodeMatchSet(ls.ant_delta, ant_pool);
+            rule->frag_pr_centers[i] = std::move(pr).value();
+            rule->frag_ant_centers[i] = std::move(ant).value();
           }
         }
         std::sort(rule->matches.begin(), rule->matches.end());
@@ -683,6 +729,8 @@ Result<DmineResult> Dmine(const Graph& g, const Predicate& q,
     result.stats.exists_calls += w.exists_calls;
     result.stats.centers_skipped_by_parent += w.centers_skipped;
     result.stats.plans_shared_hits += w.matcher->plan_store_hits();
+    result.stats.evidence_bytes_full += w.evidence_bytes_full;
+    result.stats.evidence_bytes_delta += w.evidence_bytes_delta;
   }
   result.stats.plans_prepared = plan_store.patterns_planned();
   result.times = bsp.FinishTiming();

@@ -125,6 +125,12 @@ struct DmineStats {
   uint64_t plans_shared_hits = 0;
   /// Distinct patterns the coordinator planned into the shared store.
   size_t plans_prepared = 0;
+  /// Lineage (parent match-set) message volume, worker -> coordinator,
+  /// under `enable_parent_prune`: what the raw center lists would have
+  /// cost, and what the match-set-delta encoding actually shipped (see
+  /// match_delta.h). Both 0 with pruning off (no lineage travels).
+  uint64_t evidence_bytes_full = 0;
+  uint64_t evidence_bytes_delta = 0;
 };
 
 /// Output of Dmine: the diversified top-k, its objective value F(L_k), and

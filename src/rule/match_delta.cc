@@ -1,0 +1,120 @@
+#include "rule/match_delta.h"
+
+#include <algorithm>
+
+namespace gpar {
+
+MatchSetDelta EncodeMatchSet(std::span<const uint32_t> child,
+                             std::span<const uint32_t> parent) {
+  MatchSetDelta out;
+  // One merge pass classifies every parent position as kept or removed and
+  // detects non-subset children (a child value absent from the parent).
+  std::vector<uint32_t> kept, removed;
+  size_t ci = 0;
+  for (uint32_t pi = 0; pi < parent.size(); ++pi) {
+    if (ci < child.size() && child[ci] == parent[pi]) {
+      kept.push_back(pi);
+      ++ci;
+    } else {
+      removed.push_back(pi);
+    }
+  }
+  if (ci != child.size()) {
+    // Not a subset: raw values are the only faithful form.
+    out.mode = MatchDeltaMode::kFull;
+    out.payload.assign(child.begin(), child.end());
+    return out;
+  }
+  if (kept.size() <= removed.size()) {
+    out.mode = MatchDeltaMode::kKept;
+    out.payload = std::move(kept);
+  } else {
+    out.mode = MatchDeltaMode::kRemoved;
+    out.payload = std::move(removed);
+  }
+  return out;
+}
+
+Result<std::vector<uint32_t>> DecodeMatchSet(const MatchSetDelta& delta,
+                                             std::span<const uint32_t> parent) {
+  std::vector<uint32_t> out;
+  switch (delta.mode) {
+    case MatchDeltaMode::kFull:
+      out.assign(delta.payload.begin(), delta.payload.end());
+      return out;
+    case MatchDeltaMode::kKept: {
+      out.reserve(delta.payload.size());
+      uint32_t prev = 0;
+      bool first = true;
+      for (uint32_t pos : delta.payload) {
+        if (pos >= parent.size() || (!first && pos <= prev)) {
+          return Status::Corruption("match-set delta: bad kept position " +
+                                    std::to_string(pos));
+        }
+        out.push_back(parent[pos]);
+        prev = pos;
+        first = false;
+      }
+      return out;
+    }
+    case MatchDeltaMode::kRemoved: {
+      uint32_t prev = 0;
+      bool first = true;
+      for (uint32_t pos : delta.payload) {
+        if (pos >= parent.size() || (!first && pos <= prev)) {
+          return Status::Corruption("match-set delta: bad removed position " +
+                                    std::to_string(pos));
+        }
+        prev = pos;
+        first = false;
+      }
+      out.reserve(parent.size() - delta.payload.size());
+      size_t ri = 0;
+      for (uint32_t pi = 0; pi < parent.size(); ++pi) {
+        if (ri < delta.payload.size() && delta.payload[ri] == pi) {
+          ++ri;
+        } else {
+          out.push_back(parent[pi]);
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Corruption("match-set delta: unknown mode " +
+                            std::to_string(static_cast<int>(delta.mode)));
+}
+
+void PutMatchSetDelta(std::string* buf, const MatchSetDelta& delta) {
+  buf->push_back(static_cast<char>(delta.mode));
+  PutU32(buf, static_cast<uint32_t>(delta.payload.size()));
+  for (uint32_t v : delta.payload) PutU32(buf, v);
+}
+
+bool ReadMatchSetDelta(ByteReader* r, MatchSetDelta* delta) {
+  uint8_t mode = 0;
+  uint32_t count = 0;
+  if (!r->ReadU8(&mode) || !r->ReadU32(&count)) return false;
+  if (mode > static_cast<uint8_t>(MatchDeltaMode::kFull)) return false;
+  // The count is untrusted: bound the allocation by the bytes present.
+  if (uint64_t{count} * 4 > r->remaining()) return false;
+  delta->mode = static_cast<MatchDeltaMode>(mode);
+  delta->payload.clear();
+  delta->payload.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t v;
+    if (!r->ReadU32(&v)) return false;
+    delta->payload.push_back(v);
+  }
+  return true;
+}
+
+size_t DeltaEncodedBytes(size_t child_size, size_t parent_size) {
+  const size_t kept = child_size;
+  const size_t removed = parent_size >= child_size ? parent_size - child_size
+                                                   : child_size;
+  return 1 + 4 + 4 * std::min(kept, removed);
+}
+
+size_t FullEncodedBytes(size_t child_size) { return 4 + 4 * child_size; }
+
+}  // namespace gpar

@@ -43,7 +43,7 @@ void Accumulate(ServeStats* into, const ServeStats& s) {
 RuleServer::RuleServer(std::vector<RuleRecord> rules,
                        const RuleServerOptions& options)
     : options_(options),
-      records_(std::move(rules)),
+      initial_records_(std::move(rules)),
       pool_(std::max(1u, options.num_workers)) {
   options_.num_workers = pool_.num_threads();
 }
@@ -110,17 +110,13 @@ Result<std::unique_ptr<RuleServer>> RuleServer::CreateShard(
 
 Status RuleServer::Init(std::shared_ptr<const Graph> g,
                         std::vector<NodeId> members) {
-  sigma_.reserve(records_.size());
-  for (const RuleRecord& r : records_) sigma_.push_back(r.rule);
-  auto info = ValidateSigma(sigma_);
+  std::shared_ptr<const RuleSet> rules =
+      BuildRuleSet(std::move(initial_records_));
+  auto info = ValidateSigma(rules->sigma);
   if (!info.ok()) return info.status();
   q_ = info->q;
   max_d_ = std::max<uint32_t>(info->d, 1);
   pq_ = q_.ToPattern();
-  all_ok_.assign(sigma_.size(), 1);
-  for (const Gpar& r : sigma_) {
-    if (!r.other_components().empty()) has_other_components_ = true;
-  }
   if (!is_shard_) {
     auto span = g->nodes_with_label(q_.x_label);
     candidates_.assign(span.begin(), span.end());
@@ -134,6 +130,7 @@ Status RuleServer::Init(std::shared_ptr<const Graph> g,
 
   auto st = std::make_shared<State>(options_.sketch_hops);
   st->graph = std::move(g);
+  st->rules = std::move(rules);
   if (is_shard_) {
     st->members = std::move(members);
     st->view = std::make_unique<GraphView>(*st->graph, st->members);
@@ -142,9 +139,9 @@ Status RuleServer::Init(std::shared_ptr<const Graph> g,
   // not containing x match anywhere), so shards, too, compute it on the
   // parent graph — fragment-local checks would diverge from the
   // single-server answer.
-  st->other_ok = OtherComponentsOk(*st->graph, sigma_);
+  st->other_ok = OtherComponentsOk(*st->graph, st->rules->sigma);
   st->plan_store = std::make_unique<SearchPlanStore>(*st->graph);
-  PreparePlans(st->plan_store.get());
+  PreparePlans(st->plan_store.get(), *st->rules);
   if (!is_shard_ && options_.precompute_sketches &&
       options_.use_guided_search) {
     PrecomputeSketches(st.get());
@@ -159,7 +156,21 @@ Status RuleServer::Init(std::shared_ptr<const Graph> g,
   return Status::OK();
 }
 
-void RuleServer::PreparePlans(SearchPlanStore* store) const {
+std::shared_ptr<const RuleServer::RuleSet> RuleServer::BuildRuleSet(
+    std::vector<RuleRecord> records) {
+  auto rs = std::make_shared<RuleSet>();
+  rs->records = std::move(records);
+  rs->sigma.reserve(rs->records.size());
+  for (const RuleRecord& r : rs->records) rs->sigma.push_back(r.rule);
+  rs->all_ok.assign(rs->sigma.size(), 1);
+  for (const Gpar& r : rs->sigma) {
+    if (!r.other_components().empty()) rs->has_other_components = true;
+  }
+  return rs;
+}
+
+void RuleServer::PreparePlans(SearchPlanStore* store,
+                              const RuleSet& rules) const {
   // Anchored at x, the only anchor serving ever uses; planned once per
   // state and shared by every matching context of that generation.
   auto prepare_at_x = [store](const Pattern& p) {
@@ -167,7 +178,7 @@ void RuleServer::PreparePlans(SearchPlanStore* store) const {
     store->Prepare(p, std::span<const PNodeId>(&x, 1));
   };
   prepare_at_x(pq_);
-  for (const Gpar& r : sigma_) {
+  for (const Gpar& r : rules.sigma) {
     prepare_at_x(r.pr());
     prepare_at_x(r.x_component());
     for (const Pattern& comp : r.other_components()) {
@@ -181,7 +192,7 @@ void RuleServer::PrecomputeSketches(State* st) const {
   auto collect = [&labels](const Pattern& p) {
     for (PNodeId u = 0; u < p.num_nodes(); ++u) labels.insert(p.node(u).label);
   };
-  for (const Gpar& r : sigma_) {
+  for (const Gpar& r : st->rules->sigma) {
     collect(r.pr());
     for (const Pattern& comp : r.other_components()) collect(comp);
   }
@@ -202,7 +213,7 @@ std::unique_ptr<RuleServer::WorkerCtx> RuleServer::BuildCtx(
   const GraphView* view = st.view.get();
   auto ctx = std::make_unique<WorkerCtx>();
   ctx->evaluator = MakeMatchEvaluator(
-      *st.graph, view, sigma_, all_ok_, options_.sketch_hops,
+      *st.graph, view, st.rules->sigma, st.rules->all_ok, options_.sketch_hops,
       options_.use_guided_search, options_.share_multi_patterns,
       st.plan_store.get(), sketches);
   ctx->pq_matcher = std::make_unique<VF2Matcher>(*st.graph, view);
@@ -245,8 +256,8 @@ std::shared_ptr<const RuleServer::State> RuleServer::AcquireState() const {
   return state_;
 }
 
-size_t RuleServer::max_cached_centers() const {
-  size_t per_center = std::max<size_t>(sigma_.size(), 1);
+size_t RuleServer::max_cached_centers(const RuleSet& rules) const {
+  size_t per_center = std::max<size_t>(rules.sigma.size(), 1);
   return std::max<size_t>(options_.cache_capacity / per_center, 1);
 }
 
@@ -276,14 +287,14 @@ void RuleServer::EvaluateItem(const State& st, WorkerCtx& ctx,
     std::vector<char> in_pr, in_q;
     ctx.evaluator->Evaluate(v, is_q, is_qbar, /*need_q_membership=*/true,
                             &in_pr, &in_q);
-    for (size_t i = 0; i < sigma_.size(); ++i) {
+    for (size_t i = 0; i < st.rules->sigma.size(); ++i) {
       SetBit(&item.probed, i);
       if (in_q[i]) SetBit(&item.in_q, i);
       if (in_pr[i]) SetBit(&item.in_pr, i);
     }
   } else {
     for (uint32_t ri : item.rules) {
-      const Gpar& r = sigma_[ri];
+      const Gpar& r = st.rules->sigma[ri];
       // P_R contains the consequent edge, so only q-match centers can hold
       // it; a P_R match implies antecedent membership (its restriction to
       // Q's nodes is a Q-match), saving the second probe.
@@ -300,7 +311,7 @@ Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
                               const std::vector<uint32_t>& selected,
                               std::unordered_map<NodeId, Row>* rows,
                               ServeStats* stats) {
-  const size_t words = rule_words();
+  const size_t words = rule_words(*st.rules);
   std::vector<WorkItem> items;
 
   for (NodeId c : centers) {
@@ -319,6 +330,13 @@ Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
       CacheShard& sh = ShardFor(c);
       MutexLock lock(sh.mu);
       auto cit = sh.map.find(c);
+      if (cit != sh.map.end() && cit->second.known.size() != words) {
+        // Defensive: an entry written under a different rule-set geometry
+        // (a racing rule refresh) is meaningless here — treat as a miss.
+        sh.lru.erase(cit->second.lru_it);
+        sh.map.erase(cit);
+        cit = sh.map.end();
+      }
       if (cit != sh.map.end()) {
         CenterEntry& e = cit->second;
         qclass = e.qclass;
@@ -342,7 +360,7 @@ Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
     WorkItem item;
     item.center = c;
     item.qclass_in = qclass;
-    item.full = missing.size() == sigma_.size();
+    item.full = missing.size() == st.rules->sigma.size();
     if (!item.full) item.rules = std::move(missing);
     item.in_q.assign(words, 0);
     item.in_pr.assign(words, 0);
@@ -367,7 +385,7 @@ Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
   }
 
   const size_t shard_cap =
-      std::max<size_t>(max_cached_centers() / num_cache_shards_, 1);
+      std::max<size_t>(max_cached_centers(*st.rules) / num_cache_shards_, 1);
   for (WorkItem& item : items) {
     Row& row = (*rows)[item.center];
     row.qclass = item.qclass_out;
@@ -392,6 +410,12 @@ Status RuleServer::EnsureRows(const State& st, std::span<const NodeId> centers,
       e.in_pr.assign(words, 0);
       sh.lru.push_front(item.center);
       e.lru_it = sh.lru.begin();
+    } else if (e.known.size() != words) {
+      // Same defensive geometry guard as the read side.
+      e.qclass = 0;
+      e.known.assign(words, 0);
+      e.in_q.assign(words, 0);
+      e.in_pr.assign(words, 0);
     }
     e.qclass = item.qclass_out;
     for (size_t w = 0; w < words; ++w) {
@@ -418,12 +442,16 @@ Result<SessionReply> RuleServer::Query(const SessionRequest& request) {
     GPAR_FAILPOINT("shard.query");
   }
   Timer timer;
-  GPAR_ASSIGN_OR_RETURN(std::vector<uint32_t> selected,
-                        NormalizeRuleSelection(request.rules, sigma_.size()));
+  // Pin the state FIRST: the selection must be normalized against the same
+  // rule set the request will match with, or a racing rule refresh could
+  // hand back indices into the wrong set.
+  const std::shared_ptr<const State> st = AcquireState();
+  GPAR_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> selected,
+      NormalizeRuleSelection(request.rules, st->rules->sigma.size()));
   if (request.all_centers && request.eta <= 0) {
     return Status::InvalidArgument("eta must be positive");
   }
-  const std::shared_ptr<const State> st = AcquireState();
   const std::span<const NodeId> centers =
       request.all_centers ? std::span<const NodeId>(candidates_)
                           : std::span<const NodeId>(request.centers);
@@ -450,7 +478,7 @@ Result<SessionReply> RuleServer::Query(const SessionRequest& request) {
   if (request.all_centers) {
     // Candidate-major assembly: one row lookup per center, all rule bits
     // read inline (the warm path is lookup-bound, not match-bound).
-    reply.rule_evals.assign(sigma_.size(), {});
+    reply.rule_evals.assign(st->rules->sigma.size(), {});
     for (NodeId c : candidates_) {
       const Row& row = rows.at(c);
       if (row.qclass & kQIsQ) ++reply.supp_q;
@@ -464,7 +492,7 @@ Result<SessionReply> RuleServer::Query(const SessionRequest& request) {
         }
       }
     }
-    std::vector<char> qualified(sigma_.size(), 0);
+    std::vector<char> qualified(st->rules->sigma.size(), 0);
     for (uint32_t ri : selected) {
       EipRuleEval& ev = reply.rule_evals[ri];
       ev.conf = BayesFactorConf(ev.supp_r, reply.supp_qbar, ev.supp_qqbar,
@@ -548,9 +576,25 @@ Result<DeltaStats> RuleServer::ApplyDeltaLocked(const GraphDelta& delta,
   // The crash window recovery must close: the frame is on disk but not yet
   // published. Replay applies it, converging with the no-crash timeline.
   GPAR_FAILPOINT("serve.publish");
-  SwapStateAndInvalidate(*st,
-                         std::make_shared<const Graph>(std::move(patch.graph)),
-                         patch.applied, patch.applied_deletes, &ds);
+  auto new_graph = std::make_shared<const Graph>(std::move(patch.graph));
+  std::shared_ptr<const RuleSet> new_rules;
+  if (maintainer_ != nullptr) {
+    // Maintain-on-ApplyDelta: run the maintenance pass between patching
+    // and publishing, so queries observe the new graph together with the
+    // rule set that is fresh for it.
+    GPAR_ASSIGN_OR_RETURN(
+        const MaintainStats ms,
+        maintainer_->Advance(*st->graph, new_graph, patch.applied,
+                             patch.applied_deletes));
+    (void)ms;  // folded into maintain_stats()
+    std::vector<RuleRecord> refreshed = maintainer_->TopKRecords();
+    if (refreshed != st->rules->records) {
+      new_rules = BuildRuleSet(std::move(refreshed));
+      ds.rules_refreshed = 1;
+    }
+  }
+  SwapStateAndInvalidate(*st, std::move(new_graph), patch.applied,
+                         patch.applied_deletes, &ds, std::move(new_rules));
   ds.seconds = timer.Seconds();
   return ds;
 }
@@ -652,57 +696,104 @@ uint64_t RuleServer::journal_sequence() const {
   return journal_ != nullptr ? journal_->last_sequence() : 0;
 }
 
-void RuleServer::SwapStateAndInvalidate(const State& old,
-                                        std::shared_ptr<const Graph> new_graph,
-                                        std::span<const EdgeInsert> applied,
-                                        std::span<const EdgeDelete> deleted,
-                                        DeltaStats* ds) {
-  std::vector<NodeId> endpoints;
+const std::vector<RuleRecord>& RuleServer::rules() const {
+  // The RuleSet is owned by the published State, which outlives this call;
+  // the reference stays valid until a refresh publishes a different set.
+  return AcquireState()->rules->records;
+}
+
+Status RuleServer::EnableMaintenance(const MaintainOptions& options) {
+  if (is_shard_) {
+    return Status::InvalidArgument(
+        "shards serve refreshed rule sets from their router (UpdateRules); "
+        "enable maintenance there");
+  }
+  MutexLock writer(writer_mu_);
+  if (maintainer_ != nullptr) {
+    return Status::InvalidArgument("maintenance is already enabled");
+  }
+  const std::shared_ptr<const State> st = AcquireState();
+  GPAR_ASSIGN_OR_RETURN(maintainer_,
+                        RuleMaintainer::Seed(st->graph, q_, options));
+  // Every rule the maintainer will ever emit has eval radius <= mine.d, so
+  // widening the invalidation radius once up front covers all refreshes.
+  max_d_ = std::max(max_d_, std::max<uint32_t>(options.mine.d, 1));
+  std::vector<RuleRecord> refreshed = maintainer_->TopKRecords();
+  if (refreshed == st->rules->records) return Status::OK();
+  DeltaStats ds;
+  SwapStateAndInvalidate(*st, st->graph, {}, {}, &ds,
+                         BuildRuleSet(std::move(refreshed)));
+  return Status::OK();
+}
+
+bool RuleServer::maintenance_enabled() const {
+  MutexLock writer(writer_mu_);
+  return maintainer_ != nullptr;
+}
+
+MaintainStats RuleServer::maintain_stats() const {
+  MutexLock writer(writer_mu_);
+  return maintainer_ != nullptr ? maintainer_->lifetime_stats()
+                                : MaintainStats{};
+}
+
+Status RuleServer::UpdateRules(std::vector<RuleRecord> rules) {
+  MutexLock writer(writer_mu_);
+  const std::shared_ptr<const State> st = AcquireState();
+  if (rules == st->rules->records) return Status::OK();
+  if (!rules.empty()) {
+    std::vector<Gpar> sigma;
+    sigma.reserve(rules.size());
+    for (const RuleRecord& r : rules) sigma.push_back(r.rule);
+    GPAR_ASSIGN_OR_RETURN(const SigmaInfo info, ValidateSigma(sigma));
+    if (!(info.q == q_)) {
+      return Status::InvalidArgument(
+          "refreshed rule set changes the session predicate q(x, y)");
+    }
+    const uint32_t d = std::max<uint32_t>(info.d, 1);
+    if (is_shard_ && d > max_d_) {
+      return Status::InvalidArgument(
+          "refreshed rule radius " + std::to_string(d) +
+          " exceeds the partition radius " + std::to_string(max_d_) +
+          " this shard's view was cut for");
+    }
+    max_d_ = std::max(max_d_, d);
+  }
+  // An empty set skips sigma validation on purpose: a maintained top-k can
+  // die under deletes and the session keeps serving zero rules.
+  DeltaStats ds;
+  SwapStateAndInvalidate(*st, st->graph, {}, {}, &ds,
+                         BuildRuleSet(std::move(rules)));
+  return Status::OK();
+}
+
+void RuleServer::SwapStateAndInvalidate(
+    const State& old, std::shared_ptr<const Graph> new_graph,
+    std::span<const EdgeInsert> applied, std::span<const EdgeDelete> deleted,
+    DeltaStats* ds, std::shared_ptr<const RuleSet> new_rules) {
+  const bool rules_changed = new_rules != nullptr;
   // q-class depends only on a node's own out-edges, so its invalidation
   // frontier is the source nodes — of inserts and deletes alike.
   std::unordered_set<NodeId> sources;
-  for (const EdgeInsert& e : applied) {
-    endpoints.push_back(e.src);
-    endpoints.push_back(e.dst);
-    sources.insert(e.src);
-  }
-  for (const EdgeDelete& e : deleted) {
-    endpoints.push_back(e.src);
-    endpoints.push_back(e.dst);
-    sources.insert(e.src);
-  }
-  std::sort(endpoints.begin(), endpoints.end());
-  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
-                  endpoints.end());
+  for (const EdgeInsert& e : applied) sources.insert(e.src);
+  for (const EdgeDelete& e : deleted) sources.insert(e.src);
 
-  // Multi-source BFS (on the patched graph) to the largest radius any
-  // cached state can reach: rule memberships go stale within d(R) hops,
-  // stored sketches within k hops.
+  // The delta-affected region (shared with the rule maintainer's evidence
+  // patching) to the largest radius any cached state can reach: rule
+  // memberships go stale within d(R) hops, stored sketches within k hops.
+  // Deletions make reach non-monotone, so the helper also sweeps the
+  // pre-delete graph and unions at minimum distance.
   uint32_t rmax = max_d_;
   if (old.sketch_store.size() > 0) {
     rmax = std::max(rmax, options_.sketch_hops);
   }
-  auto touched = NodesWithinRadiusOfAny(*new_graph, endpoints, rmax);
-  if (!deleted.empty()) {
-    // Deletions make reach non-monotone: a center whose only path to a
-    // deleted edge ran THROUGH that edge is beyond rmax on the patched
-    // graph yet its d-ball lost the edge. Its pre-delete distance was
-    // within rmax though, so a second BFS on the old graph finds it; union
-    // the two sweeps at minimum distance. (Inserts alone never need this:
-    // the patched graph contains every old path.)
-    auto before = NodesWithinRadiusOfAny(*old.graph, endpoints, rmax);
-    touched.insert(touched.end(), before.begin(), before.end());
-    std::sort(touched.begin(), touched.end());
-    touched.erase(std::unique(touched.begin(), touched.end(),
-                              [](const auto& a, const auto& b) {
-                                return a.first == b.first;
-                              }),
-                  touched.end());
-  }
+  auto touched =
+      DeltaAffectedRegion(*old.graph, *new_graph, applied, deleted, rmax);
 
   auto next = std::make_shared<State>(options_.sketch_hops);
   next->epoch = old.epoch + 1;
   next->graph = std::move(new_graph);
+  next->rules = rules_changed ? std::move(new_rules) : old.rules;
 
   if (is_shard_) {
     // Inserted edges can pull new nodes into an owned center's N_d (and
@@ -751,11 +842,11 @@ void RuleServer::SwapStateAndInvalidate(const State& old,
   // flip their satisfiability globally (in either direction, once deletes
   // are in play); the raw cached antecedent bits deliberately exclude this
   // factor, so recomputing it here never touches the cache.
-  next->other_ok = has_other_components_
-                       ? OtherComponentsOk(*next->graph, sigma_)
+  next->other_ok = (rules_changed || next->rules->has_other_components)
+                       ? OtherComponentsOk(*next->graph, next->rules->sigma)
                        : old.other_ok;
   next->plan_store = std::make_unique<SearchPlanStore>(*next->graph);
-  PreparePlans(next->plan_store.get());
+  PreparePlans(next->plan_store.get(), *next->rules);
   if (old.sketch_store.size() > 0) {
     next->sketch_store = old.sketch_store;
     std::vector<NodeId> refresh;
@@ -776,14 +867,36 @@ void RuleServer::SwapStateAndInvalidate(const State& old,
   // observes the new epoch also observes the fully built state above.
   epoch_.store(next->epoch, std::memory_order_release);
 
+  if (rules_changed) {
+    // Rule indices change meaning across rule sets, so a selective walk
+    // could keep bit i of the old set alive as bit i of the new one — drop
+    // the whole cache instead. The publish-then-clear order gives the same
+    // guarantee as the selective walk: a stale writeback either landed
+    // before this clear (and dies here) or saw the new epoch and skipped.
+    for (uint32_t i = 0; i < num_cache_shards_; ++i) {
+      CacheShard& sh = cache_shards_[i];
+      MutexLock lock(sh.mu);
+      for (const auto& [v, e] : sh.map) {
+        for (uint64_t w : e.known) {
+          ds->memberships_invalidated += std::popcount(w);
+        }
+        if ((e.qclass & kQKnown) != 0) ++ds->qclass_invalidated;
+      }
+      sh.map.clear();
+      sh.lru.clear();
+    }
+    return;
+  }
+
+  const std::vector<Gpar>& sigma = next->rules->sigma;
   for (const auto& [v, dist] : touched) {
     CacheShard& sh = ShardFor(v);
     MutexLock lock(sh.mu);
     auto cit = sh.map.find(v);
     if (cit == sh.map.end()) continue;
     CenterEntry& e = cit->second;
-    for (size_t ri = 0; ri < sigma_.size(); ++ri) {
-      if (dist <= sigma_[ri].eval_radius() && GetBit(e.known, ri)) {
+    for (size_t ri = 0; ri < sigma.size(); ++ri) {
+      if (dist <= sigma[ri].eval_radius() && GetBit(e.known, ri)) {
         ClearBit(&e.known, ri);
         ++ds->memberships_invalidated;
       }

@@ -20,6 +20,7 @@
 #include "graph/sketch.h"
 #include "identify/center_evaluator.h"
 #include "identify/eip.h"
+#include "maintain/rule_maintainer.h"
 #include "match/matcher.h"
 #include "parallel/thread_pool.h"
 #include "rule/rule_snapshot.h"
@@ -154,7 +155,10 @@ class RuleServer : public ServeSession {
   Status Checkpoint(const std::string& graph_snapshot_path) override;
 
   std::shared_ptr<const Graph> graph_snapshot() const override;
-  const std::vector<RuleRecord>& rules() const override { return records_; }
+  /// The currently served rule set. The reference is valid until the next
+  /// rule refresh (maintenance pass that changed the top-k, or
+  /// `UpdateRules`); callers that race refreshes should copy.
+  const std::vector<RuleRecord>& rules() const override;
   const std::vector<NodeId>& candidates() const override {
     return candidates_;
   }
@@ -188,6 +192,35 @@ class RuleServer : public ServeSession {
   /// Last sequence the attached journal holds (0 when none is attached).
   uint64_t journal_sequence() const GPAR_EXCLUDES(writer_mu_);
 
+  // ---- Incremental rule maintenance ----
+
+  /// Switches the session into maintain-on-ApplyDelta mode: seeds a
+  /// `RuleMaintainer` on the current graph (one full discovery pass under
+  /// `options.mine`) and serves its diversified top-k from here on — every
+  /// subsequent delta runs a maintenance pass under the writer lock and,
+  /// when the top-k changed, publishes the refreshed rule set with the new
+  /// graph generation (queries see graph+rules move together). The
+  /// maintained set replaces the loaded snapshot records, which may differ
+  /// from them when the snapshot was mined under other parameters.
+  /// Rejected on shard servers (the router maintains on the parent graph
+  /// and pushes refreshed sets down via `UpdateRules`) and when
+  /// maintenance is already enabled.
+  Status EnableMaintenance(const MaintainOptions& options)
+      GPAR_EXCLUDES(writer_mu_);
+  bool maintenance_enabled() const GPAR_EXCLUDES(writer_mu_);
+  /// Accumulated maintenance-pass stats (zero when maintenance is off).
+  MaintainStats maintain_stats() const GPAR_EXCLUDES(writer_mu_);
+
+  /// Replaces the served rule set (router -> shard push after a router-side
+  /// maintenance refresh; also usable standalone as a hot rule reload). The
+  /// new set must keep the session's predicate q(x,y); on a shard its
+  /// radius must stay within the partition radius the fragment view was
+  /// built for (the view only covers N_d of the owned centers at that
+  /// radius). An empty set is allowed — a maintained top-k can die under
+  /// deletes and the session must keep serving (zero rules match nothing).
+  /// Drops the whole match cache: rule indices change meaning.
+  Status UpdateRules(std::vector<RuleRecord> rules) GPAR_EXCLUDES(writer_mu_);
+
   // ---- Deprecated PR 5 surface (thin shims over Query/ApplyDelta) ----
 
   /// Deprecated: use `Query` with `all_centers = false`.
@@ -217,6 +250,18 @@ class RuleServer : public ServeSession {
     std::unique_ptr<Matcher> probe_matcher;
   };
 
+  /// One immutable generation of the loaded rule set and everything derived
+  /// from it per rule. Published inside `State` (RCU, like the graph) so a
+  /// maintenance refresh can swap the whole set atomically: in-flight
+  /// queries keep matching against the records/sigma they selected rules
+  /// from, never a half-replaced set.
+  struct RuleSet {
+    std::vector<RuleRecord> records;
+    std::vector<Gpar> sigma;  ///< records[i].rule, stable storage for evaluators
+    std::vector<char> all_ok;  ///< constant 1s handed to evaluators
+    bool has_other_components = false;
+  };
+
   /// One immutable graph generation. Queries pin the current `State` with
   /// a shared_ptr for their whole run; `ApplyDelta` builds the successor
   /// and swaps the head pointer, so readers never see a half-updated
@@ -228,6 +273,11 @@ class RuleServer : public ServeSession {
 
     uint64_t epoch = 0;
     std::shared_ptr<const Graph> graph;
+    /// The rule set this generation serves. Usually shared with the
+    /// previous generation; a maintenance refresh (or `UpdateRules`)
+    /// publishes a new one, which also drops the whole match cache — rule
+    /// indices change meaning across rule sets.
+    std::shared_ptr<const RuleSet> rules;
     /// Shard mode: sorted fragment membership + the view matchers run in.
     std::vector<NodeId> members;
     std::unique_ptr<GraphView> view;
@@ -284,7 +334,12 @@ class RuleServer : public ServeSession {
   /// disk.
   Result<DeltaStats> ApplyDeltaLocked(const GraphDelta& delta, bool journal)
       GPAR_REQUIRES(writer_mu_);
-  void PreparePlans(SearchPlanStore* store) const;
+  /// Derives the per-rule state (sigma storage, other-component flag) for a
+  /// record set. Validation (non-empty sets keep q and respect the radius
+  /// bound) happens in the callers — see UpdateRules.
+  static std::shared_ptr<const RuleSet> BuildRuleSet(
+      std::vector<RuleRecord> records);
+  void PreparePlans(SearchPlanStore* store, const RuleSet& rules) const;
   void PrecomputeSketches(State* st) const;
   std::unique_ptr<WorkerCtx> BuildCtx(const State& st) const;
   std::unique_ptr<WorkerCtx> AcquireCtx(const State& st) const;
@@ -295,14 +350,21 @@ class RuleServer : public ServeSession {
   /// the cache invalidating what the applied inserts and deletes can have
   /// changed. The invalidation BFS runs on the new graph and — when there
   /// are deletes — also on `old`'s graph, unioned at minimum distance.
+  /// `new_rules` non-null publishes a refreshed rule set with the new
+  /// generation and clears the whole match cache instead of the selective
+  /// invalidation walk; null keeps `old.rules` shared.
   void SwapStateAndInvalidate(const State& old,
                               std::shared_ptr<const Graph> new_graph,
                               std::span<const EdgeInsert> applied,
                               std::span<const EdgeDelete> applied_deletes,
-                              DeltaStats* ds) GPAR_REQUIRES(writer_mu_);
+                              DeltaStats* ds,
+                              std::shared_ptr<const RuleSet> new_rules =
+                                  nullptr) GPAR_REQUIRES(writer_mu_);
 
-  size_t rule_words() const noexcept { return (sigma_.size() + 63) / 64; }
-  size_t max_cached_centers() const;
+  static size_t rule_words(const RuleSet& rules) noexcept {
+    return (rules.sigma.size() + 63) / 64;
+  }
+  size_t max_cached_centers(const RuleSet& rules) const;
   CacheShard& ShardFor(NodeId center) const;
 
   /// Ensures memberships of `selected` rules for every center in `centers`
@@ -317,14 +379,16 @@ class RuleServer : public ServeSession {
   RuleServerOptions options_;
   bool is_shard_ = false;
   std::shared_ptr<Interner> interner_;
-  std::vector<RuleRecord> records_;
-  std::vector<Gpar> sigma_;  ///< records_[i].rule, stable storage for evaluators
+  /// Records handed to Create/Load, consumed by Init into the first
+  /// published RuleSet (empty afterwards — the live set lives in State).
+  std::vector<RuleRecord> initial_records_;
   Predicate q_{};
   Pattern pq_;
+  /// Invalidation/view radius bound. Fixed on shards (the fragment view was
+  /// cut at this radius); may grow on non-shard servers when a refreshed
+  /// rule set carries deeper rules.
   uint32_t max_d_ = 0;
-  std::vector<char> all_ok_;  ///< constant 1s handed to evaluators
   std::vector<NodeId> candidates_;
-  bool has_other_components_ = false;
 
   ThreadPool pool_;
 
@@ -343,6 +407,9 @@ class RuleServer : public ServeSession {
   /// already-applied frame are recognized here and become no-ops, so a
   /// router retry can never double-apply a delta.
   uint64_t shard_sequence_ GPAR_GUARDED_BY(writer_mu_) = 0;
+  /// Maintain-on-ApplyDelta mode (non-shard): passes run under the writer
+  /// lock, between patching the graph and publishing the new generation.
+  std::unique_ptr<RuleMaintainer> maintainer_ GPAR_GUARDED_BY(writer_mu_);
 
   uint32_t num_cache_shards_ = 1;
   std::unique_ptr<CacheShard[]> cache_shards_;

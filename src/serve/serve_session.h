@@ -97,6 +97,10 @@ struct DeltaStats {
   /// Router only: shards that did not acknowledge this batch (they answer
   /// no queries — degraded mode — until a journal resync catches them up).
   size_t shards_lagging = 0;
+  /// Maintain-on-ApplyDelta mode: 1 when this batch's maintenance pass
+  /// changed the served top-k and a refreshed rule set was published with
+  /// the new graph generation.
+  uint64_t rules_refreshed = 0;
   double seconds = 0;
 };
 

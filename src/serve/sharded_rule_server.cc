@@ -68,11 +68,13 @@ Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Create(
     return Status::InvalidArgument("num_shards must be positive");
   }
   std::unique_ptr<ShardedRuleServer> server(new ShardedRuleServer(options));
-  server->records_ = std::move(rules);
+  auto records =
+      std::make_shared<const std::vector<RuleRecord>>(std::move(rules));
   std::vector<Gpar> sigma;
-  sigma.reserve(server->records_.size());
-  for (const RuleRecord& r : server->records_) sigma.push_back(r.rule);
+  sigma.reserve(records->size());
+  for (const RuleRecord& r : *records) sigma.push_back(r.rule);
   GPAR_ASSIGN_OR_RETURN(SigmaInfo info, ValidateSigma(sigma));
+  server->q_ = info.q;
 
   auto parent = std::make_shared<const Graph>(std::move(g));
   server->interner_ = parent->labels_ptr();
@@ -86,6 +88,7 @@ Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Create(
   PartitionOptions popt;
   popt.num_fragments = options.num_shards;
   popt.d = std::max<uint32_t>(info.d, 1);
+  server->partition_d_ = popt.d;
   GPAR_ASSIGN_OR_RETURN(
       Partitioning parts,
       PartitionGraph(*parent, server->candidates_, popt));
@@ -96,7 +99,7 @@ Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Create(
     GPAR_ASSIGN_OR_RETURN(
         std::unique_ptr<RuleServer> shard,
         RuleServer::CreateShard(parent, frag.view.nodes(),
-                                std::move(frag.centers), server->records_,
+                                std::move(frag.centers), *records,
                                 options.shard_options));
     server->shards_.push_back(std::move(shard));
   }
@@ -109,9 +112,25 @@ Result<std::unique_ptr<ShardedRuleServer>> ShardedRuleServer::Create(
     // uncontended — take it rather than poke an analysis hole.
     MutexLock lock(server->graph_mu_);
     server->graph_ = std::move(parent);
+    server->records_ = std::move(records);
     server->shard_acked_.assign(server->shards_.size(), 0);
   }
   return server;
+}
+
+const std::vector<RuleRecord>& ShardedRuleServer::rules() const {
+  MutexLock lock(graph_mu_);
+  // The pointee is immutable and stays alive through the shared_ptr even
+  // after a refresh replaces `records_`... as long as the caller read it
+  // before the old set's last owner (this object) let go — hence the
+  // "valid until the next refresh" contract in the header.
+  return *records_;
+}
+
+std::shared_ptr<const std::vector<RuleRecord>>
+ShardedRuleServer::AcquireRecords() const {
+  MutexLock lock(graph_mu_);
+  return records_;
 }
 
 uint32_t ShardedRuleServer::OwnerOf(NodeId center) const {
@@ -179,9 +198,11 @@ void ShardedRuleServer::RecordRequest(const ServeStats& stats) {
 }
 
 Result<SessionReply> ShardedRuleServer::Query(const SessionRequest& request) {
+  const std::shared_ptr<const std::vector<RuleRecord>> records =
+      AcquireRecords();
   GPAR_ASSIGN_OR_RETURN(
       std::vector<uint32_t> selected,
-      NormalizeRuleSelection(request.rules, records_.size()));
+      NormalizeRuleSelection(request.rules, records->size()));
   if (request.deadline_seconds < 0) {
     return Status::InvalidArgument("deadline_seconds must be non-negative");
   }
@@ -380,7 +401,7 @@ Result<SessionReply> ShardedRuleServer::QueryAll(
   // survivors' centers, a lower bound globally).
   SessionReply reply;
   reply.matched.assign(candidates_.size(), {});
-  reply.rule_evals.assign(records_.size(), {});
+  reply.rule_evals.assign(AcquireRecords()->size(), {});
   ServeStats stats;
   stats.requests = 1;
   for (uint64_t r : retries) stats.retries += r;
@@ -403,13 +424,22 @@ Result<SessionReply> ShardedRuleServer::QueryAll(
     reply.supp_q += sub_reply.supp_q;
     reply.supp_qbar += sub_reply.supp_qbar;
     for (uint32_t ri : selected) {
+      // Bounds guards: a maintenance refresh racing this request can leave
+      // router and shards briefly on differently sized rule sets (the
+      // per-shard snapshot consistency caveat) — never index across the
+      // mismatch.
+      if (ri >= reply.rule_evals.size() ||
+          ri >= sub_reply.rule_evals.size()) {
+        continue;
+      }
       reply.rule_evals[ri].supp_r += sub_reply.rule_evals[ri].supp_r;
       reply.rule_evals[ri].supp_qqbar += sub_reply.rule_evals[ri].supp_qqbar;
     }
     Accumulate(&stats, sub_reply.stats);
   }
-  std::vector<char> qualified(records_.size(), 0);
+  std::vector<char> qualified(reply.rule_evals.size(), 0);
   for (uint32_t ri : selected) {
+    if (ri >= reply.rule_evals.size()) continue;  // refresh race, as above
     EipRuleEval& ev = reply.rule_evals[ri];
     ev.conf = BayesFactorConf(ev.supp_r, reply.supp_qbar, ev.supp_qqbar,
                               reply.supp_q);
@@ -417,7 +447,7 @@ Result<SessionReply> ShardedRuleServer::QueryAll(
   }
   for (size_t i = 0; i < candidates_.size(); ++i) {
     for (uint32_t ri : reply.matched[i]) {
-      if (qualified[ri] != 0) {
+      if (ri < qualified.size() && qualified[ri] != 0) {
         reply.entities.push_back(candidates_[i]);
         break;
       }
@@ -561,6 +591,17 @@ Result<DeltaStats> ShardedRuleServer::ApplyDeltaLocked(
   }
   ds.sequence = wire.sequence;
 
+  if (maintainer_ != nullptr) {
+    // Maintain-on-ApplyDelta: the pass runs on the parent graph after the
+    // ship; a changed top-k is pushed to the shards and republished
+    // router-side. Push failures degrade (the affected shard keeps the
+    // previous set until the next refresh) unless strict mode is on.
+    Status maintained = MaintainAfterShip(*cur, next, wire, &ds);
+    if (!maintained.ok() && !options_.degrade_on_shard_failure) {
+      return maintained;
+    }
+  }
+
   // Keep the frame for pending-tail resync until every shard acked it,
   // bounded: a shard lagging past the cap resyncs from the journal or not
   // at all.
@@ -587,6 +628,87 @@ Result<DeltaStats> ShardedRuleServer::ApplyDeltaLocked(
   }
   ds.seconds = timer.Seconds();
   return ds;
+}
+
+Status ShardedRuleServer::MaintainAfterShip(
+    const Graph& old_graph, std::shared_ptr<const Graph> new_graph,
+    const GraphDelta& wire, DeltaStats* ds) {
+  GPAR_ASSIGN_OR_RETURN(
+      const MaintainStats ms,
+      maintainer_->Advance(old_graph, std::move(new_graph), wire.inserts,
+                           wire.deletes));
+  (void)ms;  // folded into maintain_stats()
+  std::vector<RuleRecord> refreshed = maintainer_->TopKRecords();
+  {
+    MutexLock lock(graph_mu_);
+    if (refreshed == *records_) return Status::OK();
+  }
+  // Publish router-side FIRST: selections normalize against the router's
+  // set, and a shard still on the old set rejects out-of-range indices
+  // (the merge also bounds-checks) instead of answering from the wrong
+  // rule.
+  auto shared =
+      std::make_shared<const std::vector<RuleRecord>>(std::move(refreshed));
+  {
+    MutexLock lock(graph_mu_);
+    records_ = shared;
+  }
+  ds->rules_refreshed = 1;
+  Status first_failure = Status::OK();
+  for (auto& shard : shards_) {
+    Status st = shard->UpdateRules(*shared);
+    if (!st.ok() && first_failure.ok()) first_failure = std::move(st);
+  }
+  return first_failure;
+}
+
+Status ShardedRuleServer::EnableMaintenance(const MaintainOptions& options) {
+  MutexLock writer(writer_mu_);
+  if (maintainer_ != nullptr) {
+    return Status::InvalidArgument("maintenance is already enabled");
+  }
+  if (std::max<uint32_t>(options.mine.d, 1) > partition_d_) {
+    return Status::InvalidArgument(
+        "maintained rule radius " + std::to_string(options.mine.d) +
+        " exceeds the partition radius " + std::to_string(partition_d_) +
+        " the fragments were cut for; reload the deployment with the "
+        "deeper radius instead");
+  }
+  std::shared_ptr<const Graph> g;
+  {
+    MutexLock lock(graph_mu_);
+    g = graph_;
+  }
+  GPAR_ASSIGN_OR_RETURN(maintainer_,
+                        RuleMaintainer::Seed(std::move(g), q_, options));
+  std::vector<RuleRecord> refreshed = maintainer_->TopKRecords();
+  {
+    MutexLock lock(graph_mu_);
+    if (refreshed == *records_) return Status::OK();
+  }
+  auto shared =
+      std::make_shared<const std::vector<RuleRecord>>(std::move(refreshed));
+  {
+    MutexLock lock(graph_mu_);
+    records_ = shared;
+  }
+  Status first_failure = Status::OK();
+  for (auto& shard : shards_) {
+    Status st = shard->UpdateRules(*shared);
+    if (!st.ok() && first_failure.ok()) first_failure = std::move(st);
+  }
+  return first_failure;
+}
+
+bool ShardedRuleServer::maintenance_enabled() const {
+  MutexLock writer(writer_mu_);
+  return maintainer_ != nullptr;
+}
+
+MaintainStats ShardedRuleServer::maintain_stats() const {
+  MutexLock writer(writer_mu_);
+  return maintainer_ != nullptr ? maintainer_->lifetime_stats()
+                                : MaintainStats{};
 }
 
 Status ShardedRuleServer::ResyncLaggingShards() {

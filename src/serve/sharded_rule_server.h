@@ -109,7 +109,12 @@ class ShardedRuleServer : public ServeSession {
                        JournalReplayStats* replay = nullptr) override;
   Status Checkpoint(const std::string& graph_snapshot_path) override;
   std::shared_ptr<const Graph> graph_snapshot() const override;
-  const std::vector<RuleRecord>& rules() const override { return records_; }
+  /// The currently served rule set. The reference stays valid until the
+  /// next maintenance refresh publishes a different set; callers racing
+  /// refreshes should copy (or hold `AcquireRecords`-style snapshots —
+  /// queries do internally).
+  const std::vector<RuleRecord>& rules() const override
+      GPAR_EXCLUDES(graph_mu_);
   const std::vector<NodeId>& candidates() const override {
     return candidates_;
   }
@@ -145,6 +150,24 @@ class ShardedRuleServer : public ServeSession {
   /// resync failure, with the still-lagging shards left lagging.
   Status ResyncLaggingShards() GPAR_EXCLUDES(writer_mu_);
 
+  // ---- Incremental rule maintenance ----
+
+  /// Switches the deployment into maintain-on-ApplyDelta mode: seeds a
+  /// `RuleMaintainer` on the PARENT graph (shards only see fragment views)
+  /// and serves its top-k from here on. Every later delta runs a
+  /// maintenance pass after the ship and, when the top-k changed, pushes
+  /// the refreshed set to every healthy shard (`RuleServer::UpdateRules`)
+  /// and republishes the router's records. The maintained radius
+  /// `options.mine.d` must not exceed the partition radius the fragments
+  /// were cut for — deeper rules could not be matched shard-locally.
+  /// A rule refresh is atomic per shard but briefly heterogeneous across
+  /// shards, like deltas (per-shard snapshot consistency).
+  Status EnableMaintenance(const MaintainOptions& options)
+      GPAR_EXCLUDES(writer_mu_);
+  bool maintenance_enabled() const GPAR_EXCLUDES(writer_mu_);
+  /// Accumulated maintenance-pass stats (zero when maintenance is off).
+  MaintainStats maintain_stats() const GPAR_EXCLUDES(writer_mu_);
+
  private:
   explicit ShardedRuleServer(const ShardedRuleServerOptions& options);
 
@@ -165,10 +188,29 @@ class ShardedRuleServer : public ServeSession {
   Status CallWithRetry(const std::function<Status()>& call,
                        double deadline_seconds, const Timer& timer,
                        uint64_t* retries) const;
+  /// Pins the current record set (shared, immutable) for one request, so a
+  /// racing maintenance refresh can never resize it mid-merge.
+  std::shared_ptr<const std::vector<RuleRecord>> AcquireRecords() const
+      GPAR_EXCLUDES(graph_mu_);
+  /// Runs the maintenance pass for one applied batch and, when the top-k
+  /// changed, publishes the refreshed set router-side and pushes it to
+  /// every shard that acked the batch. Push failures leave those shards on
+  /// the previous set (the next refresh retries — the compare is against
+  /// the router's records) and are reported in `ds->rules_refreshed` only
+  /// through the router's own publish.
+  Status MaintainAfterShip(const Graph& old_graph,
+                           std::shared_ptr<const Graph> new_graph,
+                           const GraphDelta& wire, DeltaStats* ds)
+      GPAR_REQUIRES(writer_mu_);
 
   ShardedRuleServerOptions options_;
   std::shared_ptr<Interner> interner_;
-  std::vector<RuleRecord> records_;
+  /// The served rule set, RCU-style: replaced wholesale by a maintenance
+  /// refresh, never mutated in place.
+  std::shared_ptr<const std::vector<RuleRecord>> records_
+      GPAR_GUARDED_BY(graph_mu_);
+  Predicate q_{};           ///< the rule set's predicate q(x, y)
+  uint32_t partition_d_ = 0;  ///< radius the fragments were cut for
   std::vector<NodeId> candidates_;  ///< all candidate centers, sorted
   std::vector<uint32_t> owner_;     ///< parallel to candidates_
   /// Fixed for the server's lifetime (deltas mutate edges, never the node
@@ -200,6 +242,9 @@ class ShardedRuleServer : public ServeSession {
     GraphDelta delta;
   };
   std::deque<PendingFrame> pending_ GPAR_GUARDED_BY(writer_mu_);
+  /// Maintain-on-ApplyDelta mode: router-level maintainer on the parent
+  /// graph; passes run under the writer lock, after the ship.
+  std::unique_ptr<RuleMaintainer> maintainer_ GPAR_GUARDED_BY(writer_mu_);
 
   /// Lifetime counters are lock-free (relaxed atomics; latency in
   /// microseconds): the router adds one entry per request, and a shared

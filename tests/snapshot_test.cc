@@ -7,6 +7,7 @@
 
 #include "common/binary_io.h"
 #include "graph/generator.h"
+#include "rule/match_delta.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_delta.h"
 #include "graph/graph_io.h"
@@ -651,6 +652,210 @@ TEST(GraphDeltaTest, RadiusBfsFindsLocalNodes) {
   std::vector<NodeId> both{0, 1};
   auto r = NodesWithinRadiusOfAny(g, both, 0);
   EXPECT_EQ(r.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Match-set-delta codec: evidence sets as positions into the parent list.
+// ---------------------------------------------------------------------------
+
+std::vector<uint32_t> RoundTrip(const std::vector<uint32_t>& child,
+                                const std::vector<uint32_t>& parent) {
+  MatchSetDelta d = EncodeMatchSet(child, parent);
+  auto back = DecodeMatchSet(d, parent);
+  EXPECT_TRUE(back.ok()) << back.status();
+  return back.ok() ? *back : std::vector<uint32_t>{};
+}
+
+TEST(MatchDeltaTest, PicksTheSmallerPositionList) {
+  std::vector<uint32_t> parent{2, 5, 9, 11, 40, 41, 80};
+  // Child kept almost everything: removed-positions is the cheap side.
+  std::vector<uint32_t> dense{2, 5, 9, 11, 41, 80};
+  MatchSetDelta d = EncodeMatchSet(dense, parent);
+  EXPECT_EQ(d.mode, MatchDeltaMode::kRemoved);
+  EXPECT_EQ(d.payload, (std::vector<uint32_t>{4}));  // parent[4] == 40
+  EXPECT_EQ(RoundTrip(dense, parent), dense);
+
+  // Child kept almost nothing: kept-positions wins.
+  std::vector<uint32_t> sparse{9};
+  d = EncodeMatchSet(sparse, parent);
+  EXPECT_EQ(d.mode, MatchDeltaMode::kKept);
+  EXPECT_EQ(d.payload, (std::vector<uint32_t>{2}));
+  EXPECT_EQ(RoundTrip(sparse, parent), sparse);
+
+  EXPECT_EQ(RoundTrip({}, parent), (std::vector<uint32_t>{}));
+  EXPECT_EQ(RoundTrip(parent, parent), parent);
+}
+
+TEST(MatchDeltaTest, NonSubsetFallsBackToFull) {
+  std::vector<uint32_t> parent{2, 5, 9};
+  std::vector<uint32_t> child{2, 7};  // 7 not in parent
+  MatchSetDelta d = EncodeMatchSet(child, parent);
+  EXPECT_EQ(d.mode, MatchDeltaMode::kFull);
+  EXPECT_EQ(RoundTrip(child, parent), child);
+}
+
+TEST(MatchDeltaTest, WireRoundTripAndSizeAccounting) {
+  std::vector<uint32_t> parent(100);
+  for (uint32_t i = 0; i < 100; ++i) parent[i] = i * 3;
+  // A dense child (9 of 10 kept): removed-positions collapse to a few
+  // words, which is where the delta encoding beats the raw center list.
+  std::vector<uint32_t> child;
+  for (uint32_t i = 0; i < 100; ++i) {
+    if (i % 10 != 7) child.push_back(i * 3);
+  }
+
+  MatchSetDelta d = EncodeMatchSet(child, parent);
+  std::string buf;
+  PutMatchSetDelta(&buf, d);
+  EXPECT_EQ(buf.size(), DeltaEncodedBytes(child.size(), parent.size()));
+  EXPECT_LT(buf.size(), FullEncodedBytes(child.size()));
+
+  ByteReader r(buf);
+  MatchSetDelta back;
+  ASSERT_TRUE(ReadMatchSetDelta(&r, &back));
+  EXPECT_EQ(back, d);
+  auto values = DecodeMatchSet(back, parent);
+  ASSERT_TRUE(values.ok()) << values.status();
+  EXPECT_EQ(*values, child);
+}
+
+TEST(MatchDeltaTest, DecodeRejectsCorruptPositions) {
+  std::vector<uint32_t> parent{2, 5, 9};
+  {
+    MatchSetDelta bad{MatchDeltaMode::kKept, {3}};  // out of range
+    EXPECT_EQ(DecodeMatchSet(bad, parent).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    MatchSetDelta bad{MatchDeltaMode::kKept, {1, 1}};  // not ascending
+    EXPECT_EQ(DecodeMatchSet(bad, parent).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    MatchSetDelta bad{MatchDeltaMode::kRemoved, {2, 0}};
+    EXPECT_EQ(DecodeMatchSet(bad, parent).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule snapshot v2: records + the checksummed evidence section.
+// ---------------------------------------------------------------------------
+
+RuleSetEvidence TinyEvidence(const PaperG1& g1) {
+  RuleSetEvidence ev;
+  ev.setup.x_label = g1.graph.labels().Name(g1.q.x_label);
+  ev.setup.edge_label = g1.graph.labels().Name(g1.q.edge_label);
+  ev.setup.y_label = g1.graph.labels().Name(g1.q.y_label);
+  ev.setup.k = 2;
+  ev.setup.sigma = 1;
+  ev.q_pool = {1, 3, 5, 7};
+  ev.qbar_pool = {2, 4};
+  EvidenceEntry root;
+  root.rule = g1.r1;
+  root.parent = kEvidenceRoot;
+  root.ant_probed = true;
+  root.pr_matches = {1, 5, 7};  // subset of q_pool
+  root.ant_matches = {4};       // subset of qbar_pool
+  ev.entries.push_back(root);
+  EvidenceEntry child;
+  child.rule = g1.r5;
+  child.parent = 0;
+  child.ant_probed = true;
+  child.pr_matches = {5};  // subset of the root's pr_matches
+  child.ant_matches = {};
+  ev.entries.push_back(child);
+  return ev;
+}
+
+std::string RuleV2Bytes(const std::vector<RuleRecord>& rules,
+                        const RuleSetEvidence& ev, const Interner& labels) {
+  std::ostringstream os(std::ios::binary);
+  EXPECT_TRUE(WriteRuleSetSnapshotV2(rules, ev, labels, os).ok());
+  return os.str();
+}
+
+TEST(RuleSnapshotV2Test, RoundTripWithEvidence) {
+  PaperG1 g1 = MakePaperG1();
+  std::vector<RuleRecord> records{{g1.r1, 3, 0.75}, {g1.r5, 1, 1.0}};
+  RuleSetEvidence ev = TinyEvidence(g1);
+  std::string bytes = RuleV2Bytes(records, ev, g1.graph.labels());
+
+  Interner fresh;
+  std::istringstream is(bytes);
+  auto snap = ReadRuleSetSnapshotAny(is, &fresh);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  ASSERT_TRUE(snap->has_evidence);
+  EXPECT_EQ(snap->rules.size(), records.size());
+  EXPECT_EQ(snap->evidence.setup, ev.setup);
+  EXPECT_EQ(snap->evidence.q_pool, ev.q_pool);
+  EXPECT_EQ(snap->evidence.qbar_pool, ev.qbar_pool);
+  ASSERT_EQ(snap->evidence.entries.size(), ev.entries.size());
+  for (size_t i = 0; i < ev.entries.size(); ++i) {
+    EXPECT_EQ(snap->evidence.entries[i].parent, ev.entries[i].parent);
+    EXPECT_EQ(snap->evidence.entries[i].ant_probed, ev.entries[i].ant_probed);
+    EXPECT_EQ(snap->evidence.entries[i].pr_matches, ev.entries[i].pr_matches);
+    EXPECT_EQ(snap->evidence.entries[i].ant_matches,
+              ev.entries[i].ant_matches);
+  }
+  // Write -> read -> write is byte-identical, v2 included.
+  Interner relabels = fresh;
+  EXPECT_EQ(RuleV2Bytes(snap->rules, snap->evidence, relabels), bytes);
+}
+
+TEST(RuleSnapshotV2Test, V1ReadersAcceptV2AndViceVersa) {
+  PaperG1 g1 = MakePaperG1();
+  std::vector<RuleRecord> records{{g1.r1, 3, 0.75}};
+  RuleSetEvidence ev = TinyEvidence(g1);
+  ev.entries.resize(1);
+  std::string v2 = RuleV2Bytes(records, ev, g1.graph.labels());
+  std::string v1 = RuleBytes(records, g1.graph.labels());
+
+  // Records-only reader on a v2 file: evidence validated, then dropped.
+  Interner fresh;
+  std::istringstream is2(v2);
+  auto records_only = ReadRuleSetSnapshot(is2, &fresh);
+  ASSERT_TRUE(records_only.ok()) << records_only.status();
+  EXPECT_EQ(records_only->size(), records.size());
+
+  // Any-version reader on a v1 file: no evidence section.
+  Interner fresh2;
+  std::istringstream is1(v1);
+  auto snap = ReadRuleSetSnapshotAny(is1, &fresh2);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  EXPECT_FALSE(snap->has_evidence);
+}
+
+TEST(RuleSnapshotV2Test, RejectsCorruptEvidence) {
+  PaperG1 g1 = MakePaperG1();
+  std::vector<RuleRecord> records{{g1.r1, 3, 0.75}, {g1.r5, 1, 1.0}};
+  RuleSetEvidence ev = TinyEvidence(g1);
+  std::string bytes = RuleV2Bytes(records, ev, g1.graph.labels());
+  {
+    std::string bad = bytes;
+    bad.back() ^= 0x01;  // evidence payload flip -> checksum mismatch
+    Interner fresh;
+    std::istringstream is(bad);
+    EXPECT_FALSE(ReadRuleSetSnapshotAny(is, &fresh).ok());
+  }
+  {
+    std::string bad = bytes.substr(0, bytes.size() - 7);  // torn evidence
+    Interner fresh;
+    std::istringstream is(bad);
+    EXPECT_FALSE(ReadRuleSetSnapshotAny(is, &fresh).ok());
+  }
+  {
+    // A child whose parent index points forward breaks evaluation order.
+    RuleSetEvidence fwd = TinyEvidence(g1);
+    fwd.entries[1].parent = 1;
+    std::ostringstream os(std::ios::binary);
+    Status st = WriteRuleSetSnapshotV2(records, fwd, g1.graph.labels(), os);
+    if (st.ok()) {
+      Interner fresh;
+      std::istringstream is(os.str());
+      EXPECT_FALSE(ReadRuleSetSnapshotAny(is, &fresh).ok());
+    }
+  }
 }
 
 }  // namespace

@@ -17,8 +17,9 @@ bite) the concurrent serving tier:
                    Thread Safety Analysis, so everything they guard
                    silently escapes -Werror=thread-safety.
 
-  [ablation-flag]  Every bool field of DmineOptions (src/mine/dmine.h) and
-                   EipOptions (src/identify/eip.h) must be referenced by at
+  [ablation-flag]  Every bool field of DmineOptions (src/mine/dmine.h),
+                   EipOptions (src/identify/eip.h), and MaintainOptions
+                   (src/maintain/rule_maintainer.h) must be referenced by at
                    least one test in tests/*.cc — the repo's rule is that
                    each ablation axis ships with an equivalence battery.
 
@@ -192,6 +193,7 @@ class Linter:
         for header, struct in (
             ("src/mine/dmine.h", "DmineOptions"),
             ("src/identify/eip.h", "EipOptions"),
+            ("src/maintain/rule_maintainer.h", "MaintainOptions"),
         ):
             path = self.root / header
             if not path.is_file():

@@ -11,7 +11,7 @@
 //                      [--rules rules.txt --rules-out rules.snap]
 //   gpar_tool serve    --graph-snapshot g.snap --rules-snapshot rules.snap
 //                      [--workers 4 --cache 1048576 --shards 1 --strict 0]
-//                      [--journal deltas.wal]
+//                      [--journal deltas.wal] [--maintain 0]
 //                      (query loop on stdin; type `help` at the prompt;
 //                      --shards k > 1 serves from a k-shard deployment;
 //                      --strict 1 exits with code 3 on the first malformed
@@ -20,10 +20,27 @@
 //                      frames replay at startup, every later delta is
 //                      appended before it is published, and the
 //                      `checkpoint [path]` / `recover` loop commands
-//                      snapshot+compact / rebuild from snapshot+journal)
+//                      snapshot+compact / rebuild from snapshot+journal;
+//                      --maintain 1 enables incremental rule maintenance:
+//                      the session mines once at startup under the mining
+//                      flags below and keeps the top-k fresh across deltas)
+//   gpar_tool maintain --graph-snapshot g.snap --rules-snapshot rules.snap
+//                      [--journal deltas.wal] [--out rules2.snap]
+//                      [--strict 0] [--x user --edge like_music --y music_1]
+//                      [--k 10 --d 2 --sigma 5 --lambda 0.5 --max-edges 4]
+//                      [--incremental 1]
+//                      (offline rule refresh: restores a maintainer from a
+//                      v2 rule snapshot's evidence — or seeds one from a v1
+//                      snapshot, which needs --x/--edge/--y and the mining
+//                      flags — replays the journal, and writes the
+//                      refreshed v2 snapshot to --out, default in place;
+//                      --strict 1 refuses a torn-tail journal with exit 3;
+//                      --incremental 0 re-probes everything, the ablation
+//                      baseline)
 //
 // Exit codes: 0 ok, 1 load/runtime error, 2 usage error, 3 malformed query
-// or failed checkpoint/recover in --strict mode.
+// or failed checkpoint/recover in --strict mode (for `maintain`: refused
+// lossy history or a non-usage failure under --strict 1).
 //
 // Graphs use the `v/e` text format of graph_io.h; rule files use the
 // Gpar::SerializeSet format (pattern codec blocks separated by `---`);
@@ -41,6 +58,7 @@
 
 #include "common/flags.h"
 #include "graph/generator.h"
+#include "maintain/maintain_command.h"
 #include "graph/graph_io.h"
 #include "graph/graph_snapshot.h"
 #include "graph/stats.h"
@@ -307,6 +325,68 @@ int CmdSnapshot(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// The mining parameters shared by `serve --maintain 1` (seeding the
+/// session's maintainer) and `maintain` on a v1 snapshot — for a v2
+/// snapshot the persisted evidence setup overrides all of these.
+MaintainOptions MaintainOptionsFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  MaintainOptions o;
+  o.mine.k = NumFlagOr<uint32_t>(flags, "k", 10);
+  o.mine.d = NumFlagOr<uint32_t>(flags, "d", 2);
+  o.mine.sigma = NumFlagOr<uint64_t>(flags, "sigma", 5);
+  o.mine.lambda = NumFlagOr<double>(flags, "lambda", 0.5);
+  o.mine.max_pattern_edges = NumFlagOr<uint32_t>(flags, "max-edges", 4);
+  o.enable_incremental_maintenance =
+      NumFlagOr<int>(flags, "incremental", 1) != 0;
+  return o;
+}
+
+int CmdMaintain(const std::map<std::string, std::string>& flags) {
+  MaintainRequest req;
+  req.graph_snapshot = RequireFlag(flags, "graph-snapshot");
+  req.rules_snapshot = RequireFlag(flags, "rules-snapshot");
+  req.journal = FlagOr(flags, "journal", "");
+  req.out = FlagOr(flags, "out", "");
+  req.strict = NumFlagOr<int>(flags, "strict", 0) != 0;
+  req.x_label = FlagOr(flags, "x", "");
+  req.edge_label = FlagOr(flags, "edge", "");
+  req.y_label = FlagOr(flags, "y", "");
+  req.options = MaintainOptionsFromFlags(flags);
+
+  auto report = RunMaintain(req);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return MaintainExitCode(report.status(), req.strict);
+  }
+  for (const std::string& w : report->warnings) {
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  }
+  std::printf("%s maintainer: %zu rules in -> %zu rules out "
+              "(objective F = %.4f)\n",
+              report->seeded ? "seeded" : "restored", report->rules_in,
+              report->rules_out, report->objective);
+  if (!req.journal.empty()) {
+    std::printf("journal: %zu frames scanned, maintained to sequence %llu%s\n",
+                report->journal_scan.frames,
+                static_cast<unsigned long long>(report->last_sequence),
+                report->journal_scan.tail_truncated ? " (torn tail truncated)"
+                                                    : "");
+  }
+  const MaintainStats& ms = report->stats;
+  std::printf(
+      "passes=%llu reprobed=%llu carried=%llu patched=%zu reexpanded=%zu "
+      "sigma-crossings +%zu/-%zu\n",
+      static_cast<unsigned long long>(ms.passes),
+      static_cast<unsigned long long>(ms.centers_reprobed),
+      static_cast<unsigned long long>(ms.centers_carried), ms.rules_patched,
+      ms.rules_reexpanded, ms.sigma_crossed_up, ms.sigma_crossed_down);
+  std::printf("evidence: %llu bytes delta-encoded (%llu raw)\n",
+              static_cast<unsigned long long>(ms.evidence_bytes_delta),
+              static_cast<unsigned long long>(ms.evidence_bytes_full));
+  std::printf("wrote refreshed v2 snapshot %s\n", report->out_path.c_str());
+  return 0;
+}
+
 void PrintServeStatsLine(const char* prefix, const ServeStats& st,
                          size_t cached) {
   std::printf("%srequests=%llu hits=%llu probes=%llu centers=%llu "
@@ -329,6 +409,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   opt.cache_capacity = NumFlagOr<size_t>(flags, "cache", 1048576);
   const uint32_t shards = NumFlagOr<uint32_t>(flags, "shards", 1);
   const bool strict = NumFlagOr<int>(flags, "strict", 0) != 0;
+  const bool maintain = NumFlagOr<int>(flags, "maintain", 0) != 0;
   // Not const: `checkpoint <path>` moves the snapshot-of-record there (the
   // journal is compacted against the NEW snapshot, so a later `recover`
   // must rebuild from it — the original file no longer pairs with the
@@ -381,6 +462,23 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
                   journal_path.c_str(), replay.frames,
                   static_cast<unsigned long long>(replay.last_sequence),
                   replay.tail_truncated ? " (torn tail truncated)" : "");
+    }
+    if (maintain) {
+      // Enabled AFTER the journal replay, so the seed pass mines the
+      // caught-up graph — and re-enabled by `recover`, which rebuilds the
+      // session from scratch.
+      const MaintainOptions mo = MaintainOptionsFromFlags(flags);
+      Status st = single != nullptr ? single->EnableMaintenance(mo)
+                                    : sharded->EnableMaintenance(mo);
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot enable maintenance: %s\n",
+                     st.ToString().c_str());
+        return false;
+      }
+      std::printf("maintenance enabled: serving the maintained top-%u "
+                  "(d=%u, sigma=%llu)\n",
+                  mo.mine.k, mo.mine.d,
+                  static_cast<unsigned long long>(mo.mine.sigma));
     }
     return true;
   };
@@ -493,6 +591,11 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
             static_cast<unsigned long long>(ds->members_extended),
             static_cast<unsigned long long>(ds->wire_bytes),
             ds->seconds * 1e3);
+        if (ds->rules_refreshed != 0) {
+          std::printf("  maintenance refreshed the served rule set "
+                      "(%zu rules)\n",
+                      session->rules().size());
+        }
         break;
       }
       case ServeCommand::Kind::kCheckpoint: {
@@ -529,7 +632,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: gpar_tool <generate|info|mine|identify|snapshot|serve> "
+               "usage: gpar_tool "
+               "<generate|info|mine|identify|snapshot|serve|maintain> "
                "--flag value ...\n"
                "(see the header comment of tools/gpar_tool.cc)\n");
 }
@@ -553,6 +657,7 @@ int main(int argc, char** argv) {
   if (cmd == "identify") return CmdIdentify(*flags);
   if (cmd == "snapshot") return CmdSnapshot(*flags);
   if (cmd == "serve") return CmdServe(*flags);
+  if (cmd == "maintain") return CmdMaintain(*flags);
   Usage();
   return 2;
 }

@@ -34,10 +34,17 @@
 # degraded-mode QPS of a k=4 sharded deployment with failpoint-injected
 # shard loss.
 #
+# An eighth JSON report (MAINTENANCE_JSON) comes from a CI-sized
+# exp9_maintenance run: per-batch cost of the incremental RuleMaintainer
+# vs its re-probe-everything ablation (a sequential re-mine) on one
+# interleaved insert+delete stream, the freshness lag of the maintained
+# top-k, and the match-set-delta evidence encoding's bytes vs the raw
+# full encoding.
+#
 # Usage:
 #   tools/run_bench.sh [OUTPUT_JSON] [DMINE_JSON] [PARTITION_JSON] \
 #                      [SERVE_JSON] [SHARDED_JSON] [CHURN_JSON] \
-#                      [RECOVERY_JSON]
+#                      [RECOVERY_JSON] [MAINTENANCE_JSON]
 #
 # Environment:
 #   GPAR_BENCH_BIN_DIR   directory holding the bench binaries
@@ -57,6 +64,7 @@ serve_out="${4:-BENCH_serve.json}"
 sharded_out="${5:-BENCH_sharded_serve.json}"
 churn_out="${6:-BENCH_delta_churn.json}"
 recovery_out="${7:-BENCH_recovery.json}"
+maintenance_out="${8:-BENCH_maintenance.json}"
 bin_dir="${GPAR_BENCH_BIN_DIR:-build/release/bench}"
 
 if [[ ! -d "${bin_dir}" ]]; then
@@ -124,6 +132,16 @@ if [[ -x "${recovery_bin}" ]]; then
     "${recovery_bin}"
 else
   echo "warning: ${recovery_bin} not built; skipping ${recovery_out}" >&2
+fi
+
+# Incremental maintenance sweep (maintained vs re-mine cost, freshness lag).
+maintenance_bin="${bin_dir}/exp9_maintenance"
+if [[ -x "${maintenance_bin}" ]]; then
+  echo "== exp9_maintenance -> ${maintenance_out}" >&2
+  GPAR_BENCH_SMALL="${GPAR_BENCH_SMALL:-1}" \
+    GPAR_BENCH_JSON="${maintenance_out}" "${maintenance_bin}"
+else
+  echo "warning: ${maintenance_bin} not built; skipping ${maintenance_out}" >&2
 fi
 
 shopt -s nullglob
